@@ -1,0 +1,39 @@
+# LDV build and verification entry points.
+
+GO ?= go
+
+.PHONY: all build vet test bench examples experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure plus engine micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/halofinder
+	$(GO) run ./examples/tpch
+	$(GO) run ./examples/partialreplay
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/ldv-bench -exp all
+
+# Short fuzzing pass over the parser and codecs.
+fuzz:
+	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./internal/sqlval -fuzz FuzzDecode -fuzztime 30s
+
+clean:
+	rm -f *.ldvpkg test_output.txt bench_output.txt

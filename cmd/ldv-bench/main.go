@@ -1,0 +1,56 @@
+// Command ldv-bench regenerates the tables and figures of the paper's
+// evaluation section (§IX) against the simulated substrate.
+//
+// Usage:
+//
+//	ldv-bench -exp fig9                # one experiment
+//	ldv-bench -exp all -sf 0.01        # everything, bigger scale
+//	ldv-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldv/internal/bench"
+)
+
+func main() {
+	def := bench.DefaultConfig()
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all': "+strings.Join(bench.ExperimentNames(), ", "))
+		sf      = flag.Float64("sf", def.SF, "TPC-H scale factor (paper: 1)")
+		seed    = flag.Uint64("seed", def.Seed, "data generator seed")
+		inserts = flag.Int("inserts", def.Inserts, "workload insert count (paper: 1000)")
+		selects = flag.Int("selects", def.Selects, "workload select count (paper: 10)")
+		updates = flag.Int("updates", def.Updates, "workload update count (paper: 100)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.ExperimentNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	cfg := bench.Config{SF: *sf, Seed: *seed, Inserts: *inserts, Selects: *selects, Updates: *updates}
+	if *exp == "all" {
+		if err := bench.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ldv-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runner, ok := bench.Experiments()[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ldv-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := runner(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ldv-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command ldv-exec re-executes a package produced by ldv-audit — the
+// paper's `ldv-exec <executable>` usage (§VIII/§IX). The scenario name
+// supplies the behaviour of the packaged binaries (the simulation's stand-in
+// for loading machine code from the package).
+//
+// Usage:
+//
+//	ldv-exec -pkg alice-included.ldvpkg -scenario alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldv"
+	ildv "ldv/internal/ldv"
+	"ldv/internal/scenarios"
+)
+
+func main() {
+	var (
+		pkgPath  = flag.String("pkg", "", "package file to re-execute (required)")
+		scenario = flag.String("scenario", "alice", "scenario whose binaries the package contains")
+		output   = flag.String("output", "", "partial re-execution: run only what this output file needs (server-included packages)")
+	)
+	flag.Parse()
+	if *pkgPath == "" {
+		fmt.Fprintln(os.Stderr, "ldv-exec: -pkg is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*pkgPath, *scenario, *output); err != nil {
+		fmt.Fprintln(os.Stderr, "ldv-exec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pkgPath, scenario, output string) error {
+	sc, err := scenarios.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	arch, err := ldv.LoadArchive(pkgPath)
+	if err != nil {
+		return fmt.Errorf("load package: %w", err)
+	}
+	var m *ldv.Machine
+	if output != "" {
+		var ran []string
+		m, ran, err = ildv.PartialReplay(arch, sc.Programs(), output)
+		if err != nil {
+			return fmt.Errorf("partial replay: %w", err)
+		}
+		fmt.Printf("partially re-executed %s for %s (ran %d binaries: %v)\n",
+			pkgPath, output, len(ran), ran)
+		data, err := m.Kernel.FS().ReadFile(output)
+		if err != nil {
+			return fmt.Errorf("partial output missing: %w", err)
+		}
+		fmt.Printf("-- replayed output %s --\n%s", output, data)
+		return nil
+	}
+	m, err = ldv.Replay(arch, sc.Programs())
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	fmt.Printf("re-executed %s (%d members)\n", pkgPath, arch.Len())
+	for _, o := range sc.Outputs {
+		data, err := m.Kernel.FS().ReadFile(o)
+		if err != nil {
+			return fmt.Errorf("expected output %s missing: %w", o, err)
+		}
+		fmt.Printf("-- replayed output %s --\n%s", o, data)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command ldv-trace inspects the combined execution trace inside a
+// server-included package: summary statistics, dependency and reachability
+// queries (Definition 11), the entity set needed to reproduce an output,
+// and Graphviz export.
+//
+// Usage:
+//
+//	ldv-trace -pkg alice-included.ldvpkg                      # summary
+//	ldv-trace -pkg p.ldvpkg -deps file:/home/alice/output.txt # dependencies
+//	ldv-trace -pkg p.ldvpkg -from file:/in.csv -to file:/out  # reachability
+//	ldv-trace -pkg p.ldvpkg -dot > trace.dot                  # visualize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldv/internal/deps"
+	ildv "ldv/internal/ldv"
+	"ldv/internal/pack"
+	"ldv/internal/prov"
+)
+
+func main() {
+	var (
+		pkgPath = flag.String("pkg", "", "server-included package file (required)")
+		depsOf  = flag.String("deps", "", "print the entities this entity depends on (node id)")
+		from    = flag.String("from", "", "reachability query: source entity id (with -to)")
+		to      = flag.String("to", "", "reachability query: does -to depend on -from")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT to stdout")
+		naive   = flag.Bool("naive", false, "disable temporal pruning (Definition 11 conditions 2-3)")
+	)
+	flag.Parse()
+	if *pkgPath == "" {
+		fmt.Fprintln(os.Stderr, "ldv-trace: -pkg is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*pkgPath, *depsOf, *from, *to, *dot, *naive); err != nil {
+		fmt.Fprintln(os.Stderr, "ldv-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pkgPath, depsOf, from, to string, dot, naive bool) error {
+	arch, err := pack.Load(pkgPath)
+	if err != nil {
+		return err
+	}
+	tr, err := ildv.ReadTrace(arch)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(tr.ExportDOT())
+		return nil
+	}
+	inf := deps.NewDefaultInferencer(tr)
+	inf.Naive = naive
+
+	switch {
+	case depsOf != "":
+		if tr.Node(depsOf) == nil {
+			return fmt.Errorf("no node %q in trace (ids look like file:/path, tuple:table/row@v)", depsOf)
+		}
+		for _, d := range inf.Dependencies(depsOf) {
+			fmt.Println(d)
+		}
+		return nil
+	case from != "" && to != "":
+		fmt.Println(inf.DependsOn(to, from))
+		return nil
+	case from != "" || to != "":
+		return fmt.Errorf("-from and -to must be used together")
+	}
+
+	// Summary.
+	counts := map[string]int{}
+	for _, n := range tr.Nodes() {
+		counts[n.Type]++
+	}
+	fmt.Printf("trace: %d nodes, %d edges, %d direct dependencies\n",
+		tr.NodeCount(), tr.EdgeCount(), len(tr.Deps()))
+	for _, typ := range []string{prov.TypeProcess, prov.TypeFile, prov.TypeQuery,
+		prov.TypeInsert, prov.TypeUpdate, prov.TypeDelete, prov.TypeTuple} {
+		if counts[typ] > 0 {
+			fmt.Printf("  %-8s %d\n", typ, counts[typ])
+		}
+	}
+	fmt.Println("entities (pass one to -deps):")
+	shown := 0
+	for _, n := range tr.Nodes() {
+		if !n.IsEntity(tr.Model) || shown >= 25 {
+			continue
+		}
+		fmt.Printf("  %s\n", n.ID)
+		shown++
+	}
+	if shown == 25 {
+		fmt.Println("  ... (truncated)")
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command ldvdb runs the LDV database server standalone over real TCP with
+// an on-disk data directory — the engine outside the simulation.
+//
+// Usage:
+//
+//	ldvdb -addr 127.0.0.1:5544 -data ./ldvdata [-init schema.sql]
+//
+// Connect with ldvsql. On SIGINT the server checkpoints its data directory
+// and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"ldv/internal/diskfs"
+	"ldv/internal/engine"
+	"ldv/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:5544", "listen address")
+		dataDir  = flag.String("data", "./ldvdata", "data directory on disk")
+		initFile = flag.String("init", "", "SQL script to run at startup (e.g. schema + load)")
+		quiet    = flag.Bool("quiet", false, "disable session logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataDir, *initFile, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "ldvdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir, initFile string, quiet bool) error {
+	fs := diskfs.New(dataDir)
+	db := engine.NewDB(nil)
+	if _, err := os.Stat(dataDir); err == nil {
+		if err := db.LoadDir(fs, "/"); err != nil {
+			return fmt.Errorf("load data dir: %w", err)
+		}
+		log.Printf("loaded %d tables from %s", len(db.TableNames()), dataDir)
+	}
+	if initFile != "" {
+		script, err := os.ReadFile(initFile)
+		if err != nil {
+			return err
+		}
+		if _, err := db.ExecScript(string(script), engine.ExecOptions{}); err != nil {
+			return fmt.Errorf("init script: %w", err)
+		}
+		log.Printf("ran init script %s", initFile)
+	}
+
+	var logger *log.Logger
+	if !quiet {
+		logger = log.New(os.Stderr, "ldvdb ", log.LstdFlags)
+	}
+	srv := server.New(db, logger)
+	srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (data: %s)", addr, dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Printf("checkpointing to %s", dataDir)
+		if err := db.Checkpoint(fs, "/"); err != nil {
+			log.Printf("checkpoint failed: %v", err)
+		}
+		l.Close()
+	}()
+
+	err = srv.Serve(netAcceptor{l})
+	// Serve returns when the listener closes (shutdown path).
+	if opErr, ok := err.(*net.OpError); ok && opErr.Op == "accept" {
+		return nil
+	}
+	return err
+}
+
+// netAcceptor adapts net.Listener to the server's Acceptor.
+type netAcceptor struct{ l net.Listener }
+
+func (a netAcceptor) Accept() (net.Conn, error) { return a.l.Accept() }

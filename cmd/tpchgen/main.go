@@ -1,0 +1,128 @@
+// Command tpchgen generates the TPC-H dataset used by the evaluation and
+// writes it as CSV files or a SQL script.
+//
+// Usage:
+//
+//	tpchgen -sf 0.01 -format csv -o ./data
+//	tpchgen -sf 0.002 -format sql > tpch.sql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+	"ldv/internal/tpch"
+)
+
+func main() {
+	var (
+		sf     = flag.Float64("sf", 0.002, "TPC-H scale factor")
+		seed   = flag.Uint64("seed", 42, "generator seed")
+		format = flag.String("format", "sql", "output format: sql or csv")
+		outDir = flag.String("o", "", "output directory for csv format (default stdout for sql)")
+	)
+	flag.Parse()
+	if err := run(tpch.Config{SF: *sf, Seed: *seed}, *format, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg tpch.Config, format, outDir string) error {
+	db := engine.NewDB(nil)
+	stats, err := tpch.Load(db, cfg)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "sql":
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		return writeSQL(db, w)
+	case "csv":
+		if outDir == "" {
+			return fmt.Errorf("-o directory is required for csv output")
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for _, table := range db.TableNames() {
+			f, err := os.Create(filepath.Join(outDir, table+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(db, table, f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tables (%d lineitem rows) to %s\n",
+			len(db.TableNames()), stats.Lineitem, outDir)
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func writeSQL(db *engine.DB, w io.Writer) error {
+	for _, ddl := range tpch.Schemas() {
+		if _, err := fmt.Fprintf(w, "%s;\n", ddl); err != nil {
+			return err
+		}
+	}
+	for _, table := range db.TableNames() {
+		_, rows, err := db.ScanAll(table)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			lits := make([]string, len(row))
+			for i, v := range row {
+				lits[i] = v.SQLLiteral()
+			}
+			if _, err := fmt.Fprintf(w, "INSERT INTO %s VALUES (%s);\n", table, strings.Join(lits, ", ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(db *engine.DB, table string, w io.Writer) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, strings.Join(t.Schema.Names(), ",")); err != nil {
+		return err
+	}
+	_, rows, err := db.ScanAll(table)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if v.Kind() == sqlval.KindString && strings.ContainsAny(s, ",\"\n") {
+				s = `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+			}
+			cells[i] = s
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

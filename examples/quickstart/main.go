@@ -1,0 +1,106 @@
+// Quickstart: audit a tiny DB application, build both package flavours, and
+// re-execute each — the complete LDV round trip in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Boot a simulated machine and load data into its database. Rows
+	// loaded here are "preloaded": they exist before the application runs,
+	// like a production database an experiment reads.
+	m, err := ldv.NewMachine()
+	if err != nil {
+		return err
+	}
+	if _, err := m.DB.ExecScript(`
+		CREATE TABLE readings (id INTEGER PRIMARY KEY, sensor TEXT, value FLOAT);
+		INSERT INTO readings VALUES
+			(1, 'alpha', 3.5), (2, 'alpha', 12.5), (3, 'beta', 19.25),
+			(4, 'beta', 4.0), (5, 'gamma', 22.0);`, ldv.ExecOptions{}); err != nil {
+		return err
+	}
+
+	// 2. Define the application: a single binary that queries the DB and
+	// writes a report file. It reaches the database through ldv.Dial, which
+	// adapts transparently to plain, audited, and replayed execution.
+	app := ldv.App{
+		Binary: "/opt/analyzer/bin/report",
+		Libs:   ldv.ClientLibs(),
+		Prog: func(p *ldv.Process) error {
+			conn, err := ldv.Dial(p)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			res, err := conn.Query("SELECT sensor, COUNT(*) AS n, AVG(value) AS mean FROM readings WHERE value > 10 GROUP BY sensor ORDER BY sensor")
+			if err != nil {
+				return err
+			}
+			report := "sensors above threshold:\n"
+			for _, row := range res.Rows {
+				report += fmt.Sprintf("  %s: n=%s mean=%s\n", row[0], row[1], row[2])
+			}
+			return p.WriteFile("/opt/analyzer/report.txt", []byte(report))
+		},
+	}
+	apps := []ldv.App{app}
+
+	// 3. Audit: run the application under LDV monitoring.
+	aud, err := ldv.Audit(m, apps)
+	if err != nil {
+		return err
+	}
+	original, err := m.Kernel.FS().ReadFile("/opt/analyzer/report.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original run produced:\n%s\n", original)
+	fmt.Printf("audit: %d statements, %d trace nodes, %d relevant tuples (of 5 in the DB)\n\n",
+		aud.StatementCount(), aud.Trace().NodeCount(), aud.RelevantTupleCount())
+
+	// 4. Package both ways.
+	included, err := ldv.BuildServerIncluded(m, aud, apps)
+	if err != nil {
+		return err
+	}
+	excluded, err := ldv.BuildServerExcluded(m, aud, apps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server-included package: %5.2f MB (%d members, ships the DBMS + 3 relevant tuples)\n",
+		float64(included.TotalSize())/(1<<20), included.Len())
+	fmt.Printf("server-excluded package: %5.2f MB (%d members, ships recorded results only)\n\n",
+		float64(excluded.TotalSize())/(1<<20), excluded.Len())
+
+	// 5. Re-execute each package on a fresh machine and verify the output.
+	programs := map[string]ldv.Program{app.Binary: app.Prog}
+	for name, pkg := range map[string]*ldv.Archive{"server-included": included, "server-excluded": excluded} {
+		replayed, err := ldv.Replay(pkg, programs)
+		if err != nil {
+			return fmt.Errorf("%s replay: %w", name, err)
+		}
+		got, err := replayed.Kernel.FS().ReadFile("/opt/analyzer/report.txt")
+		if err != nil {
+			return err
+		}
+		match := "MATCHES"
+		if string(got) != string(original) {
+			match = "DIFFERS"
+		}
+		fmt.Printf("%s replay output %s the original\n", name, match)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ldv
+
+go 1.22

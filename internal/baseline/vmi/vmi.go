@@ -1,0 +1,187 @@
+// Package vmi implements the virtual-machine-image baseline of §IX-F. The
+// paper builds a bare Debian VMI, installs the DB server with apt-get,
+// copies in the DB files and experiment sources, and measures an 8.2 GB
+// image that replays queries slightly slower than native execution. Neither
+// a hypervisor nor a Debian mirror exists in this environment, so the
+// baseline is simulated along the two dimensions the paper actually uses:
+//
+//   - Size: the image is modelled as a base-OS file inventory (a fixed
+//     manifest approximating a minimal server install) plus every file on
+//     the simulated machine — including the full DB data directory. Only
+//     sizes are accounted; base files are never materialized.
+//   - Replay speed: queries run through an emulated device layer that
+//     copies and checksums every wire byte a configurable number of times,
+//     reproducing the constant-factor virtualization tax of Figure 8b.
+package vmi
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sort"
+
+	"ldv/internal/client"
+	"ldv/internal/ldv"
+	"ldv/internal/osim"
+)
+
+// BaseFile is one entry of the simulated base-OS inventory.
+type BaseFile struct {
+	Path string
+	Size int64
+}
+
+// BaseImage approximates a minimal Debian server install. The absolute
+// numbers are scaled down with the rest of the experiment (the paper's
+// image is 8.2 GB against a 1 GB database; the ratio to the other packages
+// is what Figure 9/§IX-F compare).
+func BaseImage() []BaseFile {
+	return []BaseFile{
+		{Path: "/boot/vmlinuz", Size: 8 << 20},
+		{Path: "/boot/initrd.img", Size: 24 << 20},
+		{Path: "/usr/bin.blob", Size: 180 << 20},
+		{Path: "/usr/lib.blob", Size: 260 << 20},
+		{Path: "/usr/share.blob", Size: 210 << 20},
+		{Path: "/var/cache/apt.blob", Size: 96 << 20},
+		{Path: "/lib/modules.blob", Size: 48 << 20},
+		{Path: "/etc.blob", Size: 2 << 20},
+	}
+}
+
+// Image is a simulated VM image: the base inventory plus a snapshot of the
+// machine's entire filesystem (sizes only).
+type Image struct {
+	Base    []BaseFile
+	Machine []BaseFile
+}
+
+// BuildImage snapshots the machine into an image description.
+func BuildImage(m *ldv.Machine) *Image {
+	img := &Image{Base: BaseImage()}
+	_ = m.Kernel.FS().Walk("/", func(in osim.FileInfo) error {
+		if in.Dir || in.Symlink != "" {
+			return nil
+		}
+		img.Machine = append(img.Machine, BaseFile{Path: in.Path, Size: in.Size})
+		return nil
+	})
+	sort.Slice(img.Machine, func(i, j int) bool { return img.Machine[i].Path < img.Machine[j].Path })
+	return img
+}
+
+// TotalSize is the image size in bytes.
+func (img *Image) TotalSize() int64 {
+	var total int64
+	for _, f := range img.Base {
+		total += f.Size
+	}
+	for _, f := range img.Machine {
+		total += f.Size
+	}
+	return total
+}
+
+// FileCount reports the number of modelled files.
+func (img *Image) FileCount() int { return len(img.Base) + len(img.Machine) }
+
+// EmulationPasses is the number of extra copy+checksum passes the emulated
+// device layer applies per wire transfer. 6 reproduces the paper's
+// "slightly slower than native" replay behaviour at this repository's
+// scales.
+var EmulationPasses = 6
+
+// emuConn wraps a connection with the virtualization tax.
+type emuConn struct {
+	net.Conn
+	sink uint32
+}
+
+func (c *emuConn) tax(b []byte) {
+	for i := 0; i < EmulationPasses; i++ {
+		buf := make([]byte, len(b))
+		copy(buf, b)
+		c.sink ^= crc32.ChecksumIEEE(buf)
+	}
+}
+
+func (c *emuConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.tax(b[:n])
+	}
+	return n, err
+}
+
+func (c *emuConn) Write(b []byte) (int, error) {
+	c.tax(b)
+	return c.Conn.Write(b)
+}
+
+// emuDialer wraps a process dialer with the emulated device layer.
+type emuDialer struct{ p *osim.Process }
+
+func (d emuDialer) Connect(addr string) (net.Conn, error) {
+	nc, err := d.p.Connect(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &emuConn{Conn: nc}, nil
+}
+
+// Dial opens a DB session through the emulated device layer. The VM replay
+// harness uses this in place of ldv.Dial.
+func Dial(p *osim.Process, addr, database string) (*client.Conn, error) {
+	return client.Dial(emuDialer{p: p}, addr, client.Options{
+		Proc: ldv.ProcNodeID(p.PID), Database: database,
+	})
+}
+
+// Boot simulates instantiating the VM image: the hypervisor reads the whole
+// image once (modelled as checksumming one buffer per file, sized to the
+// file). It returns the number of bytes "read".
+func Boot(img *Image) int64 {
+	var total int64
+	var sink uint32
+	for _, f := range append(append([]BaseFile(nil), img.Base...), img.Machine...) {
+		// Work proportional to size, bounded per file to keep boots cheap at
+		// large scales while remaining size-dependent.
+		n := f.Size
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		buf := make([]byte, n)
+		sink ^= crc32.ChecksumIEEE(buf)
+		total += f.Size
+	}
+	_ = sink
+	return total
+}
+
+// Run executes the applications "inside the VM": boot, then the same plain
+// execution but with every app's DB traffic passing through the emulated
+// device layer. The apps must use vmi.Dial; RunWorkload in the bench
+// package arranges that.
+func Run(m *ldv.Machine, img *Image, apps []ldv.App) error {
+	Boot(img)
+	if err := m.InstallApps(apps); err != nil {
+		return err
+	}
+	ldv.SetRuntime(m.Kernel, &ldv.Runtime{Mode: ldv.ModePlain, Addr: m.Addr, Database: m.Database})
+	defer ldv.ClearRuntime(m.Kernel)
+	root := m.Kernel.Start("vm")
+	if err := m.StartServer(root); err != nil {
+		return fmt.Errorf("vmi: start server: %w", err)
+	}
+	var runErr error
+	for _, app := range apps {
+		if err := root.Spawn(app.Binary, app.Libs...); err != nil {
+			runErr = err
+			break
+		}
+	}
+	if err := m.StopServer(); err != nil && runErr == nil {
+		runErr = err
+	}
+	root.Exit()
+	return runErr
+}

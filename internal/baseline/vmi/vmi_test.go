@@ -1,0 +1,96 @@
+package vmi
+
+import (
+	"testing"
+
+	"ldv/internal/engine"
+	"ldv/internal/ldv"
+	"ldv/internal/osim"
+)
+
+func newTestMachine(t *testing.T) *ldv.Machine {
+	t.Helper()
+	m, err := ldv.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DB.ExecScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2), (3);", engine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestImageSizeDominatesPackages(t *testing.T) {
+	m := newTestMachine(t)
+	img := BuildImage(m)
+	if img.FileCount() < len(BaseImage()) {
+		t.Fatal("image missing base inventory")
+	}
+	// The base OS alone dwarfs the server binary; total must exceed 800 MB
+	// simulated.
+	if img.TotalSize() < 800<<20 {
+		t.Fatalf("image size = %d", img.TotalSize())
+	}
+	// Machine files (server binary etc.) are included.
+	found := false
+	for _, f := range img.Machine {
+		if f.Path == ldv.ServerBinaryPath {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("server binary missing from image inventory")
+	}
+}
+
+func TestBootReadsWholeImage(t *testing.T) {
+	m := newTestMachine(t)
+	img := BuildImage(m)
+	if got := Boot(img); got != img.TotalSize() {
+		t.Fatalf("boot read %d bytes, image is %d", got, img.TotalSize())
+	}
+}
+
+func TestRunInsideVM(t *testing.T) {
+	m := newTestMachine(t)
+	img := BuildImage(m)
+	ran := false
+	apps := []ldv.App{{
+		Binary: "/bin/vmapp",
+		Libs:   ldv.ClientLibs(),
+		Prog: func(p *osim.Process) error {
+			// Inside the VM, DB traffic flows through the emulated device
+			// layer.
+			conn, err := Dial(p, ldv.DefaultAddr, ldv.DefaultDatabase)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			res, err := conn.Query("SELECT count(*) FROM t")
+			if err != nil {
+				return err
+			}
+			ran = res.Rows[0][0].Int() == 3
+			return nil
+		},
+	}}
+	if err := Run(m, img, apps); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("VM app did not observe the data")
+	}
+}
+
+func TestEmulationPassesConfigurable(t *testing.T) {
+	old := EmulationPasses
+	defer func() { EmulationPasses = old }()
+	EmulationPasses = 0
+	c := &emuConn{}
+	c.tax([]byte("abc")) // must be a no-op without panicking
+	EmulationPasses = 1
+	c.tax([]byte("abc"))
+	if c.sink == 0 {
+		t.Error("tax must fold bytes into the sink")
+	}
+}

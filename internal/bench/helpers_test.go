@@ -1,0 +1,9 @@
+package bench
+
+import "ldv/internal/ldv"
+
+// runAuditDirect audits one app with explicit dedup control (test helper).
+func runAuditDirect(m *ldv.Machine, app ldv.App, disableDedup bool) (*ldv.Auditor, error) {
+	return ldv.AuditWithOptions(m, []ldv.App{app},
+		ldv.AuditOptions{CollectLineage: true, DisableDedup: disableDedup})
+}

@@ -1,0 +1,243 @@
+// Package client is the LDV database client library — the analog of
+// PostgreSQL's libpq that the paper instruments (§VII-C). A Conn executes
+// SQL over the wire protocol and returns engine.Result values. The library's
+// defining feature is its Interceptor chain: LDV's audit layer hooks here to
+// force Lineage computation and record statements, results, and provenance;
+// the replay layer hooks here to serve recorded results without any server
+// (the server-excluded package mode, §VIII).
+package client
+
+import (
+	"fmt"
+	"net"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+	"ldv/internal/wire"
+)
+
+// Dialer abstracts connection establishment. osim.Process satisfies it, so
+// connecting through a simulated process emits the traced connect syscall;
+// NetDialer provides a real-network implementation.
+type Dialer interface {
+	Connect(addr string) (net.Conn, error)
+}
+
+// NetDialer dials over the real network.
+type NetDialer struct{}
+
+// Connect dials addr over TCP.
+func (NetDialer) Connect(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// QueryInfo describes one statement about to be executed; interceptors may
+// mutate it (e.g. set WithLineage).
+type QueryInfo struct {
+	SQL         string
+	WithLineage bool
+}
+
+// Interceptor observes and optionally handles statements flowing through a
+// connection.
+type Interceptor interface {
+	// BeforeQuery runs before the statement is sent. Returning a non-nil
+	// result short-circuits the network entirely (replay mode); returning an
+	// error aborts the statement.
+	BeforeQuery(info *QueryInfo) (*engine.Result, error)
+	// AfterQuery observes the statement's outcome (res is nil on error).
+	AfterQuery(info QueryInfo, res *engine.Result, err error)
+	// OnConnect runs when a connection is established (addr) or replayed.
+	OnConnect(proc, addr string)
+	// OnClose runs when the connection closes.
+	OnClose(proc string)
+}
+
+// BaseInterceptor is a no-op Interceptor for embedding.
+type BaseInterceptor struct{}
+
+// BeforeQuery implements Interceptor.
+func (BaseInterceptor) BeforeQuery(*QueryInfo) (*engine.Result, error) { return nil, nil }
+
+// AfterQuery implements Interceptor.
+func (BaseInterceptor) AfterQuery(QueryInfo, *engine.Result, error) {}
+
+// OnConnect implements Interceptor.
+func (BaseInterceptor) OnConnect(string, string) {}
+
+// OnClose implements Interceptor.
+func (BaseInterceptor) OnClose(string) {}
+
+// Conn is one client session.
+type Conn struct {
+	nc           net.Conn // nil in fully-replayed sessions
+	proc         string
+	interceptors []Interceptor
+	closed       bool
+}
+
+// Options configure Dial.
+type Options struct {
+	// Proc identifies the client process (becomes prov_p server-side).
+	Proc string
+	// Database selects the database name announced at startup.
+	Database string
+	// Interceptors are invoked in order for every statement.
+	Interceptors []Interceptor
+}
+
+// Dial opens a session via d to addr. If an interceptor fully handles
+// queries (replay mode), pass a ReplayDialer that succeeds without a server.
+func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
+	nc, err := d.Connect(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, proc: opts.Proc, interceptors: opts.Interceptors}
+	if nc != nil {
+		if err := wire.Write(nc, wire.Startup{Proc: opts.Proc, Database: opts.Database}); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		msg, err := wire.Read(nc)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		if e, ok := msg.(wire.Error); ok {
+			nc.Close()
+			return nil, fmt.Errorf("server rejected session: %s", e.Message)
+		}
+		if _, ok := msg.(wire.Ready); !ok {
+			nc.Close()
+			return nil, fmt.Errorf("protocol error: expected Ready, got %T", msg)
+		}
+	}
+	for _, ic := range c.interceptors {
+		ic.OnConnect(opts.Proc, addr)
+	}
+	return c, nil
+}
+
+// Proc returns the process identity announced at startup.
+func (c *Conn) Proc() string { return c.proc }
+
+// Query executes one SQL statement and returns its full result.
+func (c *Conn) Query(sql string) (*engine.Result, error) {
+	if c.closed {
+		return nil, fmt.Errorf("connection closed")
+	}
+	info := QueryInfo{SQL: sql}
+	for _, ic := range c.interceptors {
+		res, err := ic.BeforeQuery(&info)
+		if err != nil {
+			c.notifyAfter(info, nil, err)
+			return nil, err
+		}
+		if res != nil {
+			c.notifyAfter(info, res, nil)
+			return res, nil
+		}
+	}
+	if c.nc == nil {
+		err := fmt.Errorf("no server connection and no interceptor handled %q", sql)
+		c.notifyAfter(info, nil, err)
+		return nil, err
+	}
+	res, err := c.roundTrip(info)
+	c.notifyAfter(info, res, err)
+	return res, err
+}
+
+// Exec executes a statement, discarding rows (convenience alias).
+func (c *Conn) Exec(sql string) (*engine.Result, error) { return c.Query(sql) }
+
+func (c *Conn) notifyAfter(info QueryInfo, res *engine.Result, err error) {
+	for _, ic := range c.interceptors {
+		ic.AfterQuery(info, res, err)
+	}
+}
+
+func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
+	if err := wire.Write(c.nc, wire.Query{SQL: info.SQL, WithLineage: info.WithLineage}); err != nil {
+		return nil, err
+	}
+	res := &engine.Result{}
+	var sawLineage bool
+	for {
+		msg, err := wire.Read(c.nc)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case wire.RowDescription:
+			res.Columns = m.Columns
+		case wire.DataRow:
+			res.Rows = append(res.Rows, m.Values)
+			if sawLineage {
+				// Keep lineage aligned even if some rows lack a LineageRow.
+				for len(res.Lineage) < len(res.Rows)-1 {
+					res.Lineage = append(res.Lineage, nil)
+				}
+			}
+		case wire.LineageRow:
+			sawLineage = true
+			for len(res.Lineage) < len(res.Rows)-1 {
+				res.Lineage = append(res.Lineage, nil)
+			}
+			res.Lineage = append(res.Lineage, m.Refs)
+		case wire.TupleValues:
+			if res.TupleValues == nil {
+				res.TupleValues = map[engine.TupleRef][]sqlval.Value{}
+			}
+			for i, ref := range m.Refs {
+				res.TupleValues[ref] = m.Rows[i]
+			}
+		case wire.CommandComplete:
+			res.RowsAffected = m.RowsAffected
+			res.StmtID = m.StmtID
+			res.Start = m.Start
+			res.End = m.End
+			res.ReadRefs = m.ReadRefs
+			res.WrittenRefs = m.WrittenRefs
+			if sawLineage {
+				for len(res.Lineage) < len(res.Rows) {
+					res.Lineage = append(res.Lineage, nil)
+				}
+			}
+		case wire.Error:
+			// Drain the Ready that follows an error.
+			if next, rerr := wire.Read(c.nc); rerr == nil {
+				if _, ok := next.(wire.Ready); !ok {
+					return nil, fmt.Errorf("protocol error after server error: %T", next)
+				}
+			}
+			return nil, fmt.Errorf("server error: %s", m.Message)
+		case wire.Ready:
+			return res, nil
+		default:
+			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
+		}
+	}
+}
+
+// Close terminates the session.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, ic := range c.interceptors {
+		ic.OnClose(c.proc)
+	}
+	if c.nc == nil {
+		return nil
+	}
+	_ = wire.Write(c.nc, wire.Terminate{})
+	return c.nc.Close()
+}
+
+// ReplayDialer "connects" without any server: every query must be handled
+// by an interceptor. Used to open sessions against server-excluded packages.
+type ReplayDialer struct{}
+
+// Connect returns a nil connection, signalling interceptor-only mode.
+func (ReplayDialer) Connect(string) (net.Conn, error) { return nil, nil }

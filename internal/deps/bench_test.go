@@ -1,0 +1,84 @@
+package deps
+
+import (
+	"fmt"
+	"testing"
+
+	"ldv/internal/prov"
+)
+
+// buildChainTrace builds a long alternating file/process chain with
+// feasible temporal annotations, the worst case for inference depth.
+func buildChainTrace(b *testing.B, n int) *prov.Trace {
+	b.Helper()
+	tr := prov.NewTrace(prov.CombinedDefault())
+	prev := ""
+	for i := 0; i < n; i++ {
+		f := fmt.Sprintf("f%d", i)
+		p := fmt.Sprintf("p%d", i)
+		if _, err := tr.AddNode(f, prov.TypeFile, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.AddNode(p, prov.TypeProcess, p); err != nil {
+			b.Fatal(err)
+		}
+		t := uint64(2 * i)
+		if _, err := tr.AddEdge(f, p, prov.EdgeReadFrom, prov.Interval{Begin: t + 1, End: t + 1}); err != nil {
+			b.Fatal(err)
+		}
+		if prev != "" {
+			if _, err := tr.AddEdge(prev, f, prov.EdgeHasWritten, prov.Interval{Begin: t, End: t}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = p
+	}
+	last := fmt.Sprintf("f%d", n)
+	tr.AddNode(last, prov.TypeFile, last)
+	tr.AddEdge(prev, last, prov.EdgeHasWritten, prov.Interval{Begin: uint64(2 * n), End: uint64(2 * n)})
+	return tr
+}
+
+func BenchmarkBlackboxDeps(b *testing.B) {
+	tr := buildChainTrace(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(BlackboxDeps(tr)) == 0 {
+			b.Fatal("no deps")
+		}
+	}
+}
+
+func BenchmarkDependentsChain(b *testing.B) {
+	tr := buildChainTrace(b, 200)
+	inf := NewDefaultInferencer(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(inf.Dependents("f0")) == 0 {
+			b.Fatal("no dependents")
+		}
+	}
+}
+
+func BenchmarkFullClosure(b *testing.B) {
+	tr := buildChainTrace(b, 60)
+	inf := NewDefaultInferencer(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(inf.All()) == 0 {
+			b.Fatal("no closure")
+		}
+	}
+}
+
+func BenchmarkFullClosureNaive(b *testing.B) {
+	tr := buildChainTrace(b, 60)
+	inf := NewDefaultInferencer(tr)
+	inf.Naive = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(inf.All()) == 0 {
+			b.Fatal("no closure")
+		}
+	}
+}

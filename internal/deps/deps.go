@@ -1,0 +1,313 @@
+// Package deps implements the paper's data-dependency machinery: direct
+// dependencies of the Lineage model (Definition 7) and the blackbox process
+// model (Definition 8), and the temporally-restricted cross-model dependency
+// inference of Definition 11, which is sound and complete with respect to
+// the dependency axioms of Definition 9 (Theorem 1).
+package deps
+
+import (
+	"container/heap"
+	"sort"
+
+	"ldv/internal/prov"
+)
+
+// Pair states that Entity depends on DependsOn.
+type Pair struct {
+	Entity    string
+	DependsOn string
+}
+
+// Set is a set of dependency pairs.
+type Set map[Pair]bool
+
+// Add inserts a pair.
+func (s Set) Add(entity, dependsOn string) { s[Pair{Entity: entity, DependsOn: dependsOn}] = true }
+
+// Has reports membership.
+func (s Set) Has(entity, dependsOn string) bool {
+	return s[Pair{Entity: entity, DependsOn: dependsOn}]
+}
+
+// Sorted returns the pairs in deterministic order.
+func (s Set) Sorted() []Pair {
+	out := make([]Pair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].DependsOn < out[j].DependsOn
+	})
+	return out
+}
+
+// LineageDeps returns the PLin direct dependencies D(G) recorded on the
+// trace (Definition 7): a result tuple depends on every input tuple in its
+// Lineage.
+func LineageDeps(tr *prov.Trace) Set {
+	out := Set{}
+	for _, d := range tr.Deps() {
+		out.Add(d.To, d.From)
+	}
+	return out
+}
+
+// BlackboxDeps computes the PBB direct dependencies D(G) of Definition 8:
+// file f depends on file f' when the trace contains a path
+// f' -> P1 -> ... -> Pn -> f in which the process chain is connected by
+// executed edges, P1 read f', and Pn wrote f. The definition is
+// deliberately conservative — no temporal reasoning here; that is the
+// inference layer's job.
+func BlackboxDeps(tr *prov.Trace) Set {
+	out := Set{}
+	for _, src := range tr.Nodes() {
+		if src.Type != prov.TypeFile {
+			continue
+		}
+		// BFS over process chains starting from processes that read src.
+		visited := map[string]bool{}
+		var queue []string
+		for _, e := range tr.Out(src.ID) {
+			if e.Label == prov.EdgeReadFrom && e.To.Type == prov.TypeProcess {
+				if !visited[e.To.ID] {
+					visited[e.To.ID] = true
+					queue = append(queue, e.To.ID)
+				}
+			}
+		}
+		for len(queue) > 0 {
+			pid := queue[0]
+			queue = queue[1:]
+			for _, e := range tr.Out(pid) {
+				switch {
+				case e.Label == prov.EdgeExecuted && e.To.Type == prov.TypeProcess:
+					if !visited[e.To.ID] {
+						visited[e.To.ID] = true
+						queue = append(queue, e.To.ID)
+					}
+				case e.Label == prov.EdgeHasWritten && e.To.Type == prov.TypeFile:
+					out.Add(e.To.ID, src.ID)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DirectDeps unions the per-model direct dependencies of a combined trace.
+func DirectDeps(tr *prov.Trace) Set {
+	out := BlackboxDeps(tr)
+	for p := range LineageDeps(tr) {
+		out[p] = true
+	}
+	return out
+}
+
+// Inferencer evaluates the temporally-restricted dependency inference of
+// Definition 11 over a combined execution trace.
+type Inferencer struct {
+	trace  *prov.Trace
+	direct Set
+	// entityModel maps an entity type to an opaque model tag; entities with
+	// equal tags are "from the same provenance model" for condition 1.
+	entityModel map[string]int
+	// Naive disables the temporal conditions (2) and (3), leaving pure
+	// path-plus-direct-dependency reachability. Used only by the ablation
+	// study quantifying how much the temporal pruning buys.
+	Naive bool
+}
+
+// NewInferencer builds an inferencer for a trace whose entities come from
+// the given sequence of models (each model's entity types share a tag).
+// direct is normally DirectDeps(trace) but may be customized (the paper's
+// Figure 6c posits a trace where a same-model dependency is absent).
+func NewInferencer(tr *prov.Trace, direct Set, models ...*prov.Model) *Inferencer {
+	em := map[string]int{}
+	for i, m := range models {
+		for t := range m.Entities {
+			em[t] = i
+		}
+	}
+	return &Inferencer{trace: tr, direct: direct, entityModel: em}
+}
+
+// NewDefaultInferencer wires the standard PBB+PLin combination with direct
+// dependencies taken from the trace itself.
+func NewDefaultInferencer(tr *prov.Trace) *Inferencer {
+	return NewInferencer(tr, DirectDeps(tr), prov.Blackbox(), prov.Lineage())
+}
+
+func (inf *Inferencer) sameModel(a, b *prov.Node) bool {
+	return inf.entityModel[a.Type] == inf.entityModel[b.Type]
+}
+
+// state is one node of the search space: a trace node plus the last entity
+// seen on the path (condition 1 needs it at the next entity).
+type state struct {
+	node       string
+	lastEntity string
+}
+
+// item is a priority-queue entry ordered by arrival time; smaller arrival
+// times are strictly more permissive, so a Dijkstra-style expansion finds
+// the minimal feasible arrival per state.
+type item struct {
+	st      state
+	arrival uint64
+}
+
+type queue []item
+
+func (q queue) Len() int           { return len(q) }
+func (q queue) Less(i, j int) bool { return q[i].arrival < q[j].arrival }
+func (q queue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)        { *q = append(*q, x.(item)) }
+func (q *queue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Dependents returns every entity that depends on source according to
+// Definition 11, together with the earliest feasible arrival time of the
+// information flow (the T at which the dependency first holds).
+func (inf *Inferencer) Dependents(source string) map[string]uint64 {
+	src := inf.trace.Node(source)
+	result := map[string]uint64{}
+	if src == nil || !src.IsEntity(inf.trace.Model) {
+		return result
+	}
+	best := map[state]uint64{}
+	start := state{node: source, lastEntity: source}
+	best[start] = 0
+	q := &queue{{st: start, arrival: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(item)
+		if cur.arrival > best[cur.st] {
+			continue // stale entry
+		}
+		for _, e := range inf.trace.Out(cur.st.node) {
+			// Condition 2: the information present at the source endpoint must
+			// still be able to flow before the interaction ends.
+			if !inf.Naive && cur.arrival > e.T.End {
+				continue
+			}
+			arrival := maxU64(cur.arrival, e.T.Begin)
+			if inf.Naive {
+				arrival = 0
+			}
+			next := state{node: e.To.ID, lastEntity: cur.st.lastEntity}
+			to := e.To
+			if to.IsEntity(inf.trace.Model) {
+				le := inf.trace.Node(cur.st.lastEntity)
+				// Condition 1: adjacent entities from the same model on the
+				// path must be directly data dependent.
+				if inf.sameModel(le, to) && !inf.direct.Has(to.ID, le.ID) {
+					continue
+				}
+				next.lastEntity = to.ID
+				if to.ID != source {
+					if prev, ok := result[to.ID]; !ok || arrival < prev {
+						result[to.ID] = arrival
+					}
+				}
+			}
+			if prev, ok := best[next]; !ok || arrival < prev {
+				best[next] = arrival
+				heap.Push(q, item{st: next, arrival: arrival})
+			}
+		}
+	}
+	return result
+}
+
+// DependsOn answers the reachability query "does entity depend on
+// dependsOn" (the d -> d' question from the paper's introduction).
+func (inf *Inferencer) DependsOn(entity, dependsOn string) bool {
+	_, ok := inf.Dependents(dependsOn)[entity]
+	return ok
+}
+
+// Dependencies returns every entity the given entity depends on.
+func (inf *Inferencer) Dependencies(entity string) []string {
+	var out []string
+	for _, n := range inf.trace.Nodes() {
+		if !n.IsEntity(inf.trace.Model) || n.ID == entity {
+			continue
+		}
+		if inf.DependsOn(entity, n.ID) {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All computes the full inferred dependency set D*(G).
+func (inf *Inferencer) All() Set {
+	out := Set{}
+	for _, n := range inf.trace.Nodes() {
+		if !n.IsEntity(inf.trace.Model) {
+			continue
+		}
+		for dep := range inf.Dependents(n.ID) {
+			out.Add(dep, n.ID)
+		}
+	}
+	return out
+}
+
+// ActivityDependsOn reports whether the state of the given activity ever
+// comes to depend on the entity — the relevance condition LDV packaging
+// uses (§VII-D): a tuple is relevant if some activity's state depends on it.
+func (inf *Inferencer) ActivityDependsOn(activity, entity string) bool {
+	src := inf.trace.Node(entity)
+	act := inf.trace.Node(activity)
+	if src == nil || act == nil || !src.IsEntity(inf.trace.Model) || act.IsEntity(inf.trace.Model) {
+		return false
+	}
+	// Run the same propagation but look for the activity node in the
+	// reached states.
+	best := map[state]uint64{}
+	start := state{node: entity, lastEntity: entity}
+	best[start] = 0
+	q := &queue{{st: start, arrival: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(item)
+		if cur.arrival > best[cur.st] {
+			continue
+		}
+		if cur.st.node == activity {
+			return true
+		}
+		for _, e := range inf.trace.Out(cur.st.node) {
+			if !inf.Naive && cur.arrival > e.T.End {
+				continue
+			}
+			arrival := maxU64(cur.arrival, e.T.Begin)
+			if inf.Naive {
+				arrival = 0
+			}
+			next := state{node: e.To.ID, lastEntity: cur.st.lastEntity}
+			to := e.To
+			if to.IsEntity(inf.trace.Model) {
+				le := inf.trace.Node(cur.st.lastEntity)
+				if inf.sameModel(le, to) && !inf.direct.Has(to.ID, le.ID) {
+					continue
+				}
+				next.lastEntity = to.ID
+			}
+			if prev, ok := best[next]; !ok || arrival < prev {
+				best[next] = arrival
+				heap.Push(q, item{st: next, arrival: arrival})
+			}
+		}
+	}
+	return false
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

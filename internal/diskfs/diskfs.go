@@ -1,0 +1,66 @@
+// Package diskfs adapts a real on-disk directory to the engine.FileSystem
+// interface, letting the database engine persist its data directory to the
+// host filesystem (used by the standalone ldvdb server).
+package diskfs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FS roots all paths under Dir.
+type FS struct {
+	Dir string
+}
+
+// New returns a disk filesystem rooted at dir.
+func New(dir string) *FS { return &FS{Dir: dir} }
+
+// resolve maps a virtual absolute path into the root directory, preventing
+// escapes via "..".
+func (f *FS) resolve(p string) string {
+	clean := filepath.Clean("/" + strings.TrimPrefix(p, "/"))
+	return filepath.Join(f.Dir, filepath.FromSlash(clean))
+}
+
+// WriteFile implements engine.FileSystem.
+func (f *FS) WriteFile(path string, data []byte) error {
+	full := f.resolve(path)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+// ReadFile implements engine.FileSystem.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(f.resolve(path))
+}
+
+// ReadDir implements engine.FileSystem.
+func (f *FS) ReadDir(path string) ([]string, error) {
+	entries, err := os.ReadDir(f.resolve(path))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// MkdirAll implements engine.FileSystem.
+func (f *FS) MkdirAll(path string) error {
+	return os.MkdirAll(f.resolve(path), 0o755)
+}
+
+// Symlink satisfies the package-extraction surface.
+func (f *FS) Symlink(target, linkPath string) error {
+	full := f.resolve(linkPath)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	return os.Symlink(target, full)
+}

@@ -1,0 +1,59 @@
+package diskfs
+
+import (
+	"testing"
+
+	"ldv/internal/engine"
+)
+
+func TestRoundTripThroughEngine(t *testing.T) {
+	fs := New(t.TempDir())
+	db := engine.NewDB(nil)
+	if _, err := db.ExecScript(`
+		CREATE TABLE t (a INT PRIMARY KEY, b TEXT);
+		INSERT INTO t VALUES (1, 'one'), (2, 'two');`, engine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(fs, "/data"); err != nil {
+		t.Fatal(err)
+	}
+	db2 := engine.NewDB(nil)
+	if err := db2.LoadDir(fs, "/data"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Exec("SELECT b FROM t WHERE a = 2", engine.ExecOptions{})
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str() != "two" {
+		t.Fatalf("round trip: %v %v", res, err)
+	}
+}
+
+func TestPathEscapePrevented(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(dir)
+	if err := fs.WriteFile("/../../escape.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The file must land inside the root, not outside it.
+	if _, err := fs.ReadFile("/escape.txt"); err != nil {
+		t.Fatalf("escape path not contained: %v", err)
+	}
+}
+
+func TestReadDirAndMkdir(t *testing.T) {
+	fs := New(t.TempDir())
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile("/a/x.tbl", []byte("1"))
+	fs.WriteFile("/a/y.tbl", []byte("2"))
+	names, err := fs.ReadDir("/a")
+	if err != nil || len(names) != 3 {
+		t.Fatalf("readdir: %v %v", names, err)
+	}
+	if _, err := fs.ReadDir("/missing"); err == nil {
+		t.Fatal("missing dir must error")
+	}
+	if _, err := fs.ReadFile("/missing"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

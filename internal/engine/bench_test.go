@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ldv/internal/sqlval"
+)
+
+// benchDB builds a two-table database with n fact rows.
+func benchDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := NewDB(nil)
+	if _, err := db.ExecScript(`
+		CREATE TABLE dim (id INTEGER PRIMARY KEY, name TEXT);
+		CREATE TABLE fact (id INTEGER PRIMARY KEY, fk INTEGER, v FLOAT, tag TEXT);`,
+		ExecOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := db.InsertRowDirect("dim", []sqlval.Value{
+			sqlval.NewInt(int64(i)), sqlval.NewString(fmt.Sprintf("dim-%03d", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.InsertRowDirect("fact", []sqlval.Value{
+			sqlval.NewInt(int64(i)), sqlval.NewInt(int64(i % 64)),
+			sqlval.NewFloat(float64(i%1000) / 10), sqlval.NewString(fmt.Sprintf("tag-%06d", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, sql string, lineage bool) {
+	db := benchDB(b, 10000)
+	opts := ExecOptions{WithLineage: lineage}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(sql, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectFilter(b *testing.B) {
+	benchQuery(b, "SELECT id, v FROM fact WHERE v > 50", false)
+}
+
+func BenchmarkSelectFilterWithLineage(b *testing.B) {
+	benchQuery(b, "SELECT id, v FROM fact WHERE v > 50", true)
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	benchQuery(b, "SELECT f.id, d.name FROM fact f, dim d WHERE f.fk = d.id AND f.v > 90", false)
+}
+
+func BenchmarkHashJoinWithLineage(b *testing.B) {
+	benchQuery(b, "SELECT f.id, d.name FROM fact f, dim d WHERE f.fk = d.id AND f.v > 90", true)
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	benchQuery(b, "SELECT fk, count(*), SUM(v), AVG(v) FROM fact GROUP BY fk", false)
+}
+
+func BenchmarkLikeScan(b *testing.B) {
+	benchQuery(b, "SELECT id FROM fact WHERE tag LIKE '%00001%'", false)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := benchDB(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("INSERT INTO fact VALUES (%d, %d, 1.5, 'x')", i+1000000, i%64)
+		if _, err := db.Exec(sql, ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateWithReenactment(b *testing.B) {
+	db := benchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("UPDATE fact SET v = v + 1 WHERE id = %d", i%10000)
+		if _, err := db.Exec(sql, ExecOptions{WithLineage: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	db := benchDB(b, 10000)
+	fs := newMapFS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Checkpoint(fs, "/data"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadDir(b *testing.B) {
+	db := benchDB(b, 10000)
+	fs := newMapFS()
+	if err := db.Checkpoint(fs, "/data"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db2 := NewDB(nil)
+		if err := db2.LoadDir(fs, "/data"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatementOverhead(b *testing.B) {
+	// Fixed per-statement cost (parse + dispatch + clock ticks).
+	db := benchDB(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT 1", ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// Clock supplies the logical timestamps recorded on tuple versions and
+// statement executions. When the engine runs inside the simulated OS the
+// kernel clock is plugged in here so DB and OS events share one timeline —
+// the property the temporal dependency inference of the paper relies on.
+type Clock interface {
+	// Tick advances the clock and returns the new time.
+	Tick() uint64
+}
+
+// counterClock is the default standalone clock.
+type counterClock struct {
+	mu sync.Mutex
+	t  uint64
+}
+
+func (c *counterClock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t++
+	return c.t
+}
+
+// NewCounterClock returns a fresh logical clock starting at 1.
+func NewCounterClock() Clock { return &counterClock{} }
+
+// ExecOptions control one statement execution.
+type ExecOptions struct {
+	// Proc identifies the client process on whose behalf the statement runs
+	// (recorded as prov_p on produced tuple versions).
+	Proc string
+	// WithLineage requests Lineage computation for queries and reenactment
+	// provenance for updates, regardless of the PROVENANCE keyword.
+	WithLineage bool
+}
+
+// Result is the outcome of one statement execution.
+type Result struct {
+	// Columns and Rows hold query output (empty for DML).
+	Columns []string
+	Rows    [][]sqlval.Value
+	// Lineage[i] lists the input tuple versions result row i depends on.
+	// Non-nil only when lineage was requested (PROVENANCE keyword or
+	// ExecOptions.WithLineage).
+	Lineage [][]TupleRef
+	// RowsAffected counts rows written by DML.
+	RowsAffected int
+	// StmtID is the engine-assigned unique id of this execution.
+	StmtID int64
+	// Start and End bound the execution on the logical timeline.
+	Start, End uint64
+	// ReadRefs lists tuple versions read by a DML statement (the pre-update
+	// versions for UPDATE/DELETE, the query lineage for INSERT ... SELECT).
+	ReadRefs []TupleRef
+	// WrittenRefs lists tuple versions produced by a DML statement.
+	WrittenRefs []TupleRef
+	// TupleValues carries the attribute values of every tuple version
+	// referenced by Lineage or ReadRefs. Perm-style provenance queries
+	// return the full provenance tuples inline; LDV's packager persists
+	// them to CSV. Only populated when lineage was requested.
+	TupleValues map[TupleRef][]sqlval.Value
+}
+
+// DB is an in-memory relational database with provenance support. The zero
+// value is not usable; call NewDB.
+type DB struct {
+	mu       sync.Mutex
+	tables   map[string]*Table
+	clock    Clock
+	nextRow  RowID
+	nextStmt int64
+	txn      *txn
+}
+
+// NewDB returns an empty database using the given clock (nil for a private
+// counter clock).
+func NewDB(clock Clock) *DB {
+	if clock == nil {
+		clock = NewCounterClock()
+	}
+	return &DB{tables: make(map[string]*Table), clock: clock}
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table returns the named table's metadata, or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Exec parses and executes a single SQL statement.
+func (db *DB) Exec(sql string, opts ExecOptions) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStatement(stmt, opts)
+}
+
+// ExecScript parses and executes a semicolon-separated script, stopping at
+// the first error.
+func (db *DB) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, s := range stmts {
+		r, err := db.ExecStatement(s, opts)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// ExecStatement executes a parsed statement.
+func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextStmt++
+	res := &Result{StmtID: db.nextStmt, Start: db.clock.Tick()}
+	if handled, err := db.execTxnStatement(stmt); handled {
+		res.End = db.clock.Tick()
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	var err error
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		err = db.execSelect(s, opts, res)
+	case *sqlparse.Insert:
+		err = db.execInsert(s, opts, res)
+	case *sqlparse.Update:
+		err = db.execUpdate(s, opts, res)
+	case *sqlparse.Delete:
+		err = db.execDelete(s, opts, res)
+	case *sqlparse.CreateTable:
+		if db.inTxn() {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			err = db.execCreateTable(s)
+		}
+	case *sqlparse.DropTable:
+		if db.inTxn() {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			err = db.execDropTable(s)
+		}
+	case *sqlparse.Copy:
+		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
+	default:
+		err = fmt.Errorf("unsupported statement type %T", stmt)
+	}
+	res.End = db.clock.Tick()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
+	if _, exists := db.tables[s.Table]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("table %q already exists", s.Table)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("table %q needs at least one column", s.Table)
+	}
+	schema := Schema{}
+	seen := map[string]bool{}
+	pkCount := 0
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate column %q in table %q", c.Name, s.Table)
+		}
+		if IsProvColumn(c.Name) {
+			return fmt.Errorf("column name %q is reserved for provenance", c.Name)
+		}
+		seen[c.Name] = true
+		if c.PrimaryKey {
+			pkCount++
+		}
+		schema.Columns = append(schema.Columns, Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey})
+	}
+	if pkCount > 1 {
+		return fmt.Errorf("table %q: at most one PRIMARY KEY column is supported", s.Table)
+	}
+	db.tables[s.Table] = newTable(s.Table, schema)
+	return nil
+}
+
+func (db *DB) execDropTable(s *sqlparse.DropTable) error {
+	if _, exists := db.tables[s.Table]; !exists {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("table %q does not exist", s.Table)
+	}
+	delete(db.tables, s.Table)
+	return nil
+}
+
+// InsertRowDirect loads a row bypassing SQL (bulk load path used by the
+// TPC-H generator and package restore). The row is recorded as preloaded:
+// proc="" and stmt=0 so it never counts as application-created.
+func (db *DB) InsertRowDirect(table string, vals []sqlval.Value) (TupleRef, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return TupleRef{}, fmt.Errorf("table %q does not exist", table)
+	}
+	db.nextRow++
+	r := &storedRow{id: db.nextRow, vals: vals, version: db.clock.Tick()}
+	if err := t.insertRow(r); err != nil {
+		db.nextRow--
+		return TupleRef{}, err
+	}
+	return r.ref(table), nil
+}
+
+// RestoreRow loads a row with explicit provenance metadata (used when a
+// package re-creates the relevant DB slice with original row ids and
+// versions preserved).
+func (db *DB) RestoreRow(table string, id RowID, version uint64, proc string, vals []sqlval.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("table %q does not exist", table)
+	}
+	r := &storedRow{id: id, vals: vals, version: version, proc: proc}
+	if err := t.insertRow(r); err != nil {
+		return err
+	}
+	if id > db.nextRow {
+		db.nextRow = id
+	}
+	return nil
+}
+
+// ScanAll returns every live tuple version of a table along with its values
+// (used by whole-DB packaging baselines and tests).
+func (db *DB) ScanAll(table string) ([]TupleRef, [][]sqlval.Value, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, nil, fmt.Errorf("table %q does not exist", table)
+	}
+	refs := make([]TupleRef, len(t.rows))
+	rows := make([][]sqlval.Value, len(t.rows))
+	for i, r := range t.rows {
+		refs[i] = r.ref(table)
+		rows[i] = append([]sqlval.Value(nil), r.vals...)
+	}
+	return refs, rows, nil
+}
+
+// LookupVersion fetches the values of a live tuple version, if present.
+func (db *DB) LookupVersion(ref TupleRef) ([]sqlval.Value, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[ref.Table]
+	if !ok {
+		return nil, false
+	}
+	for _, r := range t.rows {
+		if r.id == ref.Row && r.version == ref.Version {
+			return append([]sqlval.Value(nil), r.vals...), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// execInsert handles INSERT ... VALUES and INSERT ... SELECT. Produced tuple
+// versions are stamped with the executing process and statement so that
+// packaging can exclude application-created tuples (§II of the paper).
+func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) error {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return fmt.Errorf("table %q does not exist", s.Table)
+	}
+
+	// Map the statement's column list onto schema positions.
+	colIdx := make([]int, 0, len(t.Schema.Columns))
+	if s.Columns == nil {
+		for i := range t.Schema.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := t.Schema.ColumnIndex(name)
+			if i < 0 {
+				return fmt.Errorf("table %q has no column %q", s.Table, name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	var inputRows [][]sqlval.Value
+	if s.Query != nil {
+		sub := &Result{StmtID: res.StmtID}
+		if err := db.execSelect(s.Query, opts, sub); err != nil {
+			return err
+		}
+		inputRows = sub.Rows
+		// INSERT ... SELECT reads the query's lineage (reenactment-style).
+		// Accumulate through a set; pairwise merging would be quadratic in
+		// the row count.
+		if opts.WithLineage {
+			seen := map[TupleRef]bool{}
+			for _, lin := range sub.Lineage {
+				for _, ref := range lin {
+					if !seen[ref] {
+						seen[ref] = true
+						res.ReadRefs = append(res.ReadRefs, ref)
+					}
+				}
+			}
+			res.TupleValues = sub.TupleValues
+		}
+	} else {
+		// Resolve subqueries in VALUES expressions, e.g.
+		// INSERT INTO t VALUES ((SELECT MAX(a) FROM t) + 1).
+		var st *subqueryState
+		for _, rowExprs := range s.Rows {
+			for _, e := range rowExprs {
+				if hasSubqueries(e) {
+					st = &subqueryState{db: db, opts: opts, stmtID: res.StmtID}
+				}
+			}
+		}
+		emptyEnv := &env{}
+		for _, rowExprs := range s.Rows {
+			row := make([]sqlval.Value, len(rowExprs))
+			for i, e := range rowExprs {
+				if st != nil {
+					ne, _, err := st.rewriteExpr(e)
+					if err != nil {
+						return err
+					}
+					e = ne
+				}
+				v, err := evalExpr(e, emptyEnv, nil, nil)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			inputRows = append(inputRows, row)
+		}
+		if st != nil {
+			db.mergeSubProvenance(st, opts, res)
+		}
+	}
+
+	for _, in := range inputRows {
+		if len(in) != len(colIdx) {
+			return fmt.Errorf("INSERT into %q: %d values for %d columns", s.Table, len(in), len(colIdx))
+		}
+		vals := make([]sqlval.Value, len(t.Schema.Columns))
+		for i, slot := range colIdx {
+			vals[slot] = in[i]
+		}
+		db.nextRow++
+		r := &storedRow{
+			id:      db.nextRow,
+			vals:    vals,
+			version: db.clock.Tick(),
+			proc:    opts.Proc,
+			stmt:    res.StmtID,
+		}
+		if err := t.insertRow(r); err != nil {
+			db.nextRow--
+			return err
+		}
+		db.logUndo(db.undoInsert(s.Table, r.id))
+		res.WrittenRefs = append(res.WrittenRefs, r.ref(s.Table))
+		res.RowsAffected++
+	}
+	return nil
+}
+
+// execUpdate applies an UPDATE. Provenance is captured by reenactment: the
+// pre-update tuple versions are recorded (ReadRefs) *before* the
+// modification is applied, mirroring GProM's retrieve-then-execute strategy
+// (§VII-B of the paper). Each modified row becomes a new version.
+func (db *DB) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) error {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return fmt.Errorf("table %q does not exist", s.Table)
+	}
+	if err := db.resolveDMLSubqueries(&s, opts, res); err != nil {
+		return err
+	}
+	en, matches, err := db.matchRows(t, s.Where)
+	if err != nil {
+		return err
+	}
+
+	// Validate SET column names up front.
+	setIdx := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		idx := t.Schema.ColumnIndex(a.Column)
+		if idx < 0 {
+			return fmt.Errorf("table %q has no column %q", s.Table, a.Column)
+		}
+		setIdx[i] = idx
+	}
+
+	pk := t.Schema.PrimaryKeyIndex()
+	for _, ri := range matches {
+		r := t.rows[ri]
+		// Reenactment: record the pre-update version, values included,
+		// *before* applying the modification — afterwards it no longer
+		// exists anywhere.
+		if opts.WithLineage {
+			ref := r.ref(s.Table)
+			res.ReadRefs = append(res.ReadRefs, ref)
+			if res.TupleValues == nil {
+				res.TupleValues = map[TupleRef][]sqlval.Value{}
+			}
+			res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
+			r.usedBy = res.StmtID
+		}
+		newVals := append([]sqlval.Value(nil), r.vals...)
+		envVals := rowEnvVals(r, len(t.Schema.Columns))
+		for i, a := range s.Set {
+			v, err := evalExpr(a.Expr, en, envVals, nil)
+			if err != nil {
+				return err
+			}
+			v, err = checkValue(t.Schema.Columns[setIdx[i]], v)
+			if err != nil {
+				return err
+			}
+			newVals[setIdx[i]] = v
+		}
+		if pk >= 0 && !newVals[pk].Equal(r.vals[pk]) {
+			newKey := newVals[pk].GroupKey()
+			if other, dup := t.pkIndex[newKey]; dup && other != ri {
+				return fmt.Errorf("table %s: duplicate primary key %s", s.Table, newVals[pk])
+			}
+			delete(t.pkIndex, r.vals[pk].GroupKey())
+			t.pkIndex[newKey] = ri
+		}
+		db.logUndo(db.undoUpdate(s.Table, r, *r))
+		r.vals = newVals
+		r.version = db.clock.Tick()
+		r.proc = opts.Proc
+		r.stmt = res.StmtID
+		res.WrittenRefs = append(res.WrittenRefs, r.ref(s.Table))
+		res.RowsAffected++
+	}
+	return nil
+}
+
+// execDelete removes matching rows, recording the deleted versions as reads
+// (a delete's provenance is the tuples it consumed).
+func (db *DB) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result) error {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return fmt.Errorf("table %q does not exist", s.Table)
+	}
+	if err := db.resolveDeleteSubqueries(&s, opts, res); err != nil {
+		return err
+	}
+	_, matches, err := db.matchRows(t, s.Where)
+	if err != nil {
+		return err
+	}
+	// Delete from highest index down so earlier indices stay valid under the
+	// swap-with-last strategy.
+	for i := len(matches) - 1; i >= 0; i-- {
+		ri := matches[i]
+		r := t.rows[ri]
+		if opts.WithLineage {
+			ref := r.ref(s.Table)
+			res.ReadRefs = append(res.ReadRefs, ref)
+			if res.TupleValues == nil {
+				res.TupleValues = map[TupleRef][]sqlval.Value{}
+			}
+			res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
+		}
+		db.logUndo(db.undoDelete(s.Table, r))
+		t.deleteAt(ri)
+		res.RowsAffected++
+	}
+	return nil
+}
+
+// matchRows evaluates a WHERE clause over a single table and returns the
+// matching row indices in ascending order, plus the evaluation env.
+func (db *DB) matchRows(t *Table, where sqlparse.Expr) (*env, []int, error) {
+	en := &env{}
+	for _, c := range t.Schema.Columns {
+		en.bindings = append(en.bindings, binding{table: t.Name, name: c.Name})
+	}
+	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
+		en.bindings = append(en.bindings, binding{table: t.Name, name: pc})
+	}
+	var matches []int
+	for i, r := range t.rows {
+		if where != nil {
+			v, err := evalExpr(where, en, rowEnvVals(r, len(t.Schema.Columns)), nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !isTrue(v) {
+				continue
+			}
+		}
+		matches = append(matches, i)
+	}
+	return en, matches, nil
+}
+
+// rowEnvVals lays out a stored row as executor values including the hidden
+// provenance attributes.
+func rowEnvVals(r *storedRow, ncols int) []sqlval.Value {
+	vals := make([]sqlval.Value, ncols+4)
+	copy(vals, r.vals)
+	vals[ncols] = sqlval.NewInt(int64(r.id))
+	vals[ncols+1] = sqlval.NewInt(int64(r.version))
+	vals[ncols+2] = sqlval.NewString(r.proc)
+	vals[ncols+3] = sqlval.NewInt(r.usedBy)
+	return vals
+}

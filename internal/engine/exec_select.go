@@ -1,0 +1,757 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// relation is an intermediate executor result: a tuple layout plus the
+// materialized tuples.
+type relation struct {
+	env    env
+	tuples []tuple
+}
+
+// execSelect plans and runs a SELECT, filling res.
+func (db *DB) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) error {
+	withLineage := opts.WithLineage || s.Provenance
+	// Resolve uncorrelated subqueries up front; their lineage joins every
+	// result row's lineage below.
+	var subState *subqueryState
+	if selectHasSubqueries(s) {
+		subState = &subqueryState{db: db, opts: ExecOptions{Proc: opts.Proc, WithLineage: withLineage}, stmtID: res.StmtID}
+		ns, _, err := db.resolveSelectSubqueries(s, subState)
+		if err != nil {
+			return err
+		}
+		s = ns
+	}
+	// collect records the scanned storedRow per tuple ref; values are
+	// copied out only for refs that survive into the final Lineage (rows
+	// cannot change mid-statement, so the references stay valid).
+	var collect map[TupleRef]*storedRow
+	if withLineage {
+		collect = map[TupleRef]*storedRow{}
+	}
+	rel, err := db.runSelect(s, withLineage, res.StmtID, collect)
+	if err != nil {
+		return err
+	}
+	cols, rows, lineage, err := db.project(s, rel, withLineage)
+	if err != nil {
+		return err
+	}
+	res.Columns = cols
+	res.Rows = rows
+	if withLineage {
+		if subState != nil && len(subState.refs) > 0 {
+			for i := range lineage {
+				lineage[i] = mergeLineage(lineage[i], subState.refs)
+			}
+		}
+		res.Lineage = lineage
+		// Keep values only for tuple versions that actually appear in some
+		// result row's Lineage (the provenance tuples Perm would return).
+		used := map[TupleRef]bool{}
+		for _, lin := range lineage {
+			for _, ref := range lin {
+				used[ref] = true
+			}
+		}
+		res.TupleValues = map[TupleRef][]sqlval.Value{}
+		for ref := range used {
+			if r, ok := collect[ref]; ok {
+				res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
+			}
+		}
+		if subState != nil {
+			for ref, vals := range subState.values {
+				res.TupleValues[ref] = vals
+			}
+		}
+	}
+	return nil
+}
+
+// runSelect executes the FROM/WHERE/GROUP BY portion, returning the
+// pre-projection relation (post-aggregation for aggregate queries, with
+// aggregate values stashed in the aggCtx of each tuple via aggRelation).
+func (db *DB) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (*aggRelation, error) {
+	if len(s.From) == 0 {
+		// Table-less SELECT (e.g. SELECT 1+1): a single empty tuple.
+		return &aggRelation{rel: relation{tuples: []tuple{{}}}}, nil
+	}
+
+	// Gather table refs and conjuncts.
+	refs := append([]sqlparse.TableRef(nil), s.From...)
+	var conjuncts []sqlparse.Expr
+	splitConjuncts(s.Where, &conjuncts)
+	for _, j := range s.Joins {
+		refs = append(refs, j.Table)
+		splitConjuncts(j.On, &conjuncts)
+	}
+	seen := map[string]bool{}
+	for _, r := range refs {
+		name := r.EffectiveName()
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate table name or alias %q", name)
+		}
+		seen[name] = true
+	}
+
+	used := make([]bool, len(conjuncts))
+	cur, err := db.scanTable(refs[0], withLineage, stmtID, collect)
+	if err != nil {
+		return nil, err
+	}
+	cur = applyResolvedFilters(cur, conjuncts, used)
+
+	for _, ref := range refs[1:] {
+		right, err := db.scanTable(ref, withLineage, stmtID, collect)
+		if err != nil {
+			return nil, err
+		}
+		right = applyResolvedFilters(right, conjuncts, used)
+		// Find equi-join keys between cur and right.
+		var leftKeys, rightKeys []sqlparse.Expr
+		for i, c := range conjuncts {
+			if used[i] {
+				continue
+			}
+			l, r, ok := equiJoinSides(c, &cur.env, &right.env)
+			if !ok {
+				continue
+			}
+			leftKeys = append(leftKeys, l)
+			rightKeys = append(rightKeys, r)
+			used[i] = true
+		}
+		cur, err = hashJoin(cur, right, leftKeys, rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		cur = applyResolvedFilters(cur, conjuncts, used)
+	}
+	for i, c := range conjuncts {
+		if !used[i] {
+			// Not yet applied anywhere: it must resolve now, or the query is
+			// invalid.
+			var aggs []*sqlparse.FuncExpr
+			collectAggregates(c, &aggs)
+			if len(aggs) > 0 {
+				return nil, fmt.Errorf("aggregates are not allowed in WHERE")
+			}
+			var refs []*sqlparse.ColumnRef
+			columnRefs(c, &refs)
+			for _, r := range refs {
+				if _, err := cur.env.resolve(r); err != nil {
+					return nil, err
+				}
+			}
+			cur = filter(cur, []sqlparse.Expr{c})
+			used[i] = true
+		}
+	}
+
+	return db.aggregate(s, cur)
+}
+
+// splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
+func splitConjuncts(e sqlparse.Expr, out *[]sqlparse.Expr) {
+	if e == nil {
+		return
+	}
+	if be, ok := e.(*sqlparse.BinaryExpr); ok && be.Op == "AND" {
+		splitConjuncts(be.Left, out)
+		splitConjuncts(be.Right, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// resolvesIn reports whether every column of e binds in en.
+func resolvesIn(e sqlparse.Expr, en *env) bool {
+	var refs []*sqlparse.ColumnRef
+	columnRefs(e, &refs)
+	for _, r := range refs {
+		if _, err := en.resolve(r); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// equiJoinSides checks whether c has the shape exprL = exprR with exprL
+// resolving only on one side and exprR only on the other, returning the
+// left-aligned and right-aligned key expressions.
+func equiJoinSides(c sqlparse.Expr, left, right *env) (l, r sqlparse.Expr, ok bool) {
+	be, isBin := c.(*sqlparse.BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return nil, nil, false
+	}
+	switch {
+	case resolvesIn(be.Left, left) && resolvesIn(be.Right, right):
+		return be.Left, be.Right, true
+	case resolvesIn(be.Right, left) && resolvesIn(be.Left, right):
+		return be.Right, be.Left, true
+	}
+	return nil, nil, false
+}
+
+// applyResolvedFilters applies every not-yet-used conjunct that fully
+// resolves in rel's env, marking them used.
+func applyResolvedFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) relation {
+	var applicable []sqlparse.Expr
+	for i, c := range conjuncts {
+		if used[i] || !resolvesIn(c, &rel.env) {
+			continue
+		}
+		// Conjuncts containing aggregates cannot be filters.
+		var aggs []*sqlparse.FuncExpr
+		collectAggregates(c, &aggs)
+		if len(aggs) > 0 {
+			continue
+		}
+		applicable = append(applicable, c)
+		used[i] = true
+	}
+	if len(applicable) == 0 {
+		return rel
+	}
+	return filter(rel, applicable)
+}
+
+func filter(rel relation, conjuncts []sqlparse.Expr) relation {
+	out := rel.tuples[:0:0]
+	for _, t := range rel.tuples {
+		keep := true
+		for _, c := range conjuncts {
+			v, err := evalExpr(c, &rel.env, t.vals, nil)
+			if err != nil || !isTrue(v) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, t)
+		}
+	}
+	rel.tuples = out
+	return rel
+}
+
+// scanTable materializes a table as a relation. The tuple layout is the
+// table's columns followed by the four hidden provenance attributes, all
+// qualified by the effective (aliased) table name. In lineage mode each
+// tuple starts with itself as lineage and the scan stamps prov_usedby —
+// the versioning write the paper charges to audit overhead (§IX-B).
+func (db *DB) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
+	t, ok := db.tables[ref.Name]
+	if !ok {
+		return relation{}, fmt.Errorf("table %q does not exist", ref.Name)
+	}
+	name := ref.EffectiveName()
+	var rel relation
+	for _, c := range t.Schema.Columns {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
+	}
+	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: pc})
+	}
+	ncols := len(t.Schema.Columns)
+	rel.tuples = make([]tuple, 0, len(t.rows))
+	for _, r := range t.rows {
+		vals := make([]sqlval.Value, ncols+4)
+		copy(vals, r.vals)
+		if withLineage {
+			r.usedBy = stmtID
+			if collect != nil {
+				collect[r.ref(t.Name)] = r
+			}
+		}
+		vals[ncols] = sqlval.NewInt(int64(r.id))
+		vals[ncols+1] = sqlval.NewInt(int64(r.version))
+		vals[ncols+2] = sqlval.NewString(r.proc)
+		vals[ncols+3] = sqlval.NewInt(r.usedBy)
+		tp := tuple{vals: vals}
+		if withLineage {
+			tp.lineage = []TupleRef{r.ref(t.Name)}
+		}
+		rel.tuples = append(rel.tuples, tp)
+	}
+	return rel, nil
+}
+
+// hashJoin joins two relations on the given key expression lists. With no
+// keys it degrades to a cross join.
+func hashJoin(left, right relation, leftKeys, rightKeys []sqlparse.Expr) (relation, error) {
+	out := relation{}
+	out.env.bindings = append(append([]binding(nil), left.env.bindings...), right.env.bindings...)
+
+	combine := func(l, r tuple) tuple {
+		vals := make([]sqlval.Value, 0, len(l.vals)+len(r.vals))
+		vals = append(vals, l.vals...)
+		vals = append(vals, r.vals...)
+		return tuple{vals: vals, lineage: mergeLineage(l.lineage, r.lineage)}
+	}
+
+	if len(leftKeys) == 0 {
+		for _, l := range left.tuples {
+			for _, r := range right.tuples {
+				out.tuples = append(out.tuples, combine(l, r))
+			}
+		}
+		return out, nil
+	}
+
+	keyOf := func(t tuple, en *env, keys []sqlparse.Expr) (string, bool, error) {
+		var sb strings.Builder
+		for _, k := range keys {
+			v, err := evalExpr(k, en, t.vals, nil)
+			if err != nil {
+				return "", false, err
+			}
+			if v.IsNull() {
+				return "", false, nil // NULL never joins
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		return sb.String(), true, nil
+	}
+
+	// Build on the smaller side.
+	buildRight := len(right.tuples) <= len(left.tuples)
+	build, probe := right, left
+	buildKeys, probeKeys := rightKeys, leftKeys
+	if !buildRight {
+		build, probe = left, right
+		buildKeys, probeKeys = leftKeys, rightKeys
+	}
+	table := make(map[string][]int, len(build.tuples))
+	for i, t := range build.tuples {
+		k, ok, err := keyOf(t, &build.env, buildKeys)
+		if err != nil {
+			return relation{}, err
+		}
+		if ok {
+			table[k] = append(table[k], i)
+		}
+	}
+	for _, p := range probe.tuples {
+		k, ok, err := keyOf(p, &probe.env, probeKeys)
+		if err != nil {
+			return relation{}, err
+		}
+		if !ok {
+			continue
+		}
+		for _, bi := range table[k] {
+			b := build.tuples[bi]
+			if buildRight {
+				out.tuples = append(out.tuples, combine(p, b))
+			} else {
+				out.tuples = append(out.tuples, combine(b, p))
+			}
+		}
+	}
+	return out, nil
+}
+
+// aggRelation carries the relation plus, for aggregate queries, the
+// per-tuple aggregate values (keyed by the FuncExpr node).
+type aggRelation struct {
+	rel       relation
+	aggs      []map[sqlparse.Expr]sqlval.Value // parallel to rel.tuples; nil for plain queries
+	aggregate bool
+}
+
+// aggregate applies GROUP BY / aggregate semantics if the query needs them.
+func (db *DB) aggregate(s *sqlparse.Select, rel relation) (*aggRelation, error) {
+	var aggCalls []*sqlparse.FuncExpr
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			collectAggregates(it.Expr, &aggCalls)
+		}
+	}
+	for _, o := range s.OrderBy {
+		collectAggregates(o.Expr, &aggCalls)
+	}
+	if s.Having != nil {
+		collectAggregates(s.Having, &aggCalls)
+	}
+	if len(aggCalls) == 0 && len(s.GroupBy) == 0 {
+		return &aggRelation{rel: rel}, nil
+	}
+	for _, c := range aggCalls {
+		if !sqlparse.AggregateFuncs[c.Name] {
+			return nil, fmt.Errorf("unknown function %s", c.Name)
+		}
+	}
+
+	type group struct {
+		rep     tuple // representative tuple (first member)
+		lineage []TupleRef
+		linSeen map[TupleRef]bool
+		accs    []*aggAcc
+	}
+	newAccs := func() []*aggAcc {
+		accs := make([]*aggAcc, len(aggCalls))
+		for i, c := range aggCalls {
+			accs[i] = newAggAcc(c)
+		}
+		return accs
+	}
+
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range rel.tuples {
+		var sb strings.Builder
+		for _, g := range s.GroupBy {
+			v, err := evalExpr(g, &rel.env, t.vals, nil)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		key := sb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{rep: t, accs: newAccs(), linSeen: map[TupleRef]bool{}}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		// Accumulate lineage with a per-group set: repeated mergeLineage
+		// calls would be quadratic in the group size (fatal for global
+		// aggregates like Q3's count(*), whose single group spans the whole
+		// join result).
+		for _, ref := range t.lineage {
+			if !grp.linSeen[ref] {
+				grp.linSeen[ref] = true
+				grp.lineage = append(grp.lineage, ref)
+			}
+		}
+		for i, c := range aggCalls {
+			var arg sqlval.Value
+			if c.Arg != nil {
+				v, err := evalExpr(c.Arg, &rel.env, t.vals, nil)
+				if err != nil {
+					return nil, err
+				}
+				arg = v
+			}
+			grp.accs[i].add(arg)
+		}
+	}
+	// A global aggregate over an empty input still yields one (empty) group.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		groups[""] = &group{rep: tuple{vals: make([]sqlval.Value, len(rel.env.bindings))}, accs: newAccs()}
+		order = append(order, "")
+	}
+
+	out := &aggRelation{aggregate: true}
+	out.rel.env = rel.env
+	for _, key := range order {
+		grp := groups[key]
+		t := grp.rep
+		t.lineage = grp.lineage
+		m := make(map[sqlparse.Expr]sqlval.Value, len(aggCalls))
+		for i, c := range aggCalls {
+			m[c] = grp.accs[i].result()
+		}
+		// HAVING filters whole groups, evaluated with the aggregate context.
+		if s.Having != nil {
+			v, err := evalExpr(s.Having, &rel.env, t.vals, m)
+			if err != nil {
+				return nil, err
+			}
+			if !isTrue(v) {
+				continue
+			}
+		}
+		out.rel.tuples = append(out.rel.tuples, t)
+		out.aggs = append(out.aggs, m)
+	}
+	return out, nil
+}
+
+// aggAcc accumulates one aggregate call.
+type aggAcc struct {
+	fn       string
+	star     bool
+	distinct bool
+	count    int64
+	sum      float64
+	sumInt   int64
+	intOnly  bool
+	min, max sqlval.Value
+	seen     map[string]bool
+}
+
+func newAggAcc(c *sqlparse.FuncExpr) *aggAcc {
+	a := &aggAcc{fn: c.Name, star: c.Star, distinct: c.Distinct, intOnly: true}
+	if c.Distinct {
+		a.seen = map[string]bool{}
+	}
+	return a
+}
+
+func (a *aggAcc) add(v sqlval.Value) {
+	if a.star {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if a.distinct {
+		k := v.GroupKey()
+		if a.seen[k] {
+			return
+		}
+		a.seen[k] = true
+	}
+	a.count++
+	switch a.fn {
+	case "SUM", "AVG":
+		if f, ok := v.AsFloat(); ok {
+			a.sum += f
+			if v.Kind() == sqlval.KindInt {
+				a.sumInt += v.Int()
+			} else {
+				a.intOnly = false
+			}
+		}
+	case "MIN":
+		if a.min.IsNull() {
+			a.min = v
+		} else if c, ok := v.Compare(a.min); ok && c < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.max.IsNull() {
+			a.max = v
+		} else if c, ok := v.Compare(a.max); ok && c > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *aggAcc) result() sqlval.Value {
+	switch a.fn {
+	case "COUNT":
+		return sqlval.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		if a.intOnly {
+			return sqlval.NewInt(a.sumInt)
+		}
+		return sqlval.NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		return sqlval.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return sqlval.Null
+	}
+}
+
+// project evaluates the select list (star expansion excludes the hidden
+// provenance attributes), then applies DISTINCT, ORDER BY, and LIMIT.
+func (db *DB) project(s *sqlparse.Select, ar *aggRelation, withLineage bool) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
+	rel := ar.rel
+
+	// Resolve output columns.
+	type outCol struct {
+		name string
+		expr sqlparse.Expr // nil for direct slot copy
+		slot int
+	}
+	var outs []outCol
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for i, b := range rel.env.bindings {
+				if IsProvColumn(b.name) {
+					continue
+				}
+				if it.Table != "" && b.table != it.Table {
+					continue
+				}
+				outs = append(outs, outCol{name: b.name, slot: i, expr: nil})
+			}
+			if it.Table != "" {
+				found := false
+				for _, b := range rel.env.bindings {
+					if b.table == it.Table {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, nil, nil, fmt.Errorf("table %q does not exist in FROM clause", it.Table)
+				}
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+					name = cr.Column
+				} else if fe, ok := it.Expr.(*sqlparse.FuncExpr); ok {
+					name = strings.ToLower(fe.Name)
+				} else {
+					name = "column"
+				}
+			}
+			outs = append(outs, outCol{name: name, expr: it.Expr, slot: -1})
+		}
+	}
+	cols = make([]string, len(outs))
+	for i, o := range outs {
+		cols[i] = o.name
+	}
+
+	// Validate every column reference in the select list against the layout
+	// so that errors surface even on empty inputs.
+	for _, o := range outs {
+		if o.expr == nil {
+			continue
+		}
+		var refs []*sqlparse.ColumnRef
+		columnRefs(o.expr, &refs)
+		for _, r := range refs {
+			if _, err := rel.env.resolve(r); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+
+	// Evaluate output rows plus ORDER BY keys.
+	type outRow struct {
+		vals    []sqlval.Value
+		keys    []sqlval.Value
+		lineage []TupleRef
+	}
+	aliasIndex := func(name string) int {
+		for i, o := range outs {
+			if o.name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	var outRows []outRow
+	for ti, t := range rel.tuples {
+		var agg map[sqlparse.Expr]sqlval.Value
+		if ar.aggs != nil {
+			agg = ar.aggs[ti]
+		}
+		r := outRow{vals: make([]sqlval.Value, len(outs)), lineage: t.lineage}
+		for i, o := range outs {
+			if o.expr == nil {
+				r.vals[i] = t.vals[o.slot]
+				continue
+			}
+			v, err := evalExpr(o.expr, &rel.env, t.vals, agg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			r.vals[i] = v
+		}
+		for _, ob := range s.OrderBy {
+			// A bare identifier matching an output alias orders by that output.
+			if cr, ok := ob.Expr.(*sqlparse.ColumnRef); ok && cr.Table == "" {
+				if i := aliasIndex(cr.Column); i >= 0 {
+					if _, rerr := rel.env.resolve(cr); rerr != nil {
+						r.keys = append(r.keys, r.vals[i])
+						continue
+					}
+				}
+			}
+			v, err := evalExpr(ob.Expr, &rel.env, t.vals, agg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			r.keys = append(r.keys, v)
+		}
+		outRows = append(outRows, r)
+	}
+
+	if s.Distinct {
+		seen := map[string]int{}
+		dedup := outRows[:0:0]
+		var linSeen []map[TupleRef]bool // parallel to dedup, lazily built
+		for _, r := range outRows {
+			var sb strings.Builder
+			for _, v := range r.vals {
+				sb.WriteString(v.GroupKey())
+				sb.WriteByte(0)
+			}
+			k := sb.String()
+			if i, dup := seen[k]; dup {
+				// Union lineage through a per-row set; pairwise merging would
+				// be quadratic in the duplicate count.
+				if linSeen[i] == nil {
+					linSeen[i] = map[TupleRef]bool{}
+					for _, ref := range dedup[i].lineage {
+						linSeen[i][ref] = true
+					}
+				}
+				for _, ref := range r.lineage {
+					if !linSeen[i][ref] {
+						linSeen[i][ref] = true
+						dedup[i].lineage = append(dedup[i].lineage, ref)
+					}
+				}
+				continue
+			}
+			seen[k] = len(dedup)
+			dedup = append(dedup, r)
+			linSeen = append(linSeen, nil)
+		}
+		outRows = dedup
+	}
+
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(outRows, func(i, j int) bool {
+			for k, ob := range s.OrderBy {
+				a, b := outRows[i].keys[k], outRows[j].keys[k]
+				if a.Equal(b) {
+					continue
+				}
+				less := sqlval.SortLess(a, b)
+				if ob.Desc {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+	}
+	if s.Limit >= 0 && len(outRows) > s.Limit {
+		outRows = outRows[:s.Limit]
+	}
+
+	rows = make([][]sqlval.Value, len(outRows))
+	lineage = make([][]TupleRef, len(outRows))
+	for i, r := range outRows {
+		rows[i] = r.vals
+		lineage[i] = r.lineage
+	}
+	if !withLineage {
+		lineage = nil
+	}
+	return cols, rows, lineage, nil
+}

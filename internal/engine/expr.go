@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"fmt"
+
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// binding names one slot of an executor tuple: the effective table name
+// (alias if given) and the column name. Hidden provenance attributes are
+// bound like ordinary columns.
+type binding struct {
+	table string
+	name  string
+}
+
+// env resolves column references against the current tuple layout.
+type env struct {
+	bindings []binding
+}
+
+// resolve returns the slot index for a column reference. Unqualified names
+// must be unambiguous across all bound tables.
+func (e *env) resolve(ref *sqlparse.ColumnRef) (int, error) {
+	found := -1
+	for i, b := range e.bindings {
+		if b.name != ref.Column {
+			continue
+		}
+		if ref.Table != "" && b.table != ref.Table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("column reference %q is ambiguous", ref.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("column %q does not exist", ref.String())
+	}
+	return found, nil
+}
+
+// tuple is one row flowing through the executor, with its lineage (the set
+// of stored tuple versions it depends on) when lineage tracking is on.
+type tuple struct {
+	vals    []sqlval.Value
+	lineage []TupleRef
+}
+
+// mergeLineage unions two lineage lists, deduplicating refs.
+func mergeLineage(a, b []TupleRef) []TupleRef {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[TupleRef]bool, len(a)+len(b))
+	out := make([]TupleRef, 0, len(a)+len(b))
+	for _, r := range a {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range b {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// evalExpr evaluates an expression against a tuple. agg supplies
+// pre-computed aggregate values when evaluating the select list of an
+// aggregate query; it is nil elsewhere (aggregates are then an error).
+func evalExpr(ex sqlparse.Expr, en *env, vals []sqlval.Value, agg map[sqlparse.Expr]sqlval.Value) (sqlval.Value, error) {
+	switch e := ex.(type) {
+	case *sqlparse.Literal:
+		return e.Value, nil
+	case *sqlparse.ColumnRef:
+		i, err := en.resolve(e)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		return vals[i], nil
+	case *sqlparse.UnaryExpr:
+		v, err := evalExpr(e.Expr, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if e.Op == "-" {
+			return sqlval.Neg(v)
+		}
+		// NOT with three-valued logic.
+		if v.IsNull() {
+			return sqlval.Null, nil
+		}
+		if v.Kind() != sqlval.KindBool {
+			return sqlval.Null, fmt.Errorf("NOT requires a boolean operand, got %s", v.Kind())
+		}
+		return sqlval.NewBool(!v.Bool()), nil
+	case *sqlparse.BinaryExpr:
+		return evalBinary(e, en, vals, agg)
+	case *sqlparse.BetweenExpr:
+		v, err := evalExpr(e.Expr, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		lo, err := evalExpr(e.Lo, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		hi, err := evalExpr(e.Hi, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		geLo := compareBool(v, lo, ">=")
+		leHi := compareBool(v, hi, "<=")
+		res := and3(geLo, leHi)
+		if e.Negated {
+			res = not3(res)
+		}
+		return res, nil
+	case *sqlparse.InExpr:
+		v, err := evalExpr(e.Expr, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		anyNull := v.IsNull()
+		matched := false
+		for _, item := range e.List {
+			iv, err := evalExpr(item, en, vals, agg)
+			if err != nil {
+				return sqlval.Null, err
+			}
+			eq := compareBool(v, iv, "=")
+			if eq.IsNull() {
+				anyNull = true
+			} else if eq.Bool() {
+				matched = true
+				break
+			}
+		}
+		var res sqlval.Value
+		switch {
+		case matched:
+			res = sqlval.NewBool(true)
+		case anyNull:
+			res = sqlval.Null
+		default:
+			res = sqlval.NewBool(false)
+		}
+		if e.Negated {
+			res = not3(res)
+		}
+		return res, nil
+	case *sqlparse.IsNullExpr:
+		v, err := evalExpr(e.Expr, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if e.Negated {
+			return sqlval.NewBool(!v.IsNull()), nil
+		}
+		return sqlval.NewBool(v.IsNull()), nil
+	case *sqlparse.FuncExpr:
+		if agg == nil {
+			return sqlval.Null, fmt.Errorf("aggregate %s is not allowed here", e.Name)
+		}
+		v, ok := agg[e]
+		if !ok {
+			return sqlval.Null, fmt.Errorf("internal: aggregate %s not precomputed", e.Name)
+		}
+		return v, nil
+	default:
+		return sqlval.Null, fmt.Errorf("unsupported expression %T", ex)
+	}
+}
+
+func evalBinary(e *sqlparse.BinaryExpr, en *env, vals []sqlval.Value, agg map[sqlparse.Expr]sqlval.Value) (sqlval.Value, error) {
+	switch e.Op {
+	case "AND", "OR":
+		l, err := evalExpr(e.Left, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		// Short-circuit where three-valued logic allows.
+		if e.Op == "AND" && isFalse(l) {
+			return sqlval.NewBool(false), nil
+		}
+		if e.Op == "OR" && isTrue(l) {
+			return sqlval.NewBool(true), nil
+		}
+		r, err := evalExpr(e.Right, en, vals, agg)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if e.Op == "AND" {
+			return and3(l, r), nil
+		}
+		return or3(l, r), nil
+	}
+	l, err := evalExpr(e.Left, en, vals, agg)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	r, err := evalExpr(e.Right, en, vals, agg)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	switch e.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compareBool(l, r, e.Op), nil
+	case "LIKE":
+		m, ok := sqlval.Like(l, r)
+		if !ok {
+			if l.IsNull() || r.IsNull() {
+				return sqlval.Null, nil
+			}
+			return sqlval.Null, fmt.Errorf("LIKE requires text operands, got %s and %s", l.Kind(), r.Kind())
+		}
+		return sqlval.NewBool(m), nil
+	case "||":
+		return sqlval.Concat(l, r)
+	case "+", "-", "*", "/", "%":
+		// "+" doubles as concatenation when either side is text, matching the
+		// lenient behaviour of several engines; otherwise numeric.
+		if e.Op == "+" && (l.Kind() == sqlval.KindString || r.Kind() == sqlval.KindString) {
+			return sqlval.Concat(l, r)
+		}
+		switch e.Op {
+		case "+":
+			return sqlval.Add(l, r)
+		case "-":
+			return sqlval.Sub(l, r)
+		case "*":
+			return sqlval.Mul(l, r)
+		case "/":
+			return sqlval.Div(l, r)
+		default:
+			return sqlval.Mod(l, r)
+		}
+	default:
+		return sqlval.Null, fmt.Errorf("unsupported operator %q", e.Op)
+	}
+}
+
+// compareBool applies a comparison with SQL three-valued semantics,
+// returning a BOOLEAN or NULL value.
+func compareBool(l, r sqlval.Value, op string) sqlval.Value {
+	c, ok := l.Compare(r)
+	if !ok {
+		return sqlval.Null
+	}
+	switch op {
+	case "=":
+		return sqlval.NewBool(c == 0)
+	case "<>":
+		return sqlval.NewBool(c != 0)
+	case "<":
+		return sqlval.NewBool(c < 0)
+	case "<=":
+		return sqlval.NewBool(c <= 0)
+	case ">":
+		return sqlval.NewBool(c > 0)
+	case ">=":
+		return sqlval.NewBool(c >= 0)
+	default:
+		return sqlval.Null
+	}
+}
+
+func isTrue(v sqlval.Value) bool  { return v.Kind() == sqlval.KindBool && v.Bool() }
+func isFalse(v sqlval.Value) bool { return v.Kind() == sqlval.KindBool && !v.Bool() }
+
+func and3(a, b sqlval.Value) sqlval.Value {
+	if isFalse(a) || isFalse(b) {
+		return sqlval.NewBool(false)
+	}
+	if a.IsNull() || b.IsNull() {
+		return sqlval.Null
+	}
+	return sqlval.NewBool(true)
+}
+
+func or3(a, b sqlval.Value) sqlval.Value {
+	if isTrue(a) || isTrue(b) {
+		return sqlval.NewBool(true)
+	}
+	if a.IsNull() || b.IsNull() {
+		return sqlval.Null
+	}
+	return sqlval.NewBool(false)
+}
+
+func not3(a sqlval.Value) sqlval.Value {
+	if a.IsNull() {
+		return sqlval.Null
+	}
+	return sqlval.NewBool(!a.Bool())
+}
+
+// collectAggregates walks an expression and appends every aggregate call.
+func collectAggregates(ex sqlparse.Expr, out *[]*sqlparse.FuncExpr) {
+	switch e := ex.(type) {
+	case *sqlparse.FuncExpr:
+		*out = append(*out, e)
+	case *sqlparse.BinaryExpr:
+		collectAggregates(e.Left, out)
+		collectAggregates(e.Right, out)
+	case *sqlparse.UnaryExpr:
+		collectAggregates(e.Expr, out)
+	case *sqlparse.BetweenExpr:
+		collectAggregates(e.Expr, out)
+		collectAggregates(e.Lo, out)
+		collectAggregates(e.Hi, out)
+	case *sqlparse.InExpr:
+		collectAggregates(e.Expr, out)
+		for _, i := range e.List {
+			collectAggregates(i, out)
+		}
+	case *sqlparse.IsNullExpr:
+		collectAggregates(e.Expr, out)
+	}
+}
+
+// columnRefs walks an expression and appends every column reference.
+func columnRefs(ex sqlparse.Expr, out *[]*sqlparse.ColumnRef) {
+	switch e := ex.(type) {
+	case *sqlparse.ColumnRef:
+		*out = append(*out, e)
+	case *sqlparse.BinaryExpr:
+		columnRefs(e.Left, out)
+		columnRefs(e.Right, out)
+	case *sqlparse.UnaryExpr:
+		columnRefs(e.Expr, out)
+	case *sqlparse.BetweenExpr:
+		columnRefs(e.Expr, out)
+		columnRefs(e.Lo, out)
+		columnRefs(e.Hi, out)
+	case *sqlparse.InExpr:
+		columnRefs(e.Expr, out)
+		for _, i := range e.List {
+			columnRefs(i, out)
+		}
+	case *sqlparse.IsNullExpr:
+		columnRefs(e.Expr, out)
+	case *sqlparse.FuncExpr:
+		if e.Arg != nil {
+			columnRefs(e.Arg, out)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"testing"
+
+	"ldv/internal/sqlval"
+)
+
+// Expression semantics exercised through full statements.
+
+func TestArithmeticInProjection(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT, b FLOAT)")
+	mustExec(t, db, "INSERT INTO t VALUES (7, 2.5)", ExecOptions{})
+	res := mustExec(t, db, "SELECT a + 1, a - 1, a * 2, a / 2, a % 3, -a, a + b FROM t", ExecOptions{})
+	got := rowsToStrings(res)[0]
+	if got != "8|6|14|3|1|-7|9.5" {
+		t.Fatalf("arithmetic = %q", got)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a TEXT, n INT)")
+	mustExec(t, db, "INSERT INTO t VALUES ('x', 3)", ExecOptions{})
+	res := mustExec(t, db, "SELECT a || '-' || 'y', a + 'z', 'n=' + n FROM t", ExecOptions{})
+	got := rowsToStrings(res)[0]
+	if got != "x-y|xz|n=3" {
+		t.Fatalf("concat = %q", got)
+	}
+}
+
+func TestDateComparisons(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (d DATE)")
+	mustExec(t, db, "INSERT INTO t VALUES (DATE '1995-01-01'), (DATE '1998-06-15'), (NULL)", ExecOptions{})
+	res := mustExec(t, db, "SELECT d FROM t WHERE d >= DATE '1996-01-01'", ExecOptions{})
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "1998-06-15" {
+		t.Fatalf("date filter = %v", rowsToStrings(res))
+	}
+	res = mustExec(t, db, "SELECT d FROM t WHERE d BETWEEN DATE '1994-01-01' AND DATE '1996-01-01'", ExecOptions{})
+	if len(res.Rows) != 1 {
+		t.Fatalf("date between = %v", rowsToStrings(res))
+	}
+	res = mustExec(t, db, "SELECT MIN(d), MAX(d) FROM t", ExecOptions{})
+	if res.Rows[0][0].String() != "1995-01-01" || res.Rows[0][1].String() != "1998-06-15" {
+		t.Fatalf("date min/max = %v", rowsToStrings(res))
+	}
+}
+
+func TestBooleanColumnsAndLiterals(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (ok BOOLEAN, n INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (TRUE, 1), (FALSE, 2), (NULL, 3)", ExecOptions{})
+	res := mustExec(t, db, "SELECT n FROM t WHERE ok", ExecOptions{})
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("bool filter = %v", rowsToStrings(res))
+	}
+	res = mustExec(t, db, "SELECT n FROM t WHERE NOT ok", ExecOptions{})
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("not bool = %v", rowsToStrings(res))
+	}
+	res = mustExec(t, db, "SELECT n FROM t WHERE ok OR n = 3", ExecOptions{})
+	if len(res.Rows) != 2 {
+		t.Fatalf("or with null = %v", rowsToStrings(res))
+	}
+}
+
+func TestThreeValuedLogicTable(t *testing.T) {
+	// AND/OR truth tables including UNKNOWN, probed via WHERE: a row
+	// survives only when the predicate is TRUE. NULL = 1 is UNKNOWN.
+	db := newTestDB(t, "CREATE TABLE t (x INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	cases := []struct {
+		where string
+		keep  bool
+	}{
+		{"TRUE AND TRUE", true},
+		{"TRUE AND FALSE", false},
+		{"TRUE AND x IS NULL", false}, // TRUE AND FALSE
+		{"TRUE AND NULL = 1", false},  // TRUE AND UNKNOWN -> UNKNOWN
+		{"FALSE AND NULL = 1", false}, // FALSE short-circuits
+		{"TRUE OR NULL = 1", true},    // TRUE short-circuits
+		{"FALSE OR NULL = 1", false},  // FALSE OR UNKNOWN -> UNKNOWN
+		{"FALSE OR TRUE", true},
+		{"NOT (NULL = 1)", false}, // NOT UNKNOWN -> UNKNOWN
+		{"NOT FALSE", true},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, "SELECT x FROM t WHERE "+c.where, ExecOptions{})
+		if (len(res.Rows) == 1) != c.keep {
+			t.Errorf("WHERE %s: kept=%v, want %v", c.where, len(res.Rows) == 1, c.keep)
+		}
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (2), (NULL), (1)", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM t ORDER BY a", ExecOptions{})
+	got := rowsToStrings(res)
+	if got[0] != "NULL" || got[1] != "1" || got[2] != "2" {
+		t.Fatalf("nulls-first order = %v", got)
+	}
+	res = mustExec(t, db, "SELECT a FROM t ORDER BY a DESC", ExecOptions{})
+	got = rowsToStrings(res)
+	if got[2] != "NULL" {
+		t.Fatalf("desc order = %v", got)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM t LIMIT 0", ExecOptions{})
+	if len(res.Rows) != 0 {
+		t.Fatalf("limit 0 = %v", rowsToStrings(res))
+	}
+}
+
+func TestDivisionByZeroSurfacesInProjection(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (0)", ExecOptions{})
+	if _, err := db.Exec("SELECT 1 / a FROM t", ExecOptions{}); err == nil {
+		t.Fatal("division by zero in projection must error")
+	}
+}
+
+func TestLikeOnNonTextIsError(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	// In the projection, the error surfaces; in WHERE it filters the row.
+	if _, err := db.Exec("SELECT a LIKE '%x%' FROM t", ExecOptions{}); err == nil {
+		t.Fatal("LIKE on integer must error in projection")
+	}
+	// NULL LIKE is UNKNOWN, not an error.
+	db2 := newTestDB(t, "CREATE TABLE u (s TEXT)")
+	mustExec(t, db2, "INSERT INTO u VALUES (NULL)", ExecOptions{})
+	res := mustExec(t, db2, "SELECT s FROM u WHERE s LIKE '%x%'", ExecOptions{})
+	if len(res.Rows) != 0 {
+		t.Fatal("NULL LIKE must not match")
+	}
+}
+
+func TestAggregateOfExpression(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20)", ExecOptions{})
+	res := mustExec(t, db, "SELECT SUM(a * b), AVG(b - a) FROM t", ExecOptions{})
+	row := res.Rows[0]
+	if row[0].Int() != 50 || row[1].Float() != 13.5 {
+		t.Fatalf("agg expr = %v", rowsToStrings(res))
+	}
+	// Expression over an aggregate.
+	res = mustExec(t, db, "SELECT SUM(b) / count(*) FROM t", ExecOptions{})
+	if res.Rows[0][0].Int() != 15 {
+		t.Fatalf("expr over agg = %v", rowsToStrings(res))
+	}
+}
+
+func TestMinMaxOverStrings(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (s TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES ('banana'), ('apple'), ('cherry')", ExecOptions{})
+	res := mustExec(t, db, "SELECT MIN(s), MAX(s) FROM t", ExecOptions{})
+	if res.Rows[0][0].Str() != "apple" || res.Rows[0][1].Str() != "cherry" {
+		t.Fatalf("string min/max = %v", rowsToStrings(res))
+	}
+}
+
+func TestProvColumnsQualifiedInJoins(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE a (x INT)", "CREATE TABLE b (y INT)")
+	mustExec(t, db, "INSERT INTO a VALUES (1)", ExecOptions{Proc: "pa"})
+	mustExec(t, db, "INSERT INTO b VALUES (1)", ExecOptions{Proc: "pb"})
+	res := mustExec(t, db, "SELECT a.prov_p, b.prov_p FROM a, b WHERE a.x = b.y", ExecOptions{})
+	if res.Rows[0][0].Str() != "pa" || res.Rows[0][1].Str() != "pb" {
+		t.Fatalf("qualified prov = %v", rowsToStrings(res))
+	}
+	// Unqualified prov column in a join is ambiguous.
+	if _, err := db.Exec("SELECT prov_p FROM a, b WHERE a.x = b.y", ExecOptions{}); err == nil {
+		t.Fatal("ambiguous prov column must fail")
+	}
+}
+
+func TestInsertExpressionValues(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (2 + 3 * 4, 'a' || 'b')", ExecOptions{})
+	res := mustExec(t, db, "SELECT a, b FROM t", ExecOptions{})
+	if rowsToStrings(res)[0] != "14|ab" {
+		t.Fatalf("insert exprs = %v", rowsToStrings(res))
+	}
+	// Column references in VALUES are invalid.
+	if _, err := db.Exec("INSERT INTO t VALUES (a, 'x')", ExecOptions{}); err == nil {
+		t.Fatal("column ref in VALUES must fail")
+	}
+}
+
+func TestUpdateSetFromOtherColumns(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20)", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = b * 2, b = a WHERE a = 2", ExecOptions{})
+	res := mustExec(t, db, "SELECT a, b FROM t WHERE b = 2", ExecOptions{})
+	// Both SET expressions see the pre-update row: a = 20*2, b = old a = 2.
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 40 {
+		t.Fatalf("update snapshot semantics = %v", rowsToStrings(res))
+	}
+}
+
+func TestCompareIncomparableInWhereFiltersRow(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM t WHERE a = 'text'", ExecOptions{})
+	if len(res.Rows) != 0 {
+		t.Fatal("incomparable comparison must be UNKNOWN")
+	}
+}
+
+func TestValuesWidenOnInsertSelect(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE src (a INT)", "CREATE TABLE dst (a FLOAT)")
+	mustExec(t, db, "INSERT INTO src VALUES (3)", ExecOptions{})
+	mustExec(t, db, "INSERT INTO dst SELECT a FROM src", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM dst", ExecOptions{})
+	if res.Rows[0][0].Kind() != sqlval.KindFloat {
+		t.Fatal("insert-select must widen int to float")
+	}
+}

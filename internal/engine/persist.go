@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path"
+	"strings"
+
+	"ldv/internal/sqlval"
+)
+
+// FileSystem is the minimal filesystem surface the engine needs to persist
+// its data directory. Both the simulated OS filesystem and the real disk
+// satisfy it; the DB server writes through the simulated one so that
+// file-granularity packagers (PTU) observe real data files.
+type FileSystem interface {
+	WriteFile(path string, data []byte) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]string, error)
+	MkdirAll(path string) error
+}
+
+const tableFileMagic = "LDVTBL1\n"
+
+// Checkpoint writes every table to dir as <table>.tbl data files, creating
+// dir if needed.
+func (db *DB) Checkpoint(fs FileSystem, dir string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for name, t := range db.tables {
+		data := encodeTable(t)
+		if err := fs.WriteFile(path.Join(dir, name+".tbl"), data); err != nil {
+			return fmt.Errorf("checkpoint table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every <table>.tbl file in dir into the database, replacing
+// any same-named tables.
+func (db *DB) LoadDir(fs FileSystem, dir string) error {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("load data dir: %w", err)
+	}
+	for _, n := range names {
+		if !strings.HasSuffix(n, ".tbl") {
+			continue
+		}
+		data, err := fs.ReadFile(path.Join(dir, n))
+		if err != nil {
+			return fmt.Errorf("load table file %s: %w", n, err)
+		}
+		t, maxRow, err := decodeTable(data)
+		if err != nil {
+			return fmt.Errorf("decode table file %s: %w", n, err)
+		}
+		db.mu.Lock()
+		db.tables[t.Name] = t
+		if maxRow > db.nextRow {
+			db.nextRow = maxRow
+		}
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+func encodeTable(t *Table) []byte {
+	buf := []byte(tableFileMagic)
+	buf = appendString(buf, t.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Schema.Columns)))
+	for _, c := range t.Schema.Columns {
+		buf = appendString(buf, c.Name)
+		buf = append(buf, byte(c.Type))
+		if c.PrimaryKey {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
+	for _, r := range t.rows {
+		buf = binary.AppendUvarint(buf, uint64(r.id))
+		buf = binary.AppendUvarint(buf, r.version)
+		buf = appendString(buf, r.proc)
+		buf = binary.AppendVarint(buf, r.stmt)
+		buf = binary.AppendVarint(buf, r.usedBy)
+		buf = sqlval.EncodeRow(buf, r.vals)
+	}
+	return buf
+}
+
+func decodeTable(data []byte) (*Table, RowID, error) {
+	if len(data) < len(tableFileMagic) || string(data[:len(tableFileMagic)]) != tableFileMagic {
+		return nil, 0, fmt.Errorf("bad table file magic")
+	}
+	b := data[len(tableFileMagic):]
+	name, b, err := readString(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	ncols, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad column count")
+	}
+	b = b[n:]
+	schema := Schema{}
+	for i := uint64(0); i < ncols; i++ {
+		var cname string
+		cname, b, err = readString(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(b) < 2 {
+			return nil, 0, fmt.Errorf("truncated column def")
+		}
+		schema.Columns = append(schema.Columns, Column{
+			Name: cname, Type: sqlval.Kind(b[0]), PrimaryKey: b[1] == 1,
+		})
+		b = b[2:]
+	}
+	t := newTable(name, schema)
+	nrows, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad row count")
+	}
+	b = b[n:]
+	var maxRow RowID
+	for i := uint64(0); i < nrows; i++ {
+		id, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad row id")
+		}
+		b = b[n:]
+		version, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad row version")
+		}
+		b = b[n:]
+		var proc string
+		proc, b, err = readString(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		stmt, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad row stmt")
+		}
+		b = b[n:]
+		usedBy, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad row usedBy")
+		}
+		b = b[n:]
+		vals, used, err := sqlval.DecodeRow(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		b = b[used:]
+		r := &storedRow{id: RowID(id), vals: vals, version: version, proc: proc, stmt: stmt, usedBy: usedBy}
+		if err := t.insertRow(r); err != nil {
+			return nil, 0, err
+		}
+		if r.id > maxRow {
+			maxRow = r.id
+		}
+	}
+	return t, maxRow, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("bad string encoding")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// CreateTableFromSchema programmatically creates a table (bulk-load path).
+func (db *DB) CreateTableFromSchema(name string, schema Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("table %q already exists", name)
+	}
+	db.tables[name] = newTable(name, schema)
+	return nil
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+
+	"ldv/internal/sqlval"
+)
+
+// TupleRef identifies one tuple *version*: a (table, rowid, version)
+// triple. Two writes to the same row produce distinct versions.
+type TupleRef struct {
+	Table   string
+	Row     RowID
+	Version uint64
+}
+
+// String renders the ref in the form used by trace node IDs.
+func (r TupleRef) String() string {
+	return fmt.Sprintf("%s/%d@%d", r.Table, r.Row, r.Version)
+}
+
+// storedRow is one live tuple version in a table.
+type storedRow struct {
+	id      RowID
+	vals    []sqlval.Value
+	version uint64 // prov_v: logical time the version was produced
+	proc    string // prov_p: process that produced the version ("" = preloaded)
+	stmt    int64  // statement id that produced the version (0 = preloaded)
+	usedBy  int64  // prov_usedby: last statement id that read the tuple
+}
+
+func (r *storedRow) ref(table string) TupleRef {
+	return TupleRef{Table: table, Row: r.id, Version: r.version}
+}
+
+// Table is the storage for one relation: an append-friendly slice of live
+// rows plus a primary-key hash index.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	rows    []*storedRow
+	pkIndex map[string]int // GroupKey of pk value -> index in rows; nil if no pk
+}
+
+func newTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, Schema: schema}
+	if schema.PrimaryKeyIndex() >= 0 {
+		t.pkIndex = make(map[string]int)
+	}
+	return t
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// insertRow validates and appends a row, enforcing the primary key.
+func (t *Table) insertRow(r *storedRow) error {
+	if len(r.vals) != len(t.Schema.Columns) {
+		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
+			t.Name, len(r.vals), len(t.Schema.Columns))
+	}
+	for i, c := range t.Schema.Columns {
+		v, err := checkValue(c, r.vals[i])
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		r.vals[i] = v
+	}
+	if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
+		key := r.vals[pk].GroupKey()
+		if _, dup := t.pkIndex[key]; dup {
+			return fmt.Errorf("table %s: duplicate primary key %s", t.Name, r.vals[pk])
+		}
+		t.pkIndex[key] = len(t.rows)
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// deleteAt removes the row at index i, keeping the pk index consistent.
+func (t *Table) deleteAt(i int) {
+	if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
+		delete(t.pkIndex, t.rows[i].vals[pk].GroupKey())
+	}
+	last := len(t.rows) - 1
+	t.rows[i] = t.rows[last]
+	t.rows = t.rows[:last]
+	if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 && i < len(t.rows) {
+		t.pkIndex[t.rows[i].vals[pk].GroupKey()] = i
+	}
+}
+
+// lookupPK returns the row index for a primary-key value, or -1.
+func (t *Table) lookupPK(v sqlval.Value) int {
+	if t.pkIndex == nil {
+		return -1
+	}
+	if i, ok := t.pkIndex[v.GroupKey()]; ok {
+		return i
+	}
+	return -1
+}
+
+// provValue serves the hidden provenance attributes for a row.
+func provValue(r *storedRow, name string) (sqlval.Value, bool) {
+	switch name {
+	case ColProvRowID:
+		return sqlval.NewInt(int64(r.id)), true
+	case ColProvV:
+		return sqlval.NewInt(int64(r.version)), true
+	case ColProvP:
+		return sqlval.NewString(r.proc), true
+	case ColProvUsedBy:
+		return sqlval.NewInt(r.usedBy), true
+	}
+	return sqlval.Null, false
+}

@@ -1,0 +1,114 @@
+package engine
+
+import "testing"
+
+func TestTransactionCommit(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	mustExec(t, db, "BEGIN", ExecOptions{})
+	mustExec(t, db, "INSERT INTO t VALUES (2)", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = 10 WHERE a = 1", ExecOptions{})
+	mustExec(t, db, "COMMIT", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM t ORDER BY a", ExecOptions{})
+	got := rowsToStrings(res)
+	if len(got) != 2 || got[0] != "2" || got[1] != "10" {
+		t.Fatalf("after commit = %v", got)
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'one'), (2, 'two')", ExecOptions{})
+	mustExec(t, db, "BEGIN TRANSACTION", ExecOptions{})
+	mustExec(t, db, "INSERT INTO t VALUES (3, 'three')", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET b = 'ONE' WHERE a = 1", ExecOptions{})
+	mustExec(t, db, "DELETE FROM t WHERE a = 2", ExecOptions{})
+	mustExec(t, db, "ROLLBACK", ExecOptions{})
+
+	res := mustExec(t, db, "SELECT a, b FROM t ORDER BY a", ExecOptions{})
+	got := rowsToStrings(res)
+	if len(got) != 2 || got[0] != "1|one" || got[1] != "2|two" {
+		t.Fatalf("after rollback = %v", got)
+	}
+	// The rolled-back insert's pk is reusable.
+	mustExec(t, db, "INSERT INTO t VALUES (3, 'again')", ExecOptions{})
+}
+
+func TestTransactionRollbackPKChange(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	mustExec(t, db, "BEGIN", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = 99 WHERE a = 1", ExecOptions{})
+	mustExec(t, db, "ROLLBACK", ExecOptions{})
+	// The pk index must be consistent: 1 occupied, 99 free.
+	if _, err := db.Exec("INSERT INTO t VALUES (1)", ExecOptions{}); err == nil {
+		t.Fatal("pk 1 must still be occupied after rollback")
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (99)", ExecOptions{})
+}
+
+func TestTransactionVersionRestoredOnRollback(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	before := mustExec(t, db, "SELECT prov_v FROM t", ExecOptions{}).Rows[0][0].Int()
+	mustExec(t, db, "BEGIN", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = 2", ExecOptions{WithLineage: true})
+	mustExec(t, db, "ROLLBACK", ExecOptions{})
+	after := mustExec(t, db, "SELECT prov_v, a FROM t", ExecOptions{}).Rows[0]
+	if after[0].Int() != before || after[1].Int() != 1 {
+		t.Fatalf("version/value not restored: %v (want v=%d a=1)", after, before)
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	if _, err := db.Exec("COMMIT", ExecOptions{}); err == nil {
+		t.Fatal("COMMIT without BEGIN must fail")
+	}
+	if _, err := db.Exec("ROLLBACK", ExecOptions{}); err == nil {
+		t.Fatal("ROLLBACK without BEGIN must fail")
+	}
+	mustExec(t, db, "BEGIN", ExecOptions{})
+	if _, err := db.Exec("BEGIN", ExecOptions{}); err == nil {
+		t.Fatal("nested BEGIN must fail")
+	}
+	if _, err := db.Exec("CREATE TABLE u (x INT)", ExecOptions{}); err == nil {
+		t.Fatal("DDL in transaction must fail")
+	}
+	if _, err := db.Exec("DROP TABLE t", ExecOptions{}); err == nil {
+		t.Fatal("DROP in transaction must fail")
+	}
+	mustExec(t, db, "ROLLBACK", ExecOptions{})
+}
+
+func TestTransactionInterleavedUndoOrder(t *testing.T) {
+	// Update the same row twice in one transaction: rollback must restore
+	// the original, not the intermediate, value.
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)", ExecOptions{})
+	mustExec(t, db, "BEGIN", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = 2", ExecOptions{})
+	mustExec(t, db, "UPDATE t SET a = 3", ExecOptions{})
+	mustExec(t, db, "ROLLBACK", ExecOptions{})
+	res := mustExec(t, db, "SELECT a FROM t", ExecOptions{})
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("a = %d after rollback", res.Rows[0][0].Int())
+	}
+}
+
+func TestTransactionOverWire(t *testing.T) {
+	// Transactions work through the full parse path (ExecScript).
+	db := newTestDB(t, "CREATE TABLE t (a INT)")
+	if _, err := db.ExecScript(`
+		BEGIN;
+		INSERT INTO t VALUES (1);
+		INSERT INTO t VALUES (2);
+		ROLLBACK;
+		INSERT INTO t VALUES (3);`, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, db, "SELECT a FROM t", ExecOptions{})
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("after script = %v", rowsToStrings(res))
+	}
+}

@@ -1,0 +1,66 @@
+package ldv
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"ldv/internal/pack"
+	"ldv/internal/prov"
+)
+
+// Trace and DB-log metadata is highly repetitive (node IDs, SQL text,
+// encoded rows) and is stored gzip-compressed inside packages — the
+// moral equivalent of the paper prototype's compact SQLite provenance
+// store. Payload files (binaries, data, CSVs) stay uncompressed, as in
+// PTU/CDE packages.
+
+func gzipBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gunzipBytes(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// ReadTrace loads and decompresses the combined execution trace from a
+// server-included package.
+func ReadTrace(arch *pack.Archive) (*prov.Trace, error) {
+	raw, err := arch.Read(TracePath)
+	if err != nil {
+		return nil, fmt.Errorf("package has no trace: %w", err)
+	}
+	data, err := gunzipBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("trace decompress: %w", err)
+	}
+	return prov.Unmarshal(data, prov.CombinedDefault())
+}
+
+// ReadDBLog loads and decompresses the recorded interaction log from a
+// server-excluded package.
+func ReadDBLog(arch *pack.Archive) ([]*SessionLog, error) {
+	raw, err := arch.Read(DBLogPath)
+	if err != nil {
+		return nil, fmt.Errorf("package has no DB log: %w", err)
+	}
+	data, err := gunzipBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("db log decompress: %w", err)
+	}
+	return UnmarshalDBLog(data)
+}

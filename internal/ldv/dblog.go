@@ -1,0 +1,62 @@
+package ldv
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ldv/internal/engine"
+)
+
+// SessionLog records one client session's DB interactions in order — the
+// materialized query results a server-excluded package replays (§VII-D,
+// §VIII).
+type SessionLog struct {
+	// Proc is the recording process's trace node ID (informational; replay
+	// matches sessions by open order, since PIDs repeat deterministically).
+	Proc    string     `json:"proc"`
+	Entries []LogEntry `json:"entries"`
+}
+
+// LogEntry is one recorded statement with its full response.
+type LogEntry struct {
+	SQL          string     `json:"sql"`
+	Columns      []string   `json:"columns,omitempty"`
+	Rows         [][]string `json:"rows,omitempty"` // kind-prefixed cells
+	RowsAffected int        `json:"rows_affected,omitempty"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// dbLogDoc is the on-disk format of /ldv/dblog.json.
+type dbLogDoc struct {
+	Sessions []*SessionLog `json:"sessions"`
+}
+
+// MarshalDBLog serializes session logs for package inclusion.
+func MarshalDBLog(sessions []*SessionLog) ([]byte, error) {
+	return json.Marshal(dbLogDoc{Sessions: sessions})
+}
+
+// UnmarshalDBLog parses a serialized DB log.
+func UnmarshalDBLog(data []byte) ([]*SessionLog, error) {
+	var doc dbLogDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("db log: %w", err)
+	}
+	return doc.Sessions, nil
+}
+
+// Result reconstructs the engine.Result a recorded entry stands for.
+func (e *LogEntry) Result() (*engine.Result, error) {
+	if e.Error != "" {
+		return nil, fmt.Errorf("replayed error: %s", e.Error)
+	}
+	res := &engine.Result{Columns: e.Columns, RowsAffected: e.RowsAffected}
+	for _, cells := range e.Rows {
+		row, err := decodeRowCells(cells)
+		if err != nil {
+			return nil, fmt.Errorf("replayed row: %w", err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

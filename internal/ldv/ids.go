@@ -1,0 +1,71 @@
+// Package ldv is the core of light-weight database virtualization: it
+// monitors a DB application running on the simulated OS (building the
+// combined PBB+PLin execution trace of §VII), determines the relevant DB
+// subset via lineage (§VII-D), creates server-included and server-excluded
+// re-executable packages, and re-executes packages (§VIII).
+package ldv
+
+import (
+	"fmt"
+	"strings"
+
+	"ldv/internal/engine"
+)
+
+// Node-ID conventions for combined execution traces. Every trace node ID is
+// prefixed by its category so IDs never collide across categories.
+const (
+	procPrefix   = "proc:"
+	filePrefix   = "file:"
+	stmtPrefix   = "stmt:"
+	tuplePrefix  = "tuple:"
+	resultPrefix = "rtuple:"
+)
+
+// ProcNodeID returns the trace node ID for a process.
+func ProcNodeID(pid int) string { return fmt.Sprintf("%s%d", procPrefix, pid) }
+
+// FileNodeID returns the trace node ID for a file path.
+func FileNodeID(path string) string { return filePrefix + path }
+
+// StmtNodeID returns the trace node ID for an executed SQL statement.
+func StmtNodeID(stmtID int64) string { return fmt.Sprintf("%s%d", stmtPrefix, stmtID) }
+
+// TupleNodeID returns the trace node ID for a stored tuple version.
+func TupleNodeID(ref engine.TupleRef) string { return tuplePrefix + ref.String() }
+
+// ResultTupleNodeID returns the trace node ID for the i-th result tuple of
+// a statement (result tuples are not stored in the DB).
+func ResultTupleNodeID(stmtID int64, i int) string {
+	return fmt.Sprintf("%s%d/%d", resultPrefix, stmtID, i)
+}
+
+// FilePathOfNode recovers the path from a file node ID ("" if not a file).
+func FilePathOfNode(id string) string {
+	if strings.HasPrefix(id, filePrefix) {
+		return id[len(filePrefix):]
+	}
+	return ""
+}
+
+// TupleRefOfNode recovers the tuple ref from a tuple node ID.
+func TupleRefOfNode(id string) (engine.TupleRef, bool) {
+	if !strings.HasPrefix(id, tuplePrefix) {
+		return engine.TupleRef{}, false
+	}
+	body := id[len(tuplePrefix):]
+	slash := strings.LastIndex(body, "/")
+	at := strings.LastIndex(body, "@")
+	if slash < 0 || at < slash {
+		return engine.TupleRef{}, false
+	}
+	var row uint64
+	var version uint64
+	if _, err := fmt.Sscanf(body[slash+1:at], "%d", &row); err != nil {
+		return engine.TupleRef{}, false
+	}
+	if _, err := fmt.Sscanf(body[at+1:], "%d", &version); err != nil {
+		return engine.TupleRef{}, false
+	}
+	return engine.TupleRef{Table: body[:slash], Row: engine.RowID(row), Version: version}, true
+}

@@ -1,0 +1,138 @@
+package ldv
+
+import (
+	"fmt"
+
+	"ldv/internal/deps"
+	"ldv/internal/osim"
+	"ldv/internal/pack"
+	"ldv/internal/prov"
+)
+
+// NeededBinaries analyses a combined execution trace and returns the
+// application binaries (a subset of candidates, order preserved) required
+// to regenerate the given output file — the paper's partial re-execution
+// analysis (§II item ii, §IV): a binary is needed when one of its processes
+// produced the output or produced an entity the output temporally depends
+// on (Definition 11).
+func NeededBinaries(tr *prov.Trace, outputPath string, candidates []string) ([]string, error) {
+	outID := FileNodeID(outputPath)
+	if tr.Node(outID) == nil {
+		return nil, fmt.Errorf("partial replay: output %q not in trace", outputPath)
+	}
+	inf := deps.NewDefaultInferencer(tr)
+
+	// Entities the output depends on, plus the output itself (its direct
+	// producers are needed too).
+	needed := map[string]bool{outID: true}
+	for _, d := range inf.Dependencies(outID) {
+		needed[d] = true
+	}
+
+	// Processes that produced a needed entity: writers of needed files and
+	// the runners of statements that returned needed tuples.
+	procs := map[string]bool{}
+	markStmtRunner := func(stmtID string) {
+		for _, e := range tr.In(stmtID) {
+			if e.Label == prov.EdgeRun {
+				procs[e.From.ID] = true
+			}
+		}
+	}
+	for id := range needed {
+		for _, e := range tr.In(id) {
+			switch e.Label {
+			case prov.EdgeHasWritten:
+				procs[e.From.ID] = true
+			case prov.EdgeHasReturned:
+				markStmtRunner(e.From.ID)
+			}
+		}
+	}
+
+	// Expand each needed process through its executed-ancestor chain: if a
+	// child process did the work, its root application binary must run.
+	binaries := map[string]bool{}
+	var walk func(procID string)
+	walk = func(procID string) {
+		n := tr.Node(procID)
+		if n == nil {
+			return
+		}
+		if b := n.Attrs["binary"]; b != "" {
+			binaries[b] = true
+		}
+		for _, e := range tr.In(procID) {
+			if e.Label == prov.EdgeExecuted {
+				walk(e.From.ID)
+			}
+		}
+	}
+	for p := range procs {
+		walk(p)
+	}
+
+	var out []string
+	for _, c := range candidates {
+		if binaries[c] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// PartialReplay re-executes only the part of a server-included package
+// needed to regenerate outputPath, skipping application binaries the output
+// does not depend on. Server-excluded packages carry no trace (§VIII) and
+// cannot be partially replayed.
+func PartialReplay(arch *pack.Archive, programs map[string]osim.Program, outputPath string) (*Machine, []string, error) {
+	tr, err := ReadTrace(arch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("partial replay needs a server-included package with a trace: %w", err)
+	}
+	setup, err := PrepareReplay(arch, programs)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ClearRuntime(setup.Machine.Kernel)
+
+	candidates := make([]string, len(setup.Apps))
+	for i, a := range setup.Apps {
+		candidates[i] = a.Binary
+	}
+	needed, err := NeededBinaries(tr, outputPath, candidates)
+	if err != nil {
+		return nil, nil, err
+	}
+	neededSet := map[string]bool{}
+	for _, b := range needed {
+		neededSet[b] = true
+	}
+
+	root := setup.Machine.Kernel.Start("ldv-exec-partial")
+	defer root.Exit()
+	if setup.Manifest.Type == TypeServerIncluded {
+		if err := setup.Machine.StartServer(root); err != nil {
+			return nil, nil, err
+		}
+	}
+	var runErr error
+	for _, app := range setup.Apps {
+		if !neededSet[app.Binary] {
+			continue
+		}
+		if err := root.Spawn(app.Binary, app.Libs...); err != nil {
+			runErr = fmt.Errorf("partial replay %s: %w", app.Binary, err)
+			break
+		}
+	}
+	if setup.Manifest.Type == TypeServerIncluded {
+		if err := setup.Machine.StopServer(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	return setup.Machine, needed, nil
+}

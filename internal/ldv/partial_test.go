@@ -1,0 +1,153 @@
+package ldv
+
+import (
+	"fmt"
+	"testing"
+
+	"ldv/internal/engine"
+	"ldv/internal/osim"
+)
+
+// threePipelineApps: app1 feeds the DB from in1.txt; app2 queries and
+// writes out.txt (depends on app1 through the DB); app3 writes junk.txt
+// from in3.txt without touching anything app2 needs.
+func threePipelineApps() []App {
+	app1 := App{
+		Binary: "/bin/feeder", Libs: ClientLibs(),
+		Prog: func(p *osim.Process) error {
+			data, err := p.ReadFile("/in1.txt")
+			if err != nil {
+				return err
+			}
+			conn, err := Dial(p)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			_, err = conn.Exec(fmt.Sprintf("INSERT INTO t VALUES (%s)", string(data)))
+			return err
+		},
+	}
+	app2 := App{
+		Binary: "/bin/reporter", Libs: ClientLibs(),
+		Prog: func(p *osim.Process) error {
+			conn, err := Dial(p)
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			res, err := conn.Query("SELECT SUM(a) FROM t")
+			if err != nil {
+				return err
+			}
+			return p.WriteFile("/out.txt", []byte(res.Rows[0][0].String()))
+		},
+	}
+	app3 := App{
+		Binary: "/bin/unrelated", Libs: ClientLibs(),
+		Prog: func(p *osim.Process) error {
+			data, err := p.ReadFile("/in3.txt")
+			if err != nil {
+				return err
+			}
+			return p.WriteFile("/junk.txt", append(data, '!'))
+		},
+	}
+	return []App{app1, app2, app3}
+}
+
+func auditThreePipelines(t *testing.T) (*Machine, *Auditor, []App) {
+	t.Helper()
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DB.ExecScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (5);", engine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fs := m.Kernel.FS()
+	fs.WriteFile("/in1.txt", []byte("7"))
+	fs.WriteFile("/in3.txt", []byte("zzz"))
+	apps := threePipelineApps()
+	aud, err := Audit(m, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, aud, apps
+}
+
+func TestNeededBinariesAnalysis(t *testing.T) {
+	_, aud, apps := auditThreePipelines(t)
+	candidates := []string{apps[0].Binary, apps[1].Binary, apps[2].Binary}
+
+	needed, err := NeededBinaries(aud.Trace(), "/out.txt", candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out.txt needs the feeder (through the DB) and the reporter, but not
+	// the unrelated pipeline.
+	if len(needed) != 2 || needed[0] != "/bin/feeder" || needed[1] != "/bin/reporter" {
+		t.Fatalf("needed = %v", needed)
+	}
+
+	needed, err = NeededBinaries(aud.Trace(), "/junk.txt", candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(needed) != 1 || needed[0] != "/bin/unrelated" {
+		t.Fatalf("needed for junk = %v", needed)
+	}
+
+	if _, err := NeededBinaries(aud.Trace(), "/nonexistent", candidates); err == nil {
+		t.Fatal("unknown output must error")
+	}
+}
+
+func TestPartialReplay(t *testing.T) {
+	m, aud, apps := auditThreePipelines(t)
+	want, err := m.Kernel.FS().ReadFile("/out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := BuildServerIncluded(m, aud, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]osim.Program{}
+	for _, a := range apps {
+		progs[a.Binary] = a.Prog
+	}
+	replayed, ran, err := PartialReplay(arch, progs, "/out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran binaries = %v", ran)
+	}
+	got, err := replayed.Kernel.FS().ReadFile("/out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("partial output %q != original %q", got, want)
+	}
+	// The skipped pipeline did not run: junk.txt must not exist.
+	if replayed.Kernel.FS().Exists("/junk.txt") {
+		t.Fatal("unrelated pipeline ran during partial replay")
+	}
+}
+
+func TestPartialReplayRequiresTrace(t *testing.T) {
+	m, aud, apps := auditThreePipelines(t)
+	arch, err := BuildServerExcluded(m, aud, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]osim.Program{}
+	for _, a := range apps {
+		progs[a.Binary] = a.Prog
+	}
+	if _, _, err := PartialReplay(arch, progs, "/out.txt"); err == nil {
+		t.Fatal("server-excluded partial replay must fail (no trace)")
+	}
+}

@@ -1,0 +1,173 @@
+package ldv
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ldv/internal/engine"
+	"ldv/internal/osim"
+	"ldv/internal/pack"
+)
+
+// ReplaySetup is a machine prepared from a package, ready to re-execute the
+// recorded applications — the state after `ldv-exec`'s initialization phase
+// (the cost Figure 7b charges to "Initialization").
+type ReplaySetup struct {
+	Machine  *Machine
+	Manifest *Manifest
+	Replayer *Replayer // server-excluded only
+	Apps     []App
+}
+
+// PrepareReplay extracts a package into a fresh simulated machine and, for
+// server-included packages, restores the relevant DB subset from the
+// provenance CSVs (§VIII: "we restore these tuples before any query
+// occurs"). The appPrograms map supplies the behaviour for each binary path
+// in the manifest — the simulation's stand-in for loading machine code.
+func PrepareReplay(arch *pack.Archive, appPrograms map[string]osim.Program) (*ReplaySetup, error) {
+	mdata, err := arch.Read(ManifestPath)
+	if err != nil {
+		return nil, fmt.Errorf("replay: package has no manifest: %w", err)
+	}
+	manifest, err := UnmarshalManifest(mdata)
+	if err != nil {
+		return nil, err
+	}
+
+	k := osim.NewKernel()
+	if err := arch.ExtractTo(k.FS(), "/"); err != nil {
+		return nil, fmt.Errorf("replay: extract: %w", err)
+	}
+
+	var apps []App
+	for _, am := range manifest.Apps {
+		prog, ok := appPrograms[am.Binary]
+		if !ok {
+			return nil, fmt.Errorf("replay: no program registered for %s", am.Binary)
+		}
+		apps = append(apps, App{Binary: am.Binary, Libs: am.Libs, Prog: prog})
+	}
+
+	setup := &ReplaySetup{Manifest: manifest, Apps: apps}
+	switch manifest.Type {
+	case TypeServerIncluded:
+		db := engine.NewDB(k.Clock())
+		for _, td := range manifest.Tables {
+			schema, err := td.Schema()
+			if err != nil {
+				return nil, err
+			}
+			if err := db.CreateTableFromSchema(td.Name, schema); err != nil {
+				return nil, err
+			}
+		}
+		if err := restoreTuples(arch, db, manifest); err != nil {
+			return nil, err
+		}
+		m := NewMachineForReplay(k, db, manifest.Addr, manifest.DataDir, manifest.Database)
+		m.RegisterApps(apps)
+		setup.Machine = m
+		SetRuntime(k, &Runtime{Mode: ModePlain, Addr: m.Addr, Database: m.Database})
+	case TypeServerExcluded:
+		sessions, err := ReadDBLog(arch)
+		if err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+		setup.Replayer = NewReplayer(sessions)
+		m := &Machine{Kernel: k, Addr: manifest.Addr, Database: manifest.Database}
+		m.RegisterApps(apps)
+		setup.Machine = m
+		SetRuntime(k, &Runtime{
+			Mode: ModeReplayExcluded, Addr: manifest.Addr,
+			Database: manifest.Database, Replayer: setup.Replayer,
+		})
+	default:
+		return nil, fmt.Errorf("replay: unknown package type %q", manifest.Type)
+	}
+	return setup, nil
+}
+
+// restoreTuples loads every provenance CSV into the database, preserving
+// the original row ids and versions so the restored tuple versions are the
+// ones the trace references.
+func restoreTuples(arch *pack.Archive, db *engine.DB, manifest *Manifest) error {
+	for _, path := range arch.PathsUnder(ProvDataDir) {
+		table := strings.TrimSuffix(path[strings.LastIndex(path, "/")+1:], ".csv")
+		data, err := arch.Read(path)
+		if err != nil {
+			return err
+		}
+		r := csv.NewReader(bytes.NewReader(data))
+		records, err := r.ReadAll()
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", table, err)
+		}
+		if len(records) == 0 {
+			continue
+		}
+		for _, rec := range records[1:] { // skip header
+			if len(rec) < 3 {
+				return fmt.Errorf("restore %s: short record", table)
+			}
+			rowID, err := strconv.ParseUint(rec[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("restore %s: bad rowid %q", table, rec[0])
+			}
+			version, err := strconv.ParseUint(rec[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("restore %s: bad version %q", table, rec[1])
+			}
+			vals, err := decodeRowCells(rec[3:])
+			if err != nil {
+				return fmt.Errorf("restore %s: %w", table, err)
+			}
+			if err := db.RestoreRow(table, engine.RowID(rowID), version, rec[2], vals); err != nil {
+				return fmt.Errorf("restore %s: %w", table, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Run re-executes the package's applications: for server-included packages
+// it starts the packaged server first and stops it after; for
+// server-excluded packages the apps run against the replayer alone.
+func (s *ReplaySetup) Run() error {
+	root := s.Machine.Kernel.Start("ldv-exec")
+	defer root.Exit()
+	if s.Manifest.Type == TypeServerIncluded {
+		if err := s.Machine.StartServer(root); err != nil {
+			return fmt.Errorf("replay: start packaged server: %w", err)
+		}
+	}
+	var runErr error
+	for _, app := range s.Apps {
+		if err := root.Spawn(app.Binary, app.Libs...); err != nil {
+			runErr = fmt.Errorf("replay %s: %w", app.Binary, err)
+			break
+		}
+	}
+	if s.Manifest.Type == TypeServerIncluded {
+		if err := s.Machine.StopServer(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}
+
+// Replay is the one-call `ldv-exec` equivalent: prepare, run, and return
+// the machine for output inspection.
+func Replay(arch *pack.Archive, appPrograms map[string]osim.Program) (*Machine, error) {
+	setup, err := PrepareReplay(arch, appPrograms)
+	if err != nil {
+		return nil, err
+	}
+	defer ClearRuntime(setup.Machine.Kernel)
+	if err := setup.Run(); err != nil {
+		return nil, err
+	}
+	return setup.Machine, nil
+}

@@ -1,0 +1,82 @@
+package ldv
+
+import (
+	"fmt"
+	"sync"
+
+	"ldv/internal/client"
+	"ldv/internal/osim"
+)
+
+// Mode selects how DB applications on a machine reach the database. The
+// application code is identical in every mode (it always calls Dial) — the
+// mode is ambient, mirroring the paper's usage where running under
+// `ldv-audit` or `ldv-exec` changes interposition, not the application.
+type Mode int
+
+// Runtime modes.
+const (
+	// ModePlain connects directly to the server: an unmonitored run.
+	ModePlain Mode = iota
+	// ModeAudit connects through the LDV audit interceptor.
+	ModeAudit
+	// ModeReplayExcluded serves every statement from a recorded DB log —
+	// no server exists (server-excluded re-execution, §VIII).
+	ModeReplayExcluded
+)
+
+// Runtime is the ambient LDV configuration of a simulated machine.
+type Runtime struct {
+	Mode     Mode
+	Addr     string
+	Database string
+	Auditor  *Auditor  // ModeAudit
+	Replayer *Replayer // ModeReplayExcluded
+}
+
+var runtimes sync.Map // *osim.Kernel -> *Runtime
+
+// SetRuntime installs the runtime for a machine's kernel.
+func SetRuntime(k *osim.Kernel, rt *Runtime) { runtimes.Store(k, rt) }
+
+// ClearRuntime removes a kernel's runtime.
+func ClearRuntime(k *osim.Kernel) { runtimes.Delete(k) }
+
+// RuntimeOf returns the runtime governing a kernel, or nil.
+func RuntimeOf(k *osim.Kernel) *Runtime {
+	v, ok := runtimes.Load(k)
+	if !ok {
+		return nil
+	}
+	return v.(*Runtime)
+}
+
+// Dial opens a DB session for an application process under the machine's
+// current runtime mode. Application programs use this instead of the raw
+// client so that audit and replay stay transparent to them.
+func Dial(p *osim.Process) (*client.Conn, error) {
+	rt := RuntimeOf(p.Kernel())
+	if rt == nil {
+		return nil, fmt.Errorf("ldv: no runtime configured for this machine")
+	}
+	opts := client.Options{
+		Proc:     ProcNodeID(p.PID),
+		Database: rt.Database,
+	}
+	switch rt.Mode {
+	case ModePlain:
+		return client.Dial(p, rt.Addr, opts)
+	case ModeAudit:
+		opts.Interceptors = rt.Auditor.Session(p)
+		return client.Dial(p, rt.Addr, opts)
+	case ModeReplayExcluded:
+		ics, err := rt.Replayer.Session(p)
+		if err != nil {
+			return nil, err
+		}
+		opts.Interceptors = ics
+		return client.Dial(client.ReplayDialer{}, rt.Addr, opts)
+	default:
+		return nil, fmt.Errorf("ldv: unknown runtime mode %d", rt.Mode)
+	}
+}

@@ -1,0 +1,271 @@
+package osim
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the simulated filesystem: a tree of directories, regular files, and
+// symbolic links addressed by slash-separated absolute paths. It satisfies
+// engine.FileSystem so the database server can keep its data directory
+// inside the simulation, where file-granularity packagers can see it.
+type FS struct {
+	mu    sync.Mutex
+	nodes map[string]*fsNode
+}
+
+type fsNode struct {
+	dir     bool
+	symlink string // non-empty for symlinks; target path
+	data    []byte
+}
+
+// NewFS returns a filesystem containing only the root directory.
+func NewFS() *FS {
+	return &FS{nodes: map[string]*fsNode{"/": {dir: true}}}
+}
+
+// clean normalizes p to an absolute slash path.
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// resolve follows symlinks (bounded to avoid cycles) and returns the final
+// path. The final component may be nonexistent.
+func (f *FS) resolve(p string) (string, error) {
+	p = clean(p)
+	for i := 0; i < 40; i++ {
+		n, ok := f.nodes[p]
+		if !ok || n.symlink == "" {
+			return p, nil
+		}
+		target := n.symlink
+		if !strings.HasPrefix(target, "/") {
+			target = path.Join(path.Dir(p), target)
+		}
+		p = clean(target)
+	}
+	return "", fmt.Errorf("too many levels of symbolic links: %s", p)
+}
+
+// MkdirAll creates a directory and all missing parents.
+func (f *FS) MkdirAll(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mkdirAllLocked(clean(p))
+}
+
+func (f *FS) mkdirAllLocked(p string) error {
+	if n, ok := f.nodes[p]; ok {
+		if n.dir {
+			return nil
+		}
+		return fmt.Errorf("mkdir %s: not a directory", p)
+	}
+	if p != "/" {
+		if err := f.mkdirAllLocked(path.Dir(p)); err != nil {
+			return err
+		}
+	}
+	f.nodes[p] = &fsNode{dir: true}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file, creating parent directories
+// as needed (a convenience over the real syscall surface; the simulation
+// does not model permission failures).
+func (f *FS) WriteFile(p string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rp, err := f.resolve(p)
+	if err != nil {
+		return err
+	}
+	if n, ok := f.nodes[rp]; ok && n.dir {
+		return fmt.Errorf("write %s: is a directory", p)
+	}
+	if err := f.mkdirAllLocked(path.Dir(rp)); err != nil {
+		return err
+	}
+	f.nodes[rp] = &fsNode{data: append([]byte(nil), data...)}
+	return nil
+}
+
+// AppendFile appends to a file, creating it if absent.
+func (f *FS) AppendFile(p string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rp, err := f.resolve(p)
+	if err != nil {
+		return err
+	}
+	n, ok := f.nodes[rp]
+	if !ok {
+		if err := f.mkdirAllLocked(path.Dir(rp)); err != nil {
+			return err
+		}
+		n = &fsNode{}
+		f.nodes[rp] = n
+	}
+	if n.dir {
+		return fmt.Errorf("append %s: is a directory", p)
+	}
+	n.data = append(n.data, data...)
+	return nil
+}
+
+// ReadFile returns a copy of a file's contents.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rp, err := f.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := f.nodes[rp]
+	if !ok {
+		return nil, fmt.Errorf("open %s: no such file", p)
+	}
+	if n.dir {
+		return nil, fmt.Errorf("read %s: is a directory", p)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target.
+func (f *FS) Symlink(target, linkPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lp := clean(linkPath)
+	if _, exists := f.nodes[lp]; exists {
+		return fmt.Errorf("symlink %s: file exists", linkPath)
+	}
+	if err := f.mkdirAllLocked(path.Dir(lp)); err != nil {
+		return err
+	}
+	f.nodes[lp] = &fsNode{symlink: target}
+	return nil
+}
+
+// Remove deletes a file or empty directory.
+func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := clean(p)
+	n, ok := f.nodes[cp]
+	if !ok {
+		return fmt.Errorf("remove %s: no such file", p)
+	}
+	if n.dir {
+		for other := range f.nodes {
+			if other != cp && strings.HasPrefix(other, cp+"/") {
+				return fmt.Errorf("remove %s: directory not empty", p)
+			}
+		}
+	}
+	delete(f.nodes, cp)
+	return nil
+}
+
+// FileInfo describes one filesystem entry for Walk and Stat.
+type FileInfo struct {
+	Path    string
+	Dir     bool
+	Symlink string // target if symlink
+	Size    int64
+}
+
+// Stat reports on the entry at p without following a final symlink.
+func (f *FS) Stat(p string) (FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := clean(p)
+	n, ok := f.nodes[cp]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("stat %s: no such file", p)
+	}
+	return FileInfo{Path: cp, Dir: n.dir, Symlink: n.symlink, Size: int64(len(n.data))}, nil
+}
+
+// Exists reports whether a path exists (following symlinks).
+func (f *FS) Exists(p string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rp, err := f.resolve(p)
+	if err != nil {
+		return false
+	}
+	_, ok := f.nodes[rp]
+	return ok
+}
+
+// ReadDir lists the base names of entries directly under dir, sorted.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rd, err := f.resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := f.nodes[rd]
+	if !ok {
+		return nil, fmt.Errorf("readdir %s: no such directory", dir)
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("readdir %s: not a directory", dir)
+	}
+	var names []string
+	prefix := rd + "/"
+	if rd == "/" {
+		prefix = "/"
+	}
+	for p := range f.nodes {
+		if p == rd || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Walk visits every entry under root in sorted path order.
+func (f *FS) Walk(root string, fn func(FileInfo) error) error {
+	f.mu.Lock()
+	cr := clean(root)
+	var infos []FileInfo
+	for p, n := range f.nodes {
+		if p == cr || strings.HasPrefix(p, strings.TrimSuffix(cr, "/")+"/") {
+			infos = append(infos, FileInfo{Path: p, Dir: n.dir, Symlink: n.symlink, Size: int64(len(n.data))})
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Path < infos[j].Path })
+	for _, in := range infos {
+		if err := fn(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalSize sums the sizes of all regular files under root.
+func (f *FS) TotalSize(root string) int64 {
+	var total int64
+	_ = f.Walk(root, func(in FileInfo) error {
+		if !in.Dir && in.Symlink == "" {
+			total += in.Size
+		}
+		return nil
+	})
+	return total
+}

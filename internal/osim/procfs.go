@@ -1,0 +1,62 @@
+package osim
+
+import "fmt"
+
+// ProcFS adapts a Process to the engine.FileSystem interface so that a
+// program (notably the DB server persisting its data directory) performs
+// its file I/O through traced syscalls. A ptrace-style monitor therefore
+// observes the server's data files exactly as PTU would on a real system —
+// which is how whole-DB packagers come to include them.
+type ProcFS struct {
+	p *Process
+}
+
+// NewProcFS returns a filesystem view bound to p.
+func NewProcFS(p *Process) *ProcFS { return &ProcFS{p: p} }
+
+// WriteFile creates or replaces a file via traced open/write/close.
+func (f *ProcFS) WriteFile(path string, data []byte) error {
+	file, err := f.p.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// ReadFile reads a whole file via traced open/read/close.
+func (f *ProcFS) ReadFile(path string) ([]byte, error) {
+	file, err := f.p.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return file.ReadAll()
+}
+
+// ReadDir lists a directory (metadata access; not traced, like getdents
+// under PTU's file-level monitoring).
+func (f *ProcFS) ReadDir(path string) ([]string, error) {
+	return f.p.kernel.fs.ReadDir(path)
+}
+
+// MkdirAll creates directories (not traced; PTU tracks files).
+func (f *ProcFS) MkdirAll(path string) error { return f.p.kernel.fs.MkdirAll(path) }
+
+// Symlink creates a symbolic link.
+func (f *ProcFS) Symlink(target, linkPath string) error {
+	return f.p.kernel.fs.Symlink(target, linkPath)
+}
+
+var _ interface {
+	WriteFile(string, []byte) error
+	ReadFile(string) ([]byte, error)
+	ReadDir(string) ([]string, error)
+	MkdirAll(string) error
+} = (*ProcFS)(nil)
+
+// String identifies the view for diagnostics.
+func (f *ProcFS) String() string { return fmt.Sprintf("procfs(pid=%d)", f.p.PID) }

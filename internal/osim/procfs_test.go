@@ -1,0 +1,66 @@
+package osim
+
+import (
+	"testing"
+)
+
+func TestProcFSTracedIO(t *testing.T) {
+	k := NewKernel()
+	rec := &recorder{}
+	k.Trace(rec)
+	p := k.Start("server")
+	pfs := NewProcFS(p)
+
+	if err := pfs.WriteFile("/data/t.tbl", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := pfs.ReadFile("/data/t.tbl")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// Both the write and the read surfaced as traced open/close pairs.
+	var writes, reads int
+	for _, e := range rec.events {
+		if e.Kind == EvClose && e.Path == "/data/t.tbl" {
+			if e.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	if writes != 1 || reads != 1 {
+		t.Fatalf("traced writes=%d reads=%d", writes, reads)
+	}
+	// Untraced metadata surface.
+	names, err := pfs.ReadDir("/data")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("readdir: %v %v", names, err)
+	}
+	if err := pfs.MkdirAll("/data/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pfs.Symlink("/data/t.tbl", "/data/link"); err != nil {
+		t.Fatal(err)
+	}
+	if pfs.String() == "" {
+		t.Fatal("String must identify the view")
+	}
+}
+
+func TestProcFSWriteFailurePaths(t *testing.T) {
+	k := NewKernel()
+	p := k.Start("x")
+	pfs := NewProcFS(p)
+	k.FS().MkdirAll("/dir")
+	if err := pfs.WriteFile("/dir", []byte("x")); err == nil {
+		t.Fatal("writing over a directory must fail")
+	}
+	if _, err := pfs.ReadFile("/missing"); err == nil {
+		t.Fatal("reading missing file must fail")
+	}
+	p.Exit()
+	if err := pfs.WriteFile("/f", nil); err == nil {
+		t.Fatal("dead-process write must fail")
+	}
+}

@@ -1,0 +1,176 @@
+package pack
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ldv/internal/osim"
+)
+
+func TestArchiveBasics(t *testing.T) {
+	a := New()
+	a.Add("/bin/app", []byte("elf"))
+	a.Add("etc/conf", []byte("k=v")) // relative paths are normalized
+	a.AddSymlink("/lib/link.so", "/lib/real.so")
+	if !a.Has("/etc/conf") {
+		t.Fatal("normalized path missing")
+	}
+	if a.Len() != 3 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	data, err := a.Read("/bin/app")
+	if err != nil || string(data) != "elf" {
+		t.Fatalf("read: %q %v", data, err)
+	}
+	if _, err := a.Read("/lib/link.so"); err == nil {
+		t.Error("reading a symlink must fail")
+	}
+	if _, err := a.Read("/missing"); err == nil {
+		t.Error("reading missing member must fail")
+	}
+	if a.TotalSize() != 6 {
+		t.Fatalf("total size = %d", a.TotalSize())
+	}
+	want := []string{"/bin/app", "/etc/conf", "/lib/link.so"}
+	if !reflect.DeepEqual(a.Paths(), want) {
+		t.Fatalf("paths = %v", a.Paths())
+	}
+}
+
+func TestPathsUnderAndSizeUnder(t *testing.T) {
+	a := New()
+	a.Add("/db/data/t1.tbl", make([]byte, 100))
+	a.Add("/db/data/t2.tbl", make([]byte, 50))
+	a.Add("/bin/x", make([]byte, 10))
+	if got := a.PathsUnder("/db/data"); len(got) != 2 {
+		t.Fatalf("paths under = %v", got)
+	}
+	if a.SizeUnder("/db") != 150 {
+		t.Fatalf("size under = %d", a.SizeUnder("/db"))
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := New()
+	a.Add("/a", []byte("alpha"))
+	a.Add("/b/c", nil)
+	a.AddSymlink("/d", "relative/target")
+	data := a.Marshal()
+	b, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Paths(), b.Paths()) {
+		t.Fatalf("paths differ: %v vs %v", a.Paths(), b.Paths())
+	}
+	got, _ := b.Read("/a")
+	if string(got) != "alpha" {
+		t.Fatal("content differs")
+	}
+	if b.Entry("/d").Symlink != "relative/target" {
+		t.Fatal("symlink differs")
+	}
+	// Determinism.
+	if !bytes.Equal(a.Marshal(), a.Marshal()) {
+		t.Fatal("marshal is not deterministic")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOTPKG0\n"),
+		[]byte(archiveMagic),            // missing count
+		append([]byte(archiveMagic), 5), // count but no members
+		append(New().Marshal(), 0xFF),   // trailing garbage
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestExtractToSimFS(t *testing.T) {
+	a := New()
+	a.Add("/app/bin/tool", []byte("bin"))
+	a.AddSymlink("/app/lib/l.so", "/app/lib/real.so")
+	a.Add("/app/lib/real.so", []byte("lib"))
+	fs := osim.NewFS()
+	if err := a.ExtractTo(fs, "/pkgroot"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/pkgroot/app/bin/tool")
+	if err != nil || string(data) != "bin" {
+		t.Fatalf("extract: %q %v", data, err)
+	}
+	// Absolute symlink targets are rebased into the package root.
+	data, err = fs.ReadFile("/pkgroot/app/lib/l.so")
+	if err != nil || string(data) != "lib" {
+		t.Fatalf("symlink extract: %q %v", data, err)
+	}
+}
+
+func TestSaveLoadRealDisk(t *testing.T) {
+	a := New()
+	a.Add("/x", []byte("payload"))
+	p := filepath.Join(t.TempDir(), "pkg.ldv")
+	if err := a.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Read("/x")
+	if string(got) != "payload" {
+		t.Fatal("disk round trip failed")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("loading missing file must fail")
+	}
+}
+
+type quickArchive struct{ A *Archive }
+
+func (quickArchive) Generate(r *rand.Rand, _ int) reflect.Value {
+	a := New()
+	n := r.Intn(10)
+	for i := 0; i < n; i++ {
+		p := "/f" + string(rune('a'+r.Intn(26)))
+		if r.Intn(5) == 0 {
+			a.AddSymlink(p, "/target")
+			continue
+		}
+		data := make([]byte, r.Intn(64))
+		r.Read(data)
+		a.Add(p, data)
+	}
+	return reflect.ValueOf(quickArchive{A: a})
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(q quickArchive) bool {
+		b, err := Unmarshal(q.A.Marshal())
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(q.A.Paths(), b.Paths()) {
+			return false
+		}
+		for _, p := range q.A.Paths() {
+			ea, eb := q.A.Entry(p), b.Entry(p)
+			if ea.Symlink != eb.Symlink || !bytes.Equal(ea.Data, eb.Data) {
+				return false
+			}
+		}
+		return b.TotalSize() == q.A.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExportDOT renders the trace in Graphviz DOT form, drawn in the paper's
+// figure style: processes and SQL statements as boxes (activities), files
+// and tuples as ellipses (entities), interaction edges labelled with their
+// time intervals, and data dependencies as dashed edges.
+func (tr *Trace) ExportDOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph trace {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [fontsize=10];\n")
+	for _, n := range tr.Nodes() {
+		shape := "box"
+		if n.IsEntity(tr.Model) {
+			shape = "ellipse"
+		}
+		label := n.Label
+		if label == "" {
+			label = n.ID
+		}
+		if len(label) > 40 {
+			label = label[:37] + "..."
+		}
+		fmt.Fprintf(&sb, "  %s [shape=%s, label=%s];\n", dotID(n.ID), shape, dotString(label))
+	}
+	for _, e := range tr.Edges() {
+		fmt.Fprintf(&sb, "  %s -> %s [label=%s];\n",
+			dotID(e.From.ID), dotID(e.To.ID), dotString(fmt.Sprintf("%s %s", e.Label, e.T)))
+	}
+	deps := tr.Deps()
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].From != deps[j].From {
+			return deps[i].From < deps[j].From
+		}
+		return deps[i].To < deps[j].To
+	})
+	for _, d := range deps {
+		fmt.Fprintf(&sb, "  %s -> %s [style=dashed, color=gray, label=\"dep\"];\n",
+			dotID(d.From), dotID(d.To))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotID produces a safe DOT identifier for an arbitrary node id.
+func dotID(id string) string {
+	var sb strings.Builder
+	sb.WriteString("n_")
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			fmt.Fprintf(&sb, "_%02x", r)
+		}
+	}
+	return sb.String()
+}
+
+func dotString(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}

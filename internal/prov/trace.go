@@ -1,0 +1,195 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a closed logical-time interval annotating an edge
+// (Definition 2's T function).
+type Interval struct {
+	Begin, End uint64
+}
+
+// Point returns the degenerate interval [t, t].
+func Point(t uint64) Interval { return Interval{Begin: t, End: t} }
+
+// String renders the interval as [b, e].
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Begin, iv.End) }
+
+// Valid reports whether Begin <= End.
+func (iv Interval) Valid() bool { return iv.Begin <= iv.End }
+
+// Node is one activity or entity instance in an execution trace.
+type Node struct {
+	ID    string
+	Type  string
+	Label string            // human-readable description
+	Attrs map[string]string // optional metadata (e.g. SQL text, file path)
+}
+
+// IsEntity reports whether the node is an entity under model m.
+func (n *Node) IsEntity(m *Model) bool { return m.IsEntity(n.Type) }
+
+// Edge is one typed, time-annotated interaction.
+type Edge struct {
+	From, To *Node
+	Label    string
+	T        Interval
+}
+
+// Dep records a direct same-model data dependency between two entities:
+// To depends on From (information flowed From -> To). For PLin these are
+// derived from Lineage (Definition 7); recording them explicitly preserves
+// the per-result association that plain hasRead/hasReturned edges lose.
+type Dep struct {
+	From, To string // node IDs
+}
+
+// Trace is an execution trace for a provenance model (Definition 2): a
+// typed graph with interval-annotated edges, plus recorded direct data
+// dependencies.
+type Trace struct {
+	Model *Model
+
+	nodes map[string]*Node
+	edges []*Edge
+	out   map[string][]*Edge
+	in    map[string][]*Edge
+	deps  map[Dep]bool
+}
+
+// NewTrace returns an empty trace for model m.
+func NewTrace(m *Model) *Trace {
+	return &Trace{
+		Model: m,
+		nodes: map[string]*Node{},
+		out:   map[string][]*Edge{},
+		in:    map[string][]*Edge{},
+		deps:  map[Dep]bool{},
+	}
+}
+
+// AddNode creates (or returns the existing) node with the given id and
+// type. Adding the same id with a different type is an error.
+func (tr *Trace) AddNode(id, typ, label string) (*Node, error) {
+	if !tr.Model.ValidNode(typ) {
+		return nil, fmt.Errorf("trace: node type %q is not part of model %s", typ, tr.Model.Name)
+	}
+	if n, ok := tr.nodes[id]; ok {
+		if n.Type != typ {
+			return nil, fmt.Errorf("trace: node %q exists with type %q, not %q", id, n.Type, typ)
+		}
+		return n, nil
+	}
+	n := &Node{ID: id, Type: typ, Label: label, Attrs: map[string]string{}}
+	tr.nodes[id] = n
+	return n, nil
+}
+
+// Node returns the node with the given id, or nil.
+func (tr *Trace) Node(id string) *Node { return tr.nodes[id] }
+
+// Nodes returns all nodes sorted by id.
+func (tr *Trace) Nodes() []*Node {
+	out := make([]*Node, 0, len(tr.nodes))
+	for _, n := range tr.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddEdge connects two existing nodes with a typed, time-annotated edge,
+// validating the edge type against the model.
+func (tr *Trace) AddEdge(fromID, toID, label string, t Interval) (*Edge, error) {
+	from, ok := tr.nodes[fromID]
+	if !ok {
+		return nil, fmt.Errorf("trace: edge source %q does not exist", fromID)
+	}
+	to, ok := tr.nodes[toID]
+	if !ok {
+		return nil, fmt.Errorf("trace: edge target %q does not exist", toID)
+	}
+	if !t.Valid() {
+		return nil, fmt.Errorf("trace: invalid interval %v on edge %s->%s", t, fromID, toID)
+	}
+	if !tr.Model.ValidEdge(label, from.Type, to.Type) {
+		return nil, fmt.Errorf("trace: edge %s(%s, %s) violates model %s",
+			label, from.Type, to.Type, tr.Model.Name)
+	}
+	e := &Edge{From: from, To: to, Label: label, T: t}
+	tr.edges = append(tr.edges, e)
+	tr.out[fromID] = append(tr.out[fromID], e)
+	tr.in[toID] = append(tr.in[toID], e)
+	return e, nil
+}
+
+// Edges returns all edges in insertion order.
+func (tr *Trace) Edges() []*Edge { return tr.edges }
+
+// Out returns the edges leaving node id.
+func (tr *Trace) Out(id string) []*Edge { return tr.out[id] }
+
+// In returns the edges entering node id.
+func (tr *Trace) In(id string) []*Edge { return tr.in[id] }
+
+// AddDep records that entity toID directly depends on entity fromID within
+// one provenance model. Both nodes must exist and be entities.
+func (tr *Trace) AddDep(fromID, toID string) error {
+	from, ok := tr.nodes[fromID]
+	if !ok {
+		return fmt.Errorf("trace: dep source %q does not exist", fromID)
+	}
+	to, ok := tr.nodes[toID]
+	if !ok {
+		return fmt.Errorf("trace: dep target %q does not exist", toID)
+	}
+	if !from.IsEntity(tr.Model) || !to.IsEntity(tr.Model) {
+		return fmt.Errorf("trace: dependency %s -> %s must connect entities", fromID, toID)
+	}
+	tr.deps[Dep{From: fromID, To: toID}] = true
+	return nil
+}
+
+// HasDep reports whether entity toID was recorded as directly depending on
+// entity fromID.
+func (tr *Trace) HasDep(fromID, toID string) bool {
+	return tr.deps[Dep{From: fromID, To: toID}]
+}
+
+// Deps returns all recorded direct dependencies, sorted.
+func (tr *Trace) Deps() []Dep {
+	out := make([]Dep, 0, len(tr.deps))
+	for d := range tr.deps {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NodeCount and EdgeCount report trace size.
+func (tr *Trace) NodeCount() int { return len(tr.nodes) }
+
+// EdgeCount reports the number of edges.
+func (tr *Trace) EdgeCount() int { return len(tr.edges) }
+
+// State implements Definition 10: the state of node v at time T is the set
+// of nodes v' with an edge (v', v) whose interaction began at or before T.
+func (tr *Trace) State(id string, t uint64) []*Node {
+	var out []*Node
+	seen := map[string]bool{}
+	for _, e := range tr.in[id] {
+		if e.T.Begin <= t && !seen[e.From.ID] {
+			seen[e.From.ID] = true
+			out = append(out, e.From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,182 @@
+// Package scenarios provides the ready-made demo applications the ldv-audit
+// and ldv-exec command-line tools operate on. Because simulated binaries
+// are Go functions, a package can only be re-executed by a tool that knows
+// the binaries' behaviour — the scenario registry is that knowledge, the
+// simulation's stand-in for loading machine code from the packaged files.
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"ldv/internal/engine"
+	"ldv/internal/ldv"
+	"ldv/internal/osim"
+	"ldv/internal/tpch"
+)
+
+// Scenario bundles a machine initializer with its application binaries.
+type Scenario struct {
+	Name string
+	// Describe summarizes the scenario for -list output.
+	Describe string
+	// Setup prepares a machine (schema, data, input files).
+	Setup func(m *ldv.Machine) error
+	// Apps returns the application binaries in execution order.
+	Apps func() []ldv.App
+	// Outputs lists the files whose contents prove a successful (re)run.
+	Outputs []string
+}
+
+// Programs returns the binary-to-behaviour map replay needs.
+func (s *Scenario) Programs() map[string]osim.Program {
+	out := map[string]osim.Program{}
+	for _, a := range s.Apps() {
+		out[a.Binary] = a.Prog
+	}
+	return out
+}
+
+// ByName resolves a scenario.
+func ByName(name string) (*Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario %q (try -list)", name)
+}
+
+// All lists the available scenarios.
+func All() []*Scenario {
+	return []*Scenario{Alice(), TPCH()}
+}
+
+// Alice is the paper's running example (§I/§II): process P1 loads a tuple
+// from a file, process P2 queries the DB and writes the result file.
+func Alice() *Scenario {
+	return &Scenario{
+		Name:     "alice",
+		Describe: "the paper's halo-finder example: loader inserts from a file, halofinder queries and writes results",
+		Outputs:  []string{"/home/alice/output.txt"},
+		Setup: func(m *ldv.Machine) error {
+			if _, err := m.DB.ExecScript(`
+				CREATE TABLE sky (id INTEGER PRIMARY KEY, region TEXT, brightness FLOAT);
+				INSERT INTO sky VALUES (1, 'north', 5.5), (2, 'north', 11.25),
+					(3, 'south', 14.0), (4, 'east', 7.75), (5, 'south', 12.5);`,
+				engine.ExecOptions{}); err != nil {
+				return err
+			}
+			if err := m.PersistData(); err != nil {
+				return err
+			}
+			return m.Kernel.FS().WriteFile("/home/alice/input.csv", []byte("6,west,19.5\n"))
+		},
+		Apps: func() []ldv.App {
+			loader := ldv.App{
+				Binary: "/home/alice/bin/loader",
+				Libs:   ldv.ClientLibs(),
+				Size:   96 << 10,
+				Prog: func(p *osim.Process) error {
+					data, err := p.ReadFile("/home/alice/input.csv")
+					if err != nil {
+						return err
+					}
+					parts := strings.Split(strings.TrimSpace(string(data)), ",")
+					if len(parts) != 3 {
+						return fmt.Errorf("loader: malformed input")
+					}
+					conn, err := ldv.Dial(p)
+					if err != nil {
+						return err
+					}
+					defer conn.Close()
+					_, err = conn.Exec(fmt.Sprintf(
+						"INSERT INTO sky VALUES (%s, '%s', %s)", parts[0], parts[1], parts[2]))
+					return err
+				},
+			}
+			halofinder := ldv.App{
+				Binary: "/home/alice/bin/halofinder",
+				Libs:   ldv.ClientLibs(),
+				Size:   160 << 10,
+				Prog: func(p *osim.Process) error {
+					conn, err := ldv.Dial(p)
+					if err != nil {
+						return err
+					}
+					defer conn.Close()
+					res, err := conn.Query(
+						"SELECT id, region, brightness FROM sky WHERE brightness > 10 ORDER BY brightness DESC")
+					if err != nil {
+						return err
+					}
+					var sb strings.Builder
+					sb.WriteString("halo candidates:\n")
+					for _, row := range res.Rows {
+						fmt.Fprintf(&sb, "  id=%s region=%s brightness=%s\n", row[0], row[1], row[2])
+					}
+					return p.WriteFile("/home/alice/output.txt", []byte(sb.String()))
+				},
+			}
+			return []ldv.App{loader, halofinder}
+		},
+	}
+}
+
+// TPCHConfig is the scale the tpch scenario runs at.
+var TPCHConfig = tpch.Config{SF: 0.002, Seed: 42}
+
+// TPCH is the §IX-A evaluation application at demo scale: insert into
+// orders, run query Q1-1 repeatedly, update orders.
+func TPCH() *Scenario {
+	cfg := TPCHConfig
+	return &Scenario{
+		Name:     "tpch",
+		Describe: fmt.Sprintf("the paper's evaluation workload (insert/select/update over TPC-H SF %g)", cfg.SF),
+		Outputs:  []string{"/home/alice/q1.out"},
+		Setup: func(m *ldv.Machine) error {
+			if _, err := tpch.Load(m.DB, cfg); err != nil {
+				return err
+			}
+			return m.PersistData()
+		},
+		Apps: func() []ldv.App {
+			app := ldv.App{
+				Binary: "/usr/bin/tpch-app",
+				Libs:   ldv.ClientLibs(),
+				Size:   180 << 10,
+				Prog: func(p *osim.Process) error {
+					q, err := tpch.QueryByID(cfg, "Q1-1")
+					if err != nil {
+						return err
+					}
+					w := tpch.NewWorkload(cfg, q)
+					w.NumInserts, w.NumSelects, w.NumUpdates = 50, 5, 20
+					conn, err := ldv.Dial(p)
+					if err != nil {
+						return err
+					}
+					defer conn.Close()
+					if err := w.InsertStep(conn); err != nil {
+						return err
+					}
+					var rows int
+					for i := 0; i < w.NumSelects; i++ {
+						res, err := conn.Query(q.SQL)
+						if err != nil {
+							return err
+						}
+						rows = len(res.Rows)
+					}
+					if err := w.UpdateStep(conn); err != nil {
+						return err
+					}
+					return p.WriteFile("/home/alice/q1.out",
+						[]byte(fmt.Sprintf("query %s returned %d rows\n", q.ID, rows)))
+				},
+			}
+			return []ldv.App{app}
+		},
+	}
+}

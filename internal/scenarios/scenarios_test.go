@@ -1,0 +1,85 @@
+package scenarios
+
+import (
+	"testing"
+
+	"ldv/internal/ldv"
+	"ldv/internal/pack"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"alice", "tpch"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("ByName(%q): %v %v", name, s, err)
+		}
+		if s.Describe == "" || len(s.Outputs) == 0 {
+			t.Errorf("%s: incomplete scenario", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scenario must fail")
+	}
+	if len(All()) != 2 {
+		t.Fatalf("All() = %d", len(All()))
+	}
+}
+
+// runScenario performs the full audit -> package -> replay cycle for a
+// scenario in one mode and verifies the outputs match.
+func runScenario(t *testing.T, name, mode string) {
+	t.Helper()
+	sc, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ldv.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Setup(m); err != nil {
+		t.Fatal(err)
+	}
+	apps := sc.Apps()
+	var opts ldv.AuditOptions
+	opts.CollectLineage = mode == "included"
+	aud, err := ldv.AuditWithOptions(m, apps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originals := map[string][]byte{}
+	for _, o := range sc.Outputs {
+		data, err := m.Kernel.FS().ReadFile(o)
+		if err != nil {
+			t.Fatalf("output %s missing after audit: %v", o, err)
+		}
+		originals[o] = data
+	}
+	var pkg *pack.Archive
+	if mode == "included" {
+		pkg, err = ldv.BuildServerIncluded(m, aud, apps)
+	} else {
+		pkg, err = ldv.BuildServerExcluded(m, aud, apps)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ldv.Replay(pkg, sc.Programs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, want := range originals {
+		got, err := replayed.Kernel.FS().ReadFile(o)
+		if err != nil {
+			t.Fatalf("replayed output %s missing: %v", o, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s/%s: replay diverged", name, mode)
+		}
+	}
+}
+
+func TestAliceIncluded(t *testing.T) { runScenario(t, "alice", "included") }
+func TestAliceExcluded(t *testing.T) { runScenario(t, "alice", "excluded") }
+func TestTPCHIncluded(t *testing.T)  { runScenario(t, "tpch", "included") }
+func TestTPCHExcluded(t *testing.T)  { runScenario(t, "tpch", "excluded") }

@@ -1,0 +1,219 @@
+// Package server implements the LDV database server: it owns an engine.DB,
+// accepts wire-protocol connections, executes statements, and streams
+// results (with per-row Lineage when requested). The server can run
+// standalone on a net.Listener or as a simulated process inside osim, where
+// its data directory lives in the simulated filesystem so file-granularity
+// packagers observe real DB data files.
+package server
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlparse"
+	"ldv/internal/wire"
+)
+
+// Acceptor abstracts the listeners the server can serve on: both
+// net.Listener and osim.Listener satisfy it.
+type Acceptor interface {
+	Accept() (net.Conn, error)
+}
+
+// Server executes statements against a database on behalf of wire clients.
+type Server struct {
+	db *engine.DB
+
+	mu       sync.Mutex
+	fs       engine.FileSystem
+	sessions int
+	logger   *log.Logger
+}
+
+// New returns a server over db. logger may be nil to disable logging.
+func New(db *engine.DB, logger *log.Logger) *Server {
+	return &Server{db: db, logger: logger}
+}
+
+// SetFS gives the server a filesystem for COPY statements. When the server
+// runs as a simulated process this is its ProcFS, so COPY file accesses are
+// traced as server I/O.
+func (s *Server) SetFS(fs engine.FileSystem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fs = fs
+}
+
+func (s *Server) fileSystem() engine.FileSystem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs
+}
+
+// DB exposes the underlying database (used by packagers that need direct
+// access, e.g. to checkpoint the data directory).
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Serve accepts connections until the acceptor fails (e.g. is closed),
+// handling each session on its own goroutine.
+func (s *Server) Serve(l Acceptor) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.HandleConn(conn)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// HandleConn runs one client session to completion.
+func (s *Server) HandleConn(conn net.Conn) {
+	defer conn.Close()
+
+	first, err := wire.Read(conn)
+	if err != nil {
+		return
+	}
+	startup, ok := first.(wire.Startup)
+	if !ok {
+		_ = wire.Write(conn, wire.Error{Message: "protocol error: expected Startup"})
+		return
+	}
+	s.mu.Lock()
+	s.sessions++
+	sid := s.sessions
+	s.mu.Unlock()
+	s.logf("session %d: proc=%s db=%s", sid, startup.Proc, startup.Database)
+
+	if err := wire.Write(conn, wire.Ready{}); err != nil {
+		return
+	}
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("session %d: read: %v", sid, err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case wire.Terminate:
+			return
+		case wire.Query:
+			if err := s.handleQuery(conn, startup.Proc, m); err != nil {
+				s.logf("session %d: %v", sid, err)
+				return
+			}
+		default:
+			if err := wire.Write(conn, wire.Error{Message: fmt.Sprintf("protocol error: unexpected %T", msg)}); err != nil {
+				return
+			}
+			if err := wire.Write(conn, wire.Ready{}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleQuery(conn net.Conn, proc string, q wire.Query) error {
+	res, err := s.exec(q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage})
+	if err != nil {
+		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
+			return werr
+		}
+		return wire.Write(conn, wire.Ready{})
+	}
+	if err := wire.Write(conn, wire.RowDescription{Columns: res.Columns}); err != nil {
+		return err
+	}
+	for i, row := range res.Rows {
+		if err := wire.Write(conn, wire.DataRow{Values: row}); err != nil {
+			return err
+		}
+		if res.Lineage != nil {
+			if err := wire.Write(conn, wire.LineageRow{Refs: res.Lineage[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	if len(res.TupleValues) > 0 {
+		tv := wire.TupleValues{}
+		for ref, vals := range res.TupleValues {
+			tv.Refs = append(tv.Refs, ref)
+			tv.Rows = append(tv.Rows, vals)
+		}
+		if err := wire.Write(conn, tv); err != nil {
+			return err
+		}
+	}
+	cc := wire.CommandComplete{
+		RowsAffected: res.RowsAffected,
+		StmtID:       res.StmtID,
+		Start:        res.Start,
+		End:          res.End,
+		ReadRefs:     res.ReadRefs,
+		WrittenRefs:  res.WrittenRefs,
+	}
+	if err := wire.Write(conn, cc); err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Ready{})
+}
+
+// exec runs one statement, intercepting COPY (which needs file access).
+func (s *Server) exec(sql string, opts engine.ExecOptions) (*engine.Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := stmt.(*sqlparse.Copy); ok {
+		return s.execCopy(c, opts)
+	}
+	return s.db.ExecStatement(stmt, opts)
+}
+
+// execCopy performs COPY table FROM/TO 'path' using the server's
+// filesystem. Records are CSV; NULL is \N.
+func (s *Server) execCopy(c *sqlparse.Copy, opts engine.ExecOptions) (*engine.Result, error) {
+	fs := s.fileSystem()
+	if fs == nil {
+		return nil, fmt.Errorf("COPY: server has no filesystem configured")
+	}
+	if c.To {
+		records, res, err := s.db.CopyTo(c.Table, opts)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		w := csv.NewWriter(&buf)
+		if err := w.WriteAll(records); err != nil {
+			return nil, err
+		}
+		if err := fs.WriteFile(c.Path, buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("COPY TO %s: %w", c.Path, err)
+		}
+		return res, nil
+	}
+	data, err := fs.ReadFile(c.Path)
+	if err != nil {
+		return nil, fmt.Errorf("COPY FROM %s: %w", c.Path, err)
+	}
+	r := csv.NewReader(bytes.NewReader(data))
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("COPY FROM %s: %w", c.Path, err)
+	}
+	return s.db.CopyFrom(c.Table, records, opts)
+}

@@ -1,0 +1,29 @@
+package sqlparse
+
+import "testing"
+
+var benchStatements = []string{
+	`SELECT l_quantity, l_partkey, l_extendedprice, l_shipdate, l_receiptdate FROM lineitem WHERE l_suppkey BETWEEN 1 AND 100`,
+	`SELECT o_comment, l_comment FROM lineitem l, orders o, customer c WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND c.c_name LIKE '%0000000%'`,
+	`SELECT o_orderkey, AVG(l_quantity) AS avgq FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey AND l_suppkey BETWEEN 1 AND 250 GROUP BY o_orderkey ORDER BY avgq DESC LIMIT 10`,
+	`INSERT INTO orders VALUES (1, 2, 'O', 3.5, DATE '1998-08-02', '3-MEDIUM', 'Clerk#1', 'comment')`,
+	`UPDATE orders SET o_comment = 'x', o_totalprice = o_totalprice * 1.1 WHERE o_orderkey IN (1, 2, 3)`,
+}
+
+func BenchmarkParseStatements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sql := benchStatements[i%len(benchStatements)]
+		if _, err := Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	sql := benchStatements[1]
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that everything it accepts
+// renders to SQL it accepts again (round-trip stability).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT a, b FROM t WHERE a > 5 GROUP BY a HAVING count(*) > 1 ORDER BY b DESC LIMIT 3",
+		"SELECT PROVENANCE * FROM t u JOIN v ON u.x = v.y",
+		"INSERT INTO t (a) VALUES (1), (NULL), (DATE '2020-01-01')",
+		"UPDATE t SET a = (SELECT MAX(b) FROM u) WHERE c IN (SELECT d FROM e)",
+		"DELETE FROM t WHERE a NOT BETWEEN 1 AND 2",
+		"CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(10))",
+		"COPY t FROM '/x.csv'",
+		"BEGIN; COMMIT; ROLLBACK;",
+		"SELECT 'o''brien' || x FROM t -- comment",
+		"SELECT ((((1))))",
+		"\x00\xff SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if stmt2.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, stmt2.String())
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package sqlval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArithInteger(t *testing.T) {
+	cases := []struct {
+		op   func(Value, Value) (Value, error)
+		a, b int64
+		want int64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, -1},
+		{Mul, 4, 3, 12},
+		{Div, 7, 2, 3},
+		{Mod, 7, 2, 1},
+	}
+	for i, c := range cases {
+		got, err := c.op(NewInt(c.a), NewInt(c.b))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Kind() != KindInt || got.Int() != c.want {
+			t.Errorf("case %d: got %v, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestArithMixedPromotesToFloat(t *testing.T) {
+	got, err := Add(NewInt(1), NewFloat(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != KindFloat || got.Float() != 1.5 {
+		t.Errorf("1 + 0.5 = %v", got)
+	}
+	got, err = Div(NewFloat(1), NewInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float() != 0.25 {
+		t.Errorf("1.0/4 = %v", got)
+	}
+}
+
+func TestArithNullPropagates(t *testing.T) {
+	for _, op := range []func(Value, Value) (Value, error){Add, Sub, Mul, Div, Mod} {
+		got, err := op(Null, NewInt(1))
+		if err != nil || !got.IsNull() {
+			t.Errorf("NULL op: got %v, err %v", got, err)
+		}
+		got, err = op(NewInt(1), Null)
+		if err != nil || !got.IsNull() {
+			t.Errorf("op NULL: got %v, err %v", got, err)
+		}
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("mod by zero must error")
+	}
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string + int must error")
+	}
+	if _, err := Mod(NewFloat(1), NewFloat(2)); err == nil {
+		t.Error("float %% must error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(NewInt(5)); v.Int() != -5 {
+		t.Error("-5 failed")
+	}
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+		t.Error("-2.5 failed")
+	}
+	if v, _ := Neg(Null); !v.IsNull() {
+		t.Error("-NULL must be NULL")
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("-text must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	v, err := Concat(NewString("foo"), NewString("bar"))
+	if err != nil || v.Str() != "foobar" {
+		t.Errorf("concat = %v, %v", v, err)
+	}
+	v, err = Concat(NewString("n="), NewInt(3))
+	if err != nil || v.Str() != "n=3" {
+		t.Errorf("concat int = %v, %v", v, err)
+	}
+	if v, _ := Concat(Null, NewString("x")); !v.IsNull() {
+		t.Error("NULL || x must be NULL")
+	}
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Add(NewInt(int64(a)), NewInt(int64(b)))
+		y, err2 := Add(NewInt(int64(b)), NewInt(int64(a)))
+		return err1 == nil && err2 == nil && x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubAddInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, _ := Add(NewInt(int64(a)), NewInt(int64(b)))
+		diff, _ := Sub(sum, NewInt(int64(b)))
+		return diff.Equal(NewInt(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

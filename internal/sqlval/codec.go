@@ -1,0 +1,101 @@
+package sqlval
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The binary codec is shared by the storage layer (table data files) and the
+// wire protocol (DataRow payloads). Layout per value: 1 tag byte followed by
+// a kind-specific payload. Integers use varint encoding; strings are
+// length-prefixed.
+
+// AppendEncode appends the binary encoding of v to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindBool, KindDate:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// Decode reads one value from b, returning the value and the number of bytes
+// consumed.
+func Decode(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null, 0, fmt.Errorf("decode value: empty buffer")
+	}
+	kind := Kind(b[0])
+	rest := b[1:]
+	switch kind {
+	case KindNull:
+		return Null, 1, nil
+	case KindInt, KindBool, KindDate:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return Null, 0, fmt.Errorf("decode %s: bad varint", kind)
+		}
+		return Value{kind: kind, i: i}, 1 + n, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Null, 0, fmt.Errorf("decode FLOAT: short buffer")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		return NewFloat(f), 9, nil
+	case KindString:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return Null, 0, fmt.Errorf("decode TEXT: bad length")
+		}
+		return NewString(string(rest[n : n+int(l)])), 1 + n + int(l), nil
+	default:
+		return Null, 0, fmt.Errorf("decode value: unknown kind tag %d", b[0])
+	}
+}
+
+// EncodeRow encodes a slice of values: a uvarint count followed by each
+// value's encoding.
+func EncodeRow(dst []byte, row []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = AppendEncode(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow decodes a row produced by EncodeRow, returning the values and
+// bytes consumed.
+func DecodeRow(b []byte) ([]Value, int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("decode row: bad count")
+	}
+	off := n
+	// Every value occupies at least one byte, so a count beyond the
+	// remaining buffer is corrupt — reject it before allocating (a fuzzer
+	// found the unchecked preallocation could be driven to OOM).
+	if count > uint64(len(b)-off) {
+		return nil, 0, fmt.Errorf("decode row: count %d exceeds buffer", count)
+	}
+	row := make([]Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, used, err := Decode(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("decode row value %d: %w", i, err)
+		}
+		row = append(row, v)
+		off += used
+	}
+	return row, off, nil
+}

@@ -1,0 +1,28 @@
+package sqlval
+
+import "testing"
+
+// FuzzDecode asserts the value codec never panics and consumed lengths stay
+// in bounds.
+func FuzzDecode(f *testing.F) {
+	f.Add(AppendEncode(nil, NewInt(42)))
+	f.Add(AppendEncode(nil, NewString("hello")))
+	f.Add(EncodeRow(nil, []Value{NewFloat(1.5), Null, NewBool(true)}))
+	f.Add([]byte{0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, n, err := Decode(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("bad consumed length %d of %d", n, len(data))
+			}
+			_ = v.String() // must not panic either
+		}
+		if row, n, err := DecodeRow(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("bad row length %d of %d", n, len(data))
+			}
+			for _, v := range row {
+				_ = v.String()
+			}
+		}
+	})
+}

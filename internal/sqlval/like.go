@@ -1,0 +1,41 @@
+package sqlval
+
+// Like evaluates the SQL LIKE predicate: '%' matches any sequence of
+// characters (including empty), '_' matches exactly one character. The
+// result follows three-valued logic: ok is false when either operand is
+// NULL or non-text.
+func Like(v, pattern Value) (match, ok bool) {
+	if v.Kind() != KindString || pattern.Kind() != KindString {
+		return false, false
+	}
+	return likeMatch(v.s, pattern.s), true
+}
+
+// likeMatch implements LIKE with an iterative backtracking matcher, the same
+// strategy used for glob matching: remember the position of the last '%' and
+// retry from there on mismatch. Runs in O(len(s)*len(p)) worst case without
+// recursion.
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

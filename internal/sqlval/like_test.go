@@ -1,0 +1,83 @@
+package sqlval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p  string
+		match bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{"Customer#000000001", "%00000001%", true},
+		{"Customer#000000001", "%0000000%", true},
+		{"Customer#000019", "%0000000%", false},
+		{"aaa", "%a%a%", true},
+		{"ab", "_%_", true},
+		{"a", "_%_", false},
+	}
+	for _, c := range cases {
+		got, ok := Like(NewString(c.s), NewString(c.p))
+		if !ok {
+			t.Errorf("Like(%q, %q) unexpectedly unknown", c.s, c.p)
+			continue
+		}
+		if got != c.match {
+			t.Errorf("Like(%q, %q) = %v, want %v", c.s, c.p, got, c.match)
+		}
+	}
+}
+
+func TestLikeUnknown(t *testing.T) {
+	if _, ok := Like(Null, NewString("%")); ok {
+		t.Error("NULL LIKE must be unknown")
+	}
+	if _, ok := Like(NewInt(1), NewString("%")); ok {
+		t.Error("non-text LIKE must be unknown")
+	}
+	if _, ok := Like(NewString("a"), Null); ok {
+		t.Error("LIKE NULL must be unknown")
+	}
+}
+
+// Property: a pattern equal to the string itself (no metacharacters) matches
+// exactly the same string.
+func TestQuickLikeExact(t *testing.T) {
+	f := func(raw string) bool {
+		s := strings.NewReplacer("%", "p", "_", "u").Replace(raw)
+		m, ok := Like(NewString(s), NewString(s))
+		return ok && m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pattern "%"+s+"%" matches any string containing s.
+func TestQuickLikeContains(t *testing.T) {
+	f := func(prefix, mid, suffix string) bool {
+		clean := func(x string) string { return strings.NewReplacer("%", "p", "_", "u").Replace(x) }
+		p, m, s := clean(prefix), clean(mid), clean(suffix)
+		got, ok := Like(NewString(p+m+s), NewString("%"+m+"%"))
+		return ok && got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

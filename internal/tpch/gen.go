@@ -1,0 +1,235 @@
+// Package tpch implements the evaluation substrate of §IX: a deterministic
+// TPC-H data generator for all eight benchmark tables at a configurable
+// scale factor, the Table II query variants Q1-1…Q4-5 with their selectivity
+// parameters recomputed for the chosen scale, and the three-step application
+// (insert / repeated select / update) the paper's experiments run.
+package tpch
+
+import (
+	"fmt"
+	"math"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+)
+
+// Config controls generation. SF is the TPC-H scale factor: SF 1 is the
+// paper's 1 GB dataset; experiments in this repository default to laptop
+// scales (0.002–0.02), which preserve every selectivity ratio.
+type Config struct {
+	SF   float64
+	Seed uint64
+}
+
+// DefaultConfig is the scale used by tests and examples.
+func DefaultConfig() Config { return Config{SF: 0.002, Seed: 42} }
+
+// Counts are the table cardinalities for a scale factor.
+type Counts struct {
+	Region, Nation, Supplier, Customer, Part, PartSupp, Orders int
+}
+
+// Counts computes cardinalities per the TPC-H specification, clamped to
+// small-scale minimums.
+func (c Config) Counts() Counts {
+	n := func(base int, minimum int) int {
+		v := int(math.Round(float64(base) * c.SF))
+		if v < minimum {
+			return minimum
+		}
+		return v
+	}
+	return Counts{
+		Region:   5,
+		Nation:   25,
+		Supplier: n(10_000, 10),
+		Customer: n(150_000, 30),
+		Part:     n(200_000, 40),
+		PartSupp: n(800_000, 80),
+		Orders:   n(1_500_000, 150),
+	}
+}
+
+// rng is a splitmix64 stream; every (table, row, column) derives its own
+// value deterministically so generation order never matters.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+func (r *rng) float(lo, hi float64) float64 {
+	f := float64(r.next()%1_000_000) / 1_000_000
+	return lo + f*(hi-lo)
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nations = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+	"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+	"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var commentWords = []string{
+	"furiously", "quickly", "carefully", "blithely", "slyly", "ironic",
+	"express", "pending", "regular", "special", "final", "bold", "even",
+	"silent", "daring", "requests", "deposits", "packages", "accounts",
+	"instructions", "theodolites", "pinto", "beans", "foxes", "dependencies",
+	"sleep", "wake", "nag", "haggle", "cajole", "doze", "integrate",
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var orderStatus = []string{"F", "O", "P"}
+var returnFlags = []string{"A", "N", "R"}
+var lineStatus = []string{"F", "O"}
+
+func comment(r *rng, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[r.intn(len(commentWords))]
+	}
+	return out
+}
+
+// Schemas returns the CREATE TABLE statements for all eight tables.
+func Schemas() []string {
+	return []string{
+		`CREATE TABLE region (r_regionkey INTEGER PRIMARY KEY, r_name TEXT, r_comment TEXT)`,
+		`CREATE TABLE nation (n_nationkey INTEGER PRIMARY KEY, n_name TEXT, n_regionkey INTEGER, n_comment TEXT)`,
+		`CREATE TABLE supplier (s_suppkey INTEGER PRIMARY KEY, s_name TEXT, s_nationkey INTEGER, s_acctbal FLOAT, s_comment TEXT)`,
+		`CREATE TABLE customer (c_custkey INTEGER PRIMARY KEY, c_name TEXT, c_nationkey INTEGER, c_acctbal FLOAT, c_mktsegment TEXT, c_comment TEXT)`,
+		`CREATE TABLE part (p_partkey INTEGER PRIMARY KEY, p_name TEXT, p_brand TEXT, p_type TEXT, p_size INTEGER, p_retailprice FLOAT, p_comment TEXT)`,
+		`CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, ps_availqty INTEGER, ps_supplycost FLOAT, ps_comment TEXT)`,
+		`CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER, o_orderstatus TEXT, o_totalprice FLOAT, o_orderdate DATE, o_orderpriority TEXT, o_clerk TEXT, o_comment TEXT)`,
+		`CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag TEXT, l_linestatus TEXT, l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_comment TEXT)`,
+	}
+}
+
+// CustomerName renders c_name with TPC-H's 9-digit zero padding — the
+// padding Q2/Q3's LIKE-on-zeros selectivity trick depends on.
+func CustomerName(custkey int) string { return fmt.Sprintf("Customer#%09d", custkey) }
+
+// Stats summarizes a load.
+type Stats struct {
+	Counts   Counts
+	Lineitem int
+}
+
+// Load creates all tables and bulk-loads deterministic data into db.
+// Loaded rows are "preloaded" (no creating process), exactly like a DBA-
+// installed dataset the application later reads.
+func Load(db *engine.DB, cfg Config) (Stats, error) {
+	for _, ddl := range Schemas() {
+		if _, err := db.Exec(ddl, engine.ExecOptions{}); err != nil {
+			return Stats{}, fmt.Errorf("tpch schema: %w", err)
+		}
+	}
+	cnt := cfg.Counts()
+	stats := Stats{Counts: cnt}
+
+	ins := func(table string, vals ...sqlval.Value) error {
+		_, err := db.InsertRowDirect(table, vals)
+		if err != nil {
+			return fmt.Errorf("tpch load %s: %w", table, err)
+		}
+		return nil
+	}
+	iv := sqlval.NewInt
+	fv := sqlval.NewFloat
+	sv := sqlval.NewString
+
+	for i, name := range regions {
+		r := newRNG(cfg.Seed ^ uint64(1000+i))
+		if err := ins("region", iv(int64(i)), sv(name), sv(comment(r, 6))); err != nil {
+			return stats, err
+		}
+	}
+	for i, name := range nations {
+		r := newRNG(cfg.Seed ^ uint64(2000+i))
+		if err := ins("nation", iv(int64(i)), sv(name), iv(int64(i%5)), sv(comment(r, 6))); err != nil {
+			return stats, err
+		}
+	}
+	for k := 1; k <= cnt.Supplier; k++ {
+		r := newRNG(cfg.Seed ^ uint64(3_000_000+k))
+		if err := ins("supplier",
+			iv(int64(k)), sv(fmt.Sprintf("Supplier#%09d", k)), iv(int64(r.intn(25))),
+			fv(r.float(-999, 9999)), sv(comment(r, 8))); err != nil {
+			return stats, err
+		}
+	}
+	for k := 1; k <= cnt.Customer; k++ {
+		r := newRNG(cfg.Seed ^ uint64(4_000_000+k))
+		if err := ins("customer",
+			iv(int64(k)), sv(CustomerName(k)), iv(int64(r.intn(25))),
+			fv(r.float(-999, 9999)), sv(segments[r.intn(len(segments))]),
+			sv(comment(r, 9))); err != nil {
+			return stats, err
+		}
+	}
+	for k := 1; k <= cnt.Part; k++ {
+		r := newRNG(cfg.Seed ^ uint64(5_000_000+k))
+		if err := ins("part",
+			iv(int64(k)), sv("part "+comment(r, 3)), sv(fmt.Sprintf("Brand#%d%d", 1+r.intn(5), 1+r.intn(5))),
+			sv(comment(r, 2)), iv(int64(r.rangeInt(1, 50))), fv(900+float64(k%200)),
+			sv(comment(r, 5))); err != nil {
+			return stats, err
+		}
+	}
+	for i := 0; i < cnt.PartSupp; i++ {
+		r := newRNG(cfg.Seed ^ uint64(6_000_000+i))
+		if err := ins("partsupp",
+			iv(int64(i%cnt.Part+1)), iv(int64(i%cnt.Supplier+1)),
+			iv(int64(r.rangeInt(1, 9999))), fv(r.float(1, 1000)),
+			sv(comment(r, 10))); err != nil {
+			return stats, err
+		}
+	}
+
+	startDate := sqlval.NewDate(1992, 1, 1).Days()
+	for k := 1; k <= cnt.Orders; k++ {
+		r := newRNG(cfg.Seed ^ uint64(7_000_000+k))
+		custkey := int64(r.rangeInt(1, cnt.Customer))
+		if err := ins("orders",
+			iv(int64(k)), iv(custkey), sv(orderStatus[r.intn(3)]),
+			fv(r.float(900, 500000)), sqlval.NewDateDays(startDate+int64(r.intn(2400))),
+			sv(priorities[r.intn(5)]), sv(fmt.Sprintf("Clerk#%09d", r.rangeInt(1, 1000))),
+			sv(comment(r, 8))); err != nil {
+			return stats, err
+		}
+		// 1–7 lineitems per order, ~4 on average.
+		lines := r.rangeInt(1, 7)
+		for ln := 1; ln <= lines; ln++ {
+			lr := newRNG(cfg.Seed ^ uint64(8_000_000+k*8+ln))
+			ship := startDate + int64(lr.intn(2400))
+			if err := ins("lineitem",
+				iv(int64(k)), iv(int64(lr.rangeInt(1, cnt.Part))), iv(int64(lr.rangeInt(1, cnt.Supplier))),
+				iv(int64(ln)), fv(float64(lr.rangeInt(1, 50))), fv(lr.float(900, 100000)),
+				fv(float64(lr.intn(11))/100), fv(float64(lr.intn(9))/100),
+				sv(returnFlags[lr.intn(3)]), sv(lineStatus[lr.intn(2)]),
+				sqlval.NewDateDays(ship), sqlval.NewDateDays(ship+int64(lr.rangeInt(1, 60))),
+				sqlval.NewDateDays(ship+int64(lr.rangeInt(1, 90))),
+				sv(comment(lr, 6))); err != nil {
+				return stats, err
+			}
+			stats.Lineitem++
+		}
+	}
+	return stats, nil
+}

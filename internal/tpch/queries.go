@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Query is one Table II variant: Qf-v with its PARAM substituted and its
+// target selectivity.
+type Query struct {
+	// ID is the paper's label, e.g. "Q1-3".
+	ID string
+	// Family is 1–4, Variant is 1-based within the family.
+	Family, Variant int
+	// SQL is the executable text with PARAM substituted.
+	SQL string
+	// Param is the substituted parameter, as the paper's Table II prints it.
+	Param string
+	// Selectivity is the fraction of the probed table(s) the query touches
+	// (the paper's Sel. column).
+	Selectivity float64
+}
+
+// Queries builds the 18 Table II variants for a scale factor. Family 1 and
+// 4 vary l_suppkey BETWEEN 1 AND PARAM with PARAM chosen as 1/2/5/10/25% of
+// the supplier count (the paper's 10/20/50/100/250 at SF 1). Families 2 and
+// 3 vary the number of zeros in c_name LIKE '%0…0%'; with TPC-H's 9-digit
+// customer-name padding the number of matching customers is 10^(9-z), so
+// the zero counts are recomputed from the customer cardinality to hit the
+// paper's 66% / 6.6% / 0.66% / 0.06% ladder at any scale.
+func Queries(cfg Config) []Query {
+	cnt := cfg.Counts()
+	var out []Query
+
+	pcts := []float64{0.01, 0.02, 0.05, 0.10, 0.25}
+	for v, pct := range pcts {
+		param := int(math.Ceil(pct * float64(cnt.Supplier)))
+		if param < 1 {
+			param = 1
+		}
+		out = append(out, Query{
+			ID: fmt.Sprintf("Q1-%d", v+1), Family: 1, Variant: v + 1,
+			Param:       fmt.Sprintf("%d", param),
+			Selectivity: float64(param) / float64(cnt.Supplier),
+			SQL: fmt.Sprintf(`SELECT l_quantity, l_partkey, l_extendedprice, l_shipdate, l_receiptdate `+
+				`FROM lineitem WHERE l_suppkey BETWEEN 1 AND %d`, param),
+		})
+	}
+
+	zeros := zeroParams(cnt.Customer)
+	for v, z := range zeros {
+		param := strings.Repeat("0", z.zeros)
+		out = append(out, Query{
+			ID: fmt.Sprintf("Q2-%d", v+1), Family: 2, Variant: v + 1,
+			Param: param, Selectivity: z.sel,
+			SQL: fmt.Sprintf(`SELECT o_comment, l_comment FROM lineitem l, orders o, customer c `+
+				`WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND c.c_name LIKE '%%%s%%'`, param),
+		})
+	}
+	for v, z := range zeros {
+		param := strings.Repeat("0", z.zeros)
+		out = append(out, Query{
+			ID: fmt.Sprintf("Q3-%d", v+1), Family: 3, Variant: v + 1,
+			Param: param, Selectivity: z.sel,
+			SQL: fmt.Sprintf(`SELECT count(*) FROM lineitem l, orders o, customer c `+
+				`WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND c.c_name LIKE '%%%s%%'`, param),
+		})
+	}
+
+	for v, pct := range pcts {
+		param := int(math.Ceil(pct * float64(cnt.Supplier)))
+		if param < 1 {
+			param = 1
+		}
+		out = append(out, Query{
+			ID: fmt.Sprintf("Q4-%d", v+1), Family: 4, Variant: v + 1,
+			Param:       fmt.Sprintf("%d", param),
+			Selectivity: float64(param) / float64(cnt.Supplier),
+			SQL: fmt.Sprintf(`SELECT o_orderkey, AVG(l_quantity) AS avgq FROM lineitem l, orders o `+
+				`WHERE l.l_orderkey = o.o_orderkey AND l_suppkey BETWEEN 1 AND %d GROUP BY o_orderkey`, param),
+		})
+	}
+	return out
+}
+
+// QueryByID finds a variant, e.g. "Q1-1".
+func QueryByID(cfg Config, id string) (Query, error) {
+	for _, q := range Queries(cfg) {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpch: unknown query %q", id)
+}
+
+type zeroParam struct {
+	zeros int
+	sel   float64
+}
+
+// zeroParams picks four zero-run lengths whose '%0…0%' LIKE selectivities
+// over 9-digit-padded names approximate 66%, 6.6%, 0.66%, 0.06% for the
+// given customer count: a run of z zeros matches (roughly) the customers
+// with custkey < 10^(9-z).
+func zeroParams(customers int) []zeroParam {
+	const width = 9
+	// A run of z zeros (z <= width-1) matches the keys 1..10^(width-z)-1 —
+	// those have at least z leading zeros. Longer runs match nothing, which
+	// is where the paper's 0.06% rung lands at small scales.
+	matches := func(z int) float64 {
+		if z >= width {
+			return 0
+		}
+		m := math.Pow(10, float64(width-z)) - 1
+		if m > float64(customers) {
+			m = float64(customers)
+		}
+		if m < 0 {
+			m = 0
+		}
+		return m
+	}
+	// Start at the smallest z whose selectivity drops below 100% —
+	// reproducing the paper's 66% top rung.
+	out := make([]zeroParam, 0, 4)
+	start := width - int(math.Floor(math.Log10(float64(customers))))
+	for z := start; len(out) < 4; z++ {
+		out = append(out, zeroParam{zeros: z, sel: matches(z) / float64(customers)})
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlparse"
+)
+
+func loadTest(t *testing.T, cfg Config) (*engine.DB, Stats) {
+	t.Helper()
+	db := engine.NewDB(nil)
+	stats, err := Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, stats
+}
+
+func count(t *testing.T, db *engine.DB, table string) int64 {
+	t.Helper()
+	res, err := db.Exec("SELECT count(*) FROM "+table, engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+func TestCountsMatchSpecRatios(t *testing.T) {
+	cfg := Config{SF: 0.01, Seed: 1}
+	c := cfg.Counts()
+	if c.Region != 5 || c.Nation != 25 {
+		t.Fatal("fixed tables wrong")
+	}
+	if c.Supplier != 100 || c.Customer != 1500 || c.Orders != 15000 {
+		t.Fatalf("counts = %+v", c)
+	}
+	// Minimums kick in at tiny scales.
+	tiny := Config{SF: 0.0001}.Counts()
+	if tiny.Supplier < 10 || tiny.Orders < 150 {
+		t.Fatalf("tiny counts = %+v", tiny)
+	}
+}
+
+func TestLoadCardinalities(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db, stats := loadTest(t, cfg)
+	c := cfg.Counts()
+	for table, want := range map[string]int{
+		"region": c.Region, "nation": c.Nation, "supplier": c.Supplier,
+		"customer": c.Customer, "part": c.Part, "partsupp": c.PartSupp,
+		"orders": c.Orders,
+	} {
+		if got := count(t, db, table); got != int64(want) {
+			t.Errorf("%s rows = %d, want %d", table, got, want)
+		}
+	}
+	li := count(t, db, "lineitem")
+	if int(li) != stats.Lineitem {
+		t.Fatalf("lineitem stats mismatch: %d vs %d", li, stats.Lineitem)
+	}
+	// ~4 lineitems per order.
+	ratio := float64(li) / float64(c.Orders)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("lineitem/order ratio = %.2f", ratio)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db1, _ := loadTest(t, cfg)
+	db2, _ := loadTest(t, cfg)
+	for _, table := range []string{"customer", "orders", "lineitem"} {
+		r1, _ := db1.Exec("SELECT * FROM "+table+" ORDER BY prov_rowid LIMIT 20", engine.ExecOptions{})
+		r2, _ := db2.Exec("SELECT * FROM "+table+" ORDER BY prov_rowid LIMIT 20", engine.ExecOptions{})
+		if fmt.Sprint(r1.Rows) != fmt.Sprint(r2.Rows) {
+			t.Fatalf("table %s not deterministic", table)
+		}
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db, _ := loadTest(t, cfg)
+	c := cfg.Counts()
+	res, err := db.Exec(fmt.Sprintf(
+		"SELECT count(*) FROM lineitem WHERE l_orderkey < 1 OR l_orderkey > %d OR l_suppkey < 1 OR l_suppkey > %d",
+		c.Orders, c.Supplier), engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("lineitem foreign keys out of range")
+	}
+	res, _ = db.Exec(fmt.Sprintf("SELECT count(*) FROM orders WHERE o_custkey < 1 OR o_custkey > %d", c.Customer), engine.ExecOptions{})
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("orders foreign keys out of range")
+	}
+}
+
+func TestAllQueriesParseAndRun(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db, _ := loadTest(t, cfg)
+	qs := Queries(cfg)
+	if len(qs) != 18 {
+		t.Fatalf("queries = %d, want 18", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := sqlparse.Parse(q.SQL); err != nil {
+			t.Errorf("%s does not parse: %v", q.ID, err)
+			continue
+		}
+		if _, err := db.Exec(q.SQL, engine.ExecOptions{}); err != nil {
+			t.Errorf("%s does not run: %v", q.ID, err)
+		}
+	}
+}
+
+func TestQ1SelectivityLadder(t *testing.T) {
+	cfg := Config{SF: 0.01, Seed: 7}
+	db, stats := loadTest(t, cfg)
+	prev := 0
+	for v := 1; v <= 5; v++ {
+		q, err := QueryByID(cfg, fmt.Sprintf("Q1-%d", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Exec(q.SQL, engine.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(res.Rows)
+		if got <= prev {
+			t.Errorf("Q1-%d rows = %d, not increasing (prev %d)", v, got, prev)
+		}
+		prev = got
+		// Measured selectivity within 2x of target (suppkeys are uniform).
+		measured := float64(got) / float64(stats.Lineitem)
+		if measured < q.Selectivity/2 || measured > q.Selectivity*2 {
+			t.Errorf("Q1-%d selectivity %.4f, want ~%.4f", v, measured, q.Selectivity)
+		}
+	}
+}
+
+func TestQ2Q3SelectivityLadder(t *testing.T) {
+	cfg := Config{SF: 0.01, Seed: 7}
+	db, _ := loadTest(t, cfg)
+	cust := cfg.Counts().Customer
+	prevMatches := cust + 1
+	for v := 1; v <= 4; v++ {
+		q, err := QueryByID(cfg, fmt.Sprintf("Q2-%d", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count matching customers directly.
+		res, err := db.Exec(
+			fmt.Sprintf("SELECT count(*) FROM customer WHERE c_name LIKE '%%%s%%'", q.Param),
+			engine.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches := int(res.Rows[0][0].Int())
+		// Strictly decreasing until the ladder bottoms out at zero matches.
+		if matches >= prevMatches && prevMatches > 0 {
+			t.Errorf("Q2-%d matches = %d, not decreasing (prev %d)", v, matches, prevMatches)
+		}
+		prevMatches = matches
+		want := q.Selectivity * float64(cust)
+		if math.Abs(float64(matches)-want) > want*0.5+2 {
+			t.Errorf("Q2-%d matched %d customers, want ~%.0f", v, matches, want)
+		}
+	}
+	// Each Q3 shares its param ladder with Q2 and returns a single row.
+	q3, _ := QueryByID(cfg, "Q3-2")
+	res, err := db.Exec(q3.SQL, engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q3 rows = %d", len(res.Rows))
+	}
+}
+
+func TestQ4GroupsPerOrder(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db, _ := loadTest(t, cfg)
+	q, _ := QueryByID(cfg, "Q4-5")
+	res, err := db.Exec(q.SQL, engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per distinct order with a qualifying lineitem.
+	seen := map[int64]bool{}
+	for _, row := range res.Rows {
+		k := row[0].Int()
+		if seen[k] {
+			t.Fatal("duplicate group key")
+		}
+		seen[k] = true
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q4 returned nothing")
+	}
+}
+
+func TestQueryByIDUnknown(t *testing.T) {
+	if _, err := QueryByID(DefaultConfig(), "Q9-1"); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+}
+
+// engineExecer adapts a DB for workload runs in tests.
+type engineExecer struct{ db *engine.DB }
+
+func (e engineExecer) Query(sql string) (*engine.Result, error) {
+	return e.db.Exec(sql, engine.ExecOptions{Proc: "test"})
+}
+
+func TestWorkloadSteps(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 7}
+	db, _ := loadTest(t, cfg)
+	q, _ := QueryByID(cfg, "Q1-1")
+	w := NewWorkload(cfg, q)
+	w.NumInserts, w.NumSelects, w.NumUpdates = 50, 3, 10
+
+	before := count(t, db, "orders")
+	ex := engineExecer{db}
+	if err := w.Run(ex); err != nil {
+		t.Fatal(err)
+	}
+	after := count(t, db, "orders")
+	if after != before+50 {
+		t.Fatalf("orders grew by %d, want 50", after-before)
+	}
+	// Updates touched existing rows.
+	res, _ := db.Exec("SELECT count(*) FROM orders WHERE o_comment LIKE 'workload update%'", engine.ExecOptions{})
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("updated rows = %d", res.Rows[0][0].Int())
+	}
+	// Re-running the insert step must fail on pk conflicts? No — fresh keys
+	// collide with the previous run's keys, which is the expected guard
+	// against accidental double-execution.
+	if err := w.InsertStep(ex); err == nil {
+		t.Fatal("second insert step must conflict")
+	}
+}
+
+func TestCustomerNamePadding(t *testing.T) {
+	if CustomerName(42) != "Customer#000000042" {
+		t.Fatalf("name = %q", CustomerName(42))
+	}
+	if !strings.Contains(CustomerName(1), "00000000") {
+		t.Fatal("padding missing")
+	}
+}
+
+func TestZeroParamsLadder(t *testing.T) {
+	ps := zeroParams(150_000)
+	if len(ps) != 4 {
+		t.Fatalf("params = %d", len(ps))
+	}
+	// At SF 1 this must reproduce the paper's 4..7 zero ladder.
+	if ps[0].zeros != 4 || ps[3].zeros != 7 {
+		t.Fatalf("zeros = %+v", ps)
+	}
+	for i := 1; i < 4; i++ {
+		if ps[i].sel >= ps[i-1].sel {
+			t.Fatal("selectivities must decrease")
+		}
+	}
+	if ps[0].sel < 0.5 || ps[0].sel > 0.8 {
+		t.Fatalf("top selectivity = %.3f, want ~0.66", ps[0].sel)
+	}
+}

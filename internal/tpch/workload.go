@@ -1,0 +1,87 @@
+package tpch
+
+import (
+	"fmt"
+
+	"ldv/internal/engine"
+)
+
+// Execer is the slice of the client connection the workload needs; both
+// client.Conn and a direct engine wrapper satisfy it.
+type Execer interface {
+	Query(sql string) (*engine.Result, error)
+}
+
+// Workload is the §IX-A application: insert NumInserts tuples into orders,
+// run NumSelects instances of one Table II query, and update NumUpdates
+// orders rows.
+type Workload struct {
+	Cfg        Config
+	Query      Query
+	NumInserts int
+	NumSelects int
+	NumUpdates int
+}
+
+// NewWorkload returns the paper's configuration: 1000 inserts, 10 selects,
+// 100 updates.
+func NewWorkload(cfg Config, q Query) Workload {
+	return Workload{Cfg: cfg, Query: q, NumInserts: 1000, NumSelects: 10, NumUpdates: 100}
+}
+
+// InsertStep inserts fresh orders rows (keys beyond the generated range, so
+// re-execution against a restored subset cannot collide).
+func (w Workload) InsertStep(c Execer) error {
+	base := w.Cfg.Counts().Orders
+	for i := 1; i <= w.NumInserts; i++ {
+		key := base + 1_000_000 + i
+		sql := fmt.Sprintf(`INSERT INTO orders VALUES (%d, %d, 'O', %d, DATE '1998-08-02', '3-MEDIUM', 'Clerk#%09d', 'workload insert %d')`,
+			key, i%w.Cfg.Counts().Customer+1, 1000+i, i%1000+1, i)
+		if _, err := c.Query(sql); err != nil {
+			return fmt.Errorf("insert step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SelectStep runs the workload query NumSelects times.
+func (w Workload) SelectStep(c Execer) error {
+	for i := 0; i < w.NumSelects; i++ {
+		if _, err := c.Query(w.Query.SQL); err != nil {
+			return fmt.Errorf("select step %d (%s): %w", i, w.Query.ID, err)
+		}
+	}
+	return nil
+}
+
+// SelectOnce runs a single instance of the workload query (used for
+// per-query timing in Figure 8).
+func (w Workload) SelectOnce(c Execer) error {
+	_, err := c.Query(w.Query.SQL)
+	return err
+}
+
+// UpdateStep updates NumUpdates existing orders rows, spread across the
+// table deterministically.
+func (w Workload) UpdateStep(c Execer) error {
+	n := w.Cfg.Counts().Orders
+	for i := 1; i <= w.NumUpdates; i++ {
+		key := (i*37)%n + 1
+		sql := fmt.Sprintf(`UPDATE orders SET o_comment = 'workload update %d' WHERE o_orderkey = %d`, i, key)
+		if _, err := c.Query(sql); err != nil {
+			return fmt.Errorf("update step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run executes all three steps in the paper's order.
+func (w Workload) Run(c Execer) error {
+	if err := w.InsertStep(c); err != nil {
+		return err
+	}
+	if err := w.SelectStep(c); err != nil {
+		return err
+	}
+	return w.UpdateStep(c)
+}

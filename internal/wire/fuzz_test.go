@@ -1,0 +1,21 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the frame decoder never panics on arbitrary bytes.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	Write(&buf, Query{SQL: "SELECT 1", WithLineage: true})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, CommandComplete{RowsAffected: 3, StmtID: 9})
+	f.Add(buf.Bytes())
+	f.Add([]byte{'D', 0, 0, 0, 4, 1, 2, 3, 4})
+	f.Add([]byte{'?', 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Read(bytes.NewReader(data)) // must not panic
+	})
+}

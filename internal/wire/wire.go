@@ -1,0 +1,339 @@
+// Package wire implements the binary client/server protocol of the LDV
+// database — the libpq analog. Messages are framed as a one-byte type tag
+// plus a big-endian uint32 payload length. The protocol carries, besides
+// ordinary result rows, per-row Lineage (tuple-version references) so that
+// an instrumented client can audit DB provenance without extra round trips.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+)
+
+// Message type tags.
+const (
+	TagStartup         = 'S'
+	TagQuery           = 'Q'
+	TagRowDescription  = 'R'
+	TagDataRow         = 'D'
+	TagLineageRow      = 'L'
+	TagCommandComplete = 'C'
+	TagTupleValues     = 'V'
+	TagError           = 'E'
+	TagReady           = 'Z'
+	TagTerminate       = 'X'
+)
+
+// MaxMessageSize bounds a single frame (64 MiB) to protect against
+// corrupted length prefixes.
+const MaxMessageSize = 64 << 20
+
+// Message is any protocol message.
+type Message interface{ tag() byte }
+
+// Startup opens a session, announcing the client process identity (used as
+// prov_p on the server) and target database name.
+type Startup struct {
+	Proc     string
+	Database string
+}
+
+// Query asks the server to execute one SQL statement. WithLineage requests
+// Lineage computation even without the PROVENANCE keyword — the switch the
+// LDV audit interceptor flips.
+type Query struct {
+	SQL         string
+	WithLineage bool
+}
+
+// RowDescription announces result columns.
+type RowDescription struct{ Columns []string }
+
+// DataRow carries one result row.
+type DataRow struct{ Values []sqlval.Value }
+
+// LineageRow carries the lineage of the immediately preceding DataRow.
+type LineageRow struct{ Refs []engine.TupleRef }
+
+// TupleValues carries the attribute values of provenance tuple versions
+// referenced by the statement's Lineage or ReadRefs — the inline provenance
+// tuples a Perm PROVENANCE query returns. Rows is parallel to Refs.
+type TupleValues struct {
+	Refs []engine.TupleRef
+	Rows [][]sqlval.Value
+}
+
+// CommandComplete ends a successful statement, reporting DML counts,
+// statement identity, its logical-time interval, and the tuple versions the
+// statement read and wrote (reenactment provenance for updates).
+type CommandComplete struct {
+	RowsAffected int
+	StmtID       int64
+	Start, End   uint64
+	ReadRefs     []engine.TupleRef
+	WrittenRefs  []engine.TupleRef
+}
+
+// Error reports a failed statement; the session stays usable.
+type Error struct{ Message string }
+
+// Ready signals the server awaits the next query.
+type Ready struct{}
+
+// Terminate closes the session.
+type Terminate struct{}
+
+func (Startup) tag() byte         { return TagStartup }
+func (Query) tag() byte           { return TagQuery }
+func (RowDescription) tag() byte  { return TagRowDescription }
+func (DataRow) tag() byte         { return TagDataRow }
+func (LineageRow) tag() byte      { return TagLineageRow }
+func (TupleValues) tag() byte     { return TagTupleValues }
+func (CommandComplete) tag() byte { return TagCommandComplete }
+func (Error) tag() byte           { return TagError }
+func (Ready) tag() byte           { return TagReady }
+func (Terminate) tag() byte       { return TagTerminate }
+
+// Write sends one message.
+func Write(w io.Writer, m Message) error {
+	payload := encodePayload(m)
+	header := [5]byte{m.tag()}
+	binary.BigEndian.PutUint32(header[1:], uint32(len(payload)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read receives one message.
+func Read(r io.Reader) (Message, error) {
+	var header [5]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(header[1:])
+	if size > MaxMessageSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire read payload: %w", err)
+	}
+	return decodePayload(header[0], payload)
+}
+
+func encodePayload(m Message) []byte {
+	var b []byte
+	switch v := m.(type) {
+	case Startup:
+		b = appendString(b, v.Proc)
+		b = appendString(b, v.Database)
+	case Query:
+		if v.WithLineage {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendString(b, v.SQL)
+	case RowDescription:
+		b = binary.AppendUvarint(b, uint64(len(v.Columns)))
+		for _, c := range v.Columns {
+			b = appendString(b, c)
+		}
+	case DataRow:
+		b = sqlval.EncodeRow(b, v.Values)
+	case LineageRow:
+		b = appendRefs(b, v.Refs)
+	case TupleValues:
+		b = appendRefs(b, v.Refs)
+		for _, row := range v.Rows {
+			b = sqlval.EncodeRow(b, row)
+		}
+	case CommandComplete:
+		b = binary.AppendVarint(b, int64(v.RowsAffected))
+		b = binary.AppendVarint(b, v.StmtID)
+		b = binary.AppendUvarint(b, v.Start)
+		b = binary.AppendUvarint(b, v.End)
+		b = appendRefs(b, v.ReadRefs)
+		b = appendRefs(b, v.WrittenRefs)
+	case Error:
+		b = appendString(b, v.Message)
+	case Ready, Terminate:
+	}
+	return b
+}
+
+func decodePayload(tag byte, b []byte) (Message, error) {
+	d := &decoder{buf: b}
+	var m Message
+	switch tag {
+	case TagStartup:
+		m = Startup{Proc: d.string(), Database: d.string()}
+	case TagQuery:
+		withLineage := d.byte() == 1
+		m = Query{WithLineage: withLineage, SQL: d.string()}
+	case TagRowDescription:
+		n := d.uvarint()
+		if n > uint64(len(d.buf)) {
+			return nil, fmt.Errorf("wire RowDescription: column count %d exceeds frame", n)
+		}
+		cols := make([]string, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			cols = append(cols, d.string())
+		}
+		m = RowDescription{Columns: cols}
+	case TagDataRow:
+		vals, n, err := sqlval.DecodeRow(b)
+		if err != nil {
+			return nil, fmt.Errorf("wire DataRow: %w", err)
+		}
+		d.buf = b[n:]
+		m = DataRow{Values: vals}
+	case TagLineageRow:
+		m = LineageRow{Refs: d.refs()}
+	case TagTupleValues:
+		refs := d.refs()
+		rows := make([][]sqlval.Value, 0, len(refs))
+		for i := 0; i < len(refs) && d.err == nil; i++ {
+			vals, n, err := sqlval.DecodeRow(d.buf)
+			if err != nil {
+				return nil, fmt.Errorf("wire TupleValues row %d: %w", i, err)
+			}
+			d.buf = d.buf[n:]
+			rows = append(rows, vals)
+		}
+		m = TupleValues{Refs: refs, Rows: rows}
+	case TagCommandComplete:
+		m = CommandComplete{
+			RowsAffected: int(d.varint()),
+			StmtID:       d.varint(),
+			Start:        d.uvarint(),
+			End:          d.uvarint(),
+			ReadRefs:     d.refs(),
+			WrittenRefs:  d.refs(),
+		}
+	case TagError:
+		m = Error{Message: d.string()}
+	case TagReady:
+		m = Ready{}
+	case TagTerminate:
+		m = Terminate{}
+	default:
+		return nil, fmt.Errorf("wire: unknown message tag %q", tag)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire decode %q: %w", tag, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire decode %q: %d trailing bytes", tag, len(d.buf))
+	}
+	return m, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRefs(b []byte, refs []engine.TupleRef) []byte {
+	b = binary.AppendUvarint(b, uint64(len(refs)))
+	for _, r := range refs {
+		b = appendString(b, r.Table)
+		b = binary.AppendUvarint(b, uint64(r.Row))
+		b = binary.AppendUvarint(b, r.Version)
+	}
+	return b
+}
+
+// decoder is a cursor with sticky error handling.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated %s", what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	l := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < l {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[:l])
+	d.buf = d.buf[l:]
+	return s
+}
+
+func (d *decoder) refs() []engine.TupleRef {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	// Each ref needs at least 3 bytes; reject corrupt counts before
+	// allocating.
+	if n > uint64(len(d.buf)) {
+		d.fail("ref count")
+		return nil
+	}
+	refs := make([]engine.TupleRef, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		refs = append(refs, engine.TupleRef{
+			Table:   d.string(),
+			Row:     engine.RowID(d.uvarint()),
+			Version: d.uvarint(),
+		})
+	}
+	return refs
+}

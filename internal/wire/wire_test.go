@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write(%#v): %v", m, err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read(%#v): %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("trailing bytes after %#v", m)
+	}
+	return out
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	refs := []engine.TupleRef{
+		{Table: "orders", Row: 42, Version: 7},
+		{Table: "lineitem", Row: 1, Version: 1},
+	}
+	msgs := []Message{
+		Startup{Proc: "p12", Database: "tpch"},
+		Query{SQL: "SELECT 1", WithLineage: true},
+		Query{SQL: "SELECT 2"},
+		RowDescription{Columns: []string{"a", "b"}},
+		RowDescription{Columns: []string{}},
+		DataRow{Values: []sqlval.Value{sqlval.NewInt(1), sqlval.Null, sqlval.NewString("x")}},
+		LineageRow{Refs: refs},
+		LineageRow{},
+		CommandComplete{RowsAffected: 3, StmtID: 9, Start: 10, End: 20, ReadRefs: refs, WrittenRefs: refs[:1]},
+		CommandComplete{},
+		Error{Message: "boom"},
+		Ready{},
+		Terminate{},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		switch want := m.(type) {
+		case DataRow:
+			g := got.(DataRow)
+			if len(g.Values) != len(want.Values) {
+				t.Fatalf("DataRow arity mismatch")
+			}
+			for i := range g.Values {
+				if !g.Values[i].Equal(want.Values[i]) {
+					t.Fatalf("DataRow value %d mismatch", i)
+				}
+			}
+		default:
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("round trip: got %#v, want %#v", got, m)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Unknown tag.
+	var buf bytes.Buffer
+	buf.Write([]byte{'?', 0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("unknown tag must fail")
+	}
+	// Oversized frame.
+	buf.Reset()
+	buf.Write([]byte{'Q', 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err == nil {
+		t.Error("oversized frame must fail")
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write([]byte{'Q', 0, 0, 0, 10, 1, 2})
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated payload must fail")
+	}
+	// Truncated string inside payload.
+	buf.Reset()
+	buf.Write([]byte{'E', 0, 0, 0, 1, 50})
+	if _, err := Read(&buf); err == nil {
+		t.Error("bad string must fail")
+	}
+	// Trailing junk inside frame.
+	buf.Reset()
+	buf.Write([]byte{'Z', 0, 0, 0, 1, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+	// EOF.
+	buf.Reset()
+	if _, err := Read(&buf); err == nil {
+		t.Error("EOF must fail")
+	}
+}
+
+type quickRefs struct{ Refs []engine.TupleRef }
+
+func (quickRefs) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(5)
+	refs := make([]engine.TupleRef, n)
+	for i := range refs {
+		refs[i] = engine.TupleRef{
+			Table:   string(rune('a' + r.Intn(26))),
+			Row:     engine.RowID(r.Uint64() % 100000),
+			Version: r.Uint64() % 100000,
+		}
+	}
+	return reflect.ValueOf(quickRefs{Refs: refs})
+}
+
+func TestQuickCommandCompleteRoundTrip(t *testing.T) {
+	f := func(affected int32, stmt int64, start, end uint32, rr, wr quickRefs) bool {
+		m := CommandComplete{
+			RowsAffected: int(affected), StmtID: stmt,
+			Start: uint64(start), End: uint64(end),
+			ReadRefs: rr.Refs, WrittenRefs: wr.Refs,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		g := got.(CommandComplete)
+		if g.RowsAffected != m.RowsAffected || g.StmtID != m.StmtID || g.Start != m.Start || g.End != m.End {
+			return false
+		}
+		return len(g.ReadRefs) == len(m.ReadRefs) && len(g.WrittenRefs) == len(m.WrittenRefs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipeConversation(t *testing.T) {
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		m, err := Read(server)
+		if err != nil {
+			done <- err
+			return
+		}
+		if q, ok := m.(Query); !ok || q.SQL != "SELECT 1" {
+			done <- err
+			return
+		}
+		err = Write(server, Ready{})
+		done <- err
+	}()
+	if err := Write(client, Query{SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := Read(client); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(Ready); !ok {
+		t.Fatalf("got %#v", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

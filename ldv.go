@@ -1,0 +1,120 @@
+// Package ldv is the public API of the LDV (light-weight database
+// virtualization) library — a from-scratch reproduction of "LDV:
+// Light-weight Database Virtualization" (Pham, Malik, Glavic, Foster;
+// ICDE 2015).
+//
+// LDV monitors the execution of an application that talks to a relational
+// database, builds a combined OS+DB execution trace with temporal
+// annotations, infers which database tuples the application's outputs
+// depend on, and emits a self-contained re-executable package — either
+// server-included (DBMS binary + the relevant tuple subset) or
+// server-excluded (recorded query results replayed to the client library).
+//
+// The typical flow:
+//
+//	m, _ := ldv.NewMachine()               // simulated machine with a DB server
+//	m.DB.ExecScript(ddlAndData, engine.ExecOptions{})
+//	apps := []ldv.App{{Binary: "/bin/app", Libs: ldv.ClientLibs(), Prog: prog}}
+//	aud, _ := ldv.Audit(m, apps)           // run under monitoring
+//	pkg, _ := ldv.BuildServerIncluded(m, aud, apps)
+//	replayed, _ := ldv.Replay(pkg, programs)
+//
+// Application programs are ordinary functions running on the simulated OS;
+// they reach the database through ldv.Dial, which transparently adapts to
+// plain, audited, or replayed execution.
+//
+// The heavy lifting lives in the internal packages: internal/engine (the
+// provenance-enabled SQL engine), internal/osim (the simulated OS and
+// ptrace-analog tracer), internal/prov and internal/deps (the provenance
+// models and temporal dependency inference of the paper's §IV–§VI),
+// internal/ldv (monitoring, packaging, replay), internal/tpch and
+// internal/bench (the §IX evaluation).
+package ldv
+
+import (
+	ildv "ldv/internal/ldv"
+	"ldv/internal/osim"
+	"ldv/internal/pack"
+)
+
+// Machine bundles a simulated kernel with an installed LDV database server.
+type Machine = ildv.Machine
+
+// App describes one application binary installed on a machine.
+type App = ildv.App
+
+// Auditor is the LDV monitor: syscall tracer plus client-library
+// interceptor.
+type Auditor = ildv.Auditor
+
+// AuditOptions tune a monitored run.
+type AuditOptions = ildv.AuditOptions
+
+// Manifest describes a re-executable package.
+type Manifest = ildv.Manifest
+
+// ReplaySetup is a machine prepared from a package, ready to re-execute.
+type ReplaySetup = ildv.ReplaySetup
+
+// Archive is the package container (a virtual file tree with deterministic
+// serialization).
+type Archive = pack.Archive
+
+// Program is the body of a simulated executable.
+type Program = osim.Program
+
+// Process is one simulated process; application programs receive theirs.
+type Process = osim.Process
+
+// Kernel is the simulated machine's OS.
+type Kernel = osim.Kernel
+
+// NewMachine boots a machine with standard libraries, a server binary, and
+// an empty database.
+func NewMachine() (*Machine, error) { return ildv.NewMachine() }
+
+// ClientLibs lists the libraries a DB application links against.
+func ClientLibs() []string { return ildv.ClientLibs() }
+
+// ServerLibs lists the libraries the DB server links against.
+func ServerLibs() []string { return ildv.ServerLibs() }
+
+// Audit runs applications under full LDV monitoring (the ldv-audit entry
+// point) and returns the auditor holding the combined execution trace.
+func Audit(m *Machine, apps []App) (*Auditor, error) { return ildv.Audit(m, apps) }
+
+// AuditWithOptions is Audit with explicit monitoring options.
+func AuditWithOptions(m *Machine, apps []App, opts AuditOptions) (*Auditor, error) {
+	return ildv.AuditWithOptions(m, apps, opts)
+}
+
+// Run executes applications without monitoring (the plain baseline).
+func Run(m *Machine, apps []App) error { return ildv.Run(m, apps) }
+
+// BuildServerIncluded assembles a server-included package: server binaries
+// plus the relevant DB subset (§VII-D).
+func BuildServerIncluded(m *Machine, aud *Auditor, apps []App) (*Archive, error) {
+	return ildv.BuildServerIncluded(m, aud, apps)
+}
+
+// BuildServerExcluded assembles a server-excluded package: recorded query
+// results replayed without any DBMS (§VII-D).
+func BuildServerExcluded(m *Machine, aud *Auditor, apps []App) (*Archive, error) {
+	return ildv.BuildServerExcluded(m, aud, apps)
+}
+
+// PrepareReplay extracts a package into a fresh machine (the ldv-exec
+// initialization phase).
+func PrepareReplay(arch *Archive, programs map[string]Program) (*ReplaySetup, error) {
+	return ildv.PrepareReplay(arch, programs)
+}
+
+// Replay re-executes a package end to end and returns the machine for
+// output inspection.
+func Replay(arch *Archive, programs map[string]Program) (*Machine, error) {
+	return ildv.Replay(arch, programs)
+}
+
+// Dial opens a DB session for an application process under the machine's
+// ambient mode (plain, audited, or replayed).
+func Dial(p *Process) (*Conn, error) { return ildv.Dial(p) }
