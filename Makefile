@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench examples experiments fuzz clean
+.PHONY: all build vet test check bench examples experiments fuzz clean
 
 all: build vet test
 
@@ -12,8 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The observability registry is all lock-free atomics; always exercise it
+# under the race detector.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs/...
+
+# Full verification: vet plus the whole tree under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:

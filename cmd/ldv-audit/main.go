@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"ldv"
+	"ldv/internal/obs"
 	"ldv/internal/scenarios"
 )
 
@@ -26,6 +27,7 @@ func main() {
 		out      = flag.String("o", "", "output package file (default <scenario>-<mode>.ldvpkg)")
 		withProv = flag.Bool("prov", false, "also embed a PROV-JSON export of the execution trace")
 		list     = flag.Bool("list", false, "list available scenarios and exit")
+		stats    = flag.Bool("stats", false, "dump the observability snapshot (metrics + spans) after the audit")
 	)
 	flag.Parse()
 
@@ -38,6 +40,10 @@ func main() {
 	if err := run(*scenario, *mode, *out, *withProv); err != nil {
 		fmt.Fprintln(os.Stderr, "ldv-audit:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		fmt.Println("==== observability snapshot ====")
+		obs.TakeSnapshot().WriteTable(os.Stdout)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"ldv/internal/bench"
+	"ldv/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		selects = flag.Int("selects", def.Selects, "workload select count (paper: 10)")
 		updates = flag.Int("updates", def.Updates, "workload update count (paper: 100)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		stats   = flag.Bool("stats", false, "dump the observability snapshot (metrics + spans) after the run")
 	)
 	flag.Parse()
 
@@ -37,20 +39,24 @@ func main() {
 		return
 	}
 	cfg := bench.Config{SF: *sf, Seed: *seed, Inserts: *inserts, Selects: *selects, Updates: *updates}
-	if *exp == "all" {
-		if err := bench.RunAll(cfg, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "ldv-bench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	runner, ok := bench.Experiments()[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ldv-bench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
-	}
-	if err := runner(cfg, os.Stdout); err != nil {
+	if err := run(cfg, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "ldv-bench:", err)
 		os.Exit(1)
 	}
+	if *stats {
+		fmt.Println("==== observability snapshot ====")
+		obs.TakeSnapshot().WriteTable(os.Stdout)
+	}
+}
+
+func run(cfg bench.Config, exp string) error {
+	if exp == "all" {
+		return bench.RunAll(cfg, os.Stdout)
+	}
+	runner, ok := bench.Experiments()[exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ldv-bench: unknown experiment %q (try -list)\n", exp)
+		os.Exit(2)
+	}
+	return runner(cfg, os.Stdout)
 }

@@ -8,6 +8,7 @@ import (
 
 	"ldv/internal/engine"
 	"ldv/internal/ldv"
+	"ldv/internal/obs"
 	"ldv/internal/tpch"
 )
 
@@ -320,8 +321,9 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"fig7b":  Fig7b,
 		"fig8a":  Fig8a,
 		"fig8b":  Fig8b,
-		"fig9":   Fig9,
-		"vmi":    VMIComparison,
+		"fig9":     Fig9,
+		"vmi":      VMIComparison,
+		"overhead": Overhead,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -336,7 +338,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "ablation"}
 }
 
 // RunAll executes every experiment in order.
@@ -349,5 +351,7 @@ func RunAll(cfg Config, w io.Writer) error {
 		}
 		fmt.Fprintln(w, strings.Repeat("-", 72))
 	}
+	fmt.Fprintln(w, "==== phase timings (obs spans) ====")
+	PhaseReport(obs.TakeSnapshot(), w)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"ldv/internal/client"
 	"ldv/internal/engine"
 	"ldv/internal/ldv"
+	"ldv/internal/obs"
 	"ldv/internal/osim"
 	"ldv/internal/pack"
 	"ldv/internal/tpch"
@@ -240,8 +241,17 @@ type AuditOutcome struct {
 	TraceNodes       int
 }
 
+// phaseSpan wraps one harness phase in an obs span so per-phase timings
+// land in the observability snapshot as span.<name> histograms.
+func phaseSpan(name string, sys System, q tpch.Query, f func() error) error {
+	sp := obs.StartSpan(name).SetAttr("system", string(sys)).SetAttr("query", q.ID)
+	defer sp.End()
+	return f()
+}
+
 // RunAudit executes the workload for query q under one system's monitoring
-// and builds its package/image.
+// and builds its package/image. The monitored run and the packaging step are
+// recorded as bench.audit / bench.package spans.
 func RunAudit(cfg Config, q tpch.Query, sys System) (*AuditOutcome, error) {
 	m, err := NewMachine(cfg)
 	if err != nil {
@@ -254,48 +264,63 @@ func RunAudit(cfg Config, q tpch.Query, sys System) (*AuditOutcome, error) {
 
 	switch sys {
 	case SysPlain:
-		if err := ldv.Run(m, out.Apps); err != nil {
+		if err := phaseSpan("bench.audit", sys, q, func() error {
+			return ldv.Run(m, out.Apps)
+		}); err != nil {
 			return nil, err
 		}
 	case SysPTU:
-		tr, err := ptu.Audit(m, out.Apps)
-		if err != nil {
+		var tr *ptu.Tracer
+		if err := phaseSpan("bench.audit", sys, q, func() (err error) {
+			tr, err = ptu.Audit(m, out.Apps)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		pkg, err := ptu.BuildPackage(m, tr, out.Apps)
-		if err != nil {
+		if err := phaseSpan("bench.package", sys, q, func() (err error) {
+			out.Package, err = ptu.BuildPackage(m, tr, out.Apps)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		out.Package = pkg
 	case SysSI:
-		aud, err := ldv.Audit(m, out.Apps)
-		if err != nil {
+		var aud *ldv.Auditor
+		if err := phaseSpan("bench.audit", sys, q, func() (err error) {
+			aud, err = ldv.Audit(m, out.Apps)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		pkg, err := ldv.BuildServerIncluded(m, aud, out.Apps)
-		if err != nil {
+		if err := phaseSpan("bench.package", sys, q, func() (err error) {
+			out.Package, err = ldv.BuildServerIncluded(m, aud, out.Apps)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		out.Package = pkg
 		out.RelevantTuples = aud.RelevantTupleCount()
 		out.ProvenanceTuples = aud.ProvenanceTupleCount()
 		out.TraceNodes = aud.Trace().NodeCount()
 	case SysSE:
-		aud, err := ldv.AuditWithOptions(m, out.Apps, ldv.AuditOptions{CollectLineage: false})
-		if err != nil {
+		var aud *ldv.Auditor
+		if err := phaseSpan("bench.audit", sys, q, func() (err error) {
+			aud, err = ldv.AuditWithOptions(m, out.Apps, ldv.AuditOptions{CollectLineage: false})
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		pkg, err := ldv.BuildServerExcluded(m, aud, out.Apps)
-		if err != nil {
+		if err := phaseSpan("bench.package", sys, q, func() (err error) {
+			out.Package, err = ldv.BuildServerExcluded(m, aud, out.Apps)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		out.Package = pkg
 	case SysVM:
-		img := vmi.BuildImage(m)
-		if err := vmi.Run(m, img, out.Apps); err != nil {
+		if err := phaseSpan("bench.audit", sys, q, func() error {
+			out.Image = vmi.BuildImage(m)
+			return vmi.Run(m, out.Image, out.Apps)
+		}); err != nil {
 			return nil, err
 		}
-		out.Image = img
 	default:
 		return nil, fmt.Errorf("bench: unknown system %q", sys)
 	}
@@ -303,8 +328,11 @@ func RunAudit(cfg Config, q tpch.Query, sys System) (*AuditOutcome, error) {
 }
 
 // RunReplay re-executes a previously packaged run under the given system,
-// timing initialization and the workload steps.
+// timing initialization and the workload steps. The whole re-execution is
+// recorded as a bench.replay span.
 func RunReplay(cfg Config, q tpch.Query, sys System, audit *AuditOutcome) (*StepTimes, error) {
+	sp := obs.StartSpan("bench.replay").SetAttr("system", string(sys)).SetAttr("query", q.ID)
+	defer sp.End()
 	w := cfg.workload(q)
 	st := &StepTimes{}
 	app := workloadApp(w, st, sys == SysVM)

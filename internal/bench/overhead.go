@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"ldv/internal/obs"
+	"ldv/internal/tpch"
+)
+
+// Overhead reproduces the paper's audit-overhead experiment (§IX-B): the
+// same Q1-1 workload runs once unmonitored (plain PostgreSQL) and once under
+// full server-included auditing, and the audited run's extra wall time is
+// attributed to lineage computation, trace construction, tuple dedup, and
+// logging using the auditor's own timing metrics. Metrics are reset between
+// the two runs so the snapshot holds only the audited run's costs.
+func Overhead(cfg Config, w io.Writer) error {
+	q, err := tpch.QueryByID(cfg.TPCH(), "Q1-1")
+	if err != nil {
+		return err
+	}
+	// Generate the TPC-H data template up front: it is cached per (SF,
+	// seed), and charging generation to whichever run happens first would
+	// skew the native/audited comparison.
+	if _, err := dataTemplate(cfg); err != nil {
+		return err
+	}
+
+	// Wall times come from the bench.audit span, which brackets exactly the
+	// monitored workload run — machine boot and packaging are excluded from
+	// both sides of the comparison.
+	obs.Reset()
+	if _, err := RunAudit(cfg, q, SysPlain); err != nil {
+		return fmt.Errorf("native run: %w", err)
+	}
+	native := obs.TakeSnapshot().HistogramSumNS("span.bench.audit")
+
+	obs.Reset()
+	out, err := RunAudit(cfg, q, SysSI)
+	if err != nil {
+		return fmt.Errorf("audited run: %w", err)
+	}
+	snap := obs.TakeSnapshot()
+	audited := snap.HistogramSumNS("span.bench.audit")
+
+	fmt.Fprintf(w, "Audit overhead (paper §IX-B): query %s, SF %g, workload %d inserts / %d selects / %d updates\n",
+		q.ID, cfg.SF, cfg.Inserts, cfg.Selects, cfg.Updates)
+	rep := obs.BuildOverheadReport(native, audited, snap)
+	rep.Render(w)
+
+	fmt.Fprintf(w, "audited run: %d statements, %d syscalls intercepted, %d trace nodes\n",
+		snap.Counter("engine.stmts"), sumByPrefix(snap, "auditor.syscalls."), out.TraceNodes)
+	fmt.Fprintf(w, "tuples: %d fetched, %d stored, %d deduped (relevant packaged: %d)\n",
+		snap.Counter("auditor.tuples.fetched"), snap.Counter("auditor.tuples.stored"),
+		snap.Counter("auditor.tuples.deduped"), out.RelevantTuples)
+	fmt.Fprintf(w, "wire: %d bytes in, %d bytes out; package: %d files, %s MB\n",
+		snap.Counter("wire.in.bytes"), snap.Counter("wire.out.bytes"),
+		out.Package.Len(), mb(out.Package.TotalSize()))
+	fmt.Fprintln(w, "-- phase timings (audited run) --")
+	PhaseReport(snap, w)
+	return nil
+}
+
+// sumByPrefix totals every counter whose name starts with prefix.
+func sumByPrefix(snap *obs.Snapshot, prefix string) int64 {
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// phaseNames are the span histograms PhaseReport summarises, in
+// presentation order: the harness phases first, then the ldv-internal ones.
+var phaseNames = []string{
+	"bench.audit", "bench.package", "bench.replay",
+	"audit.run", "replay.prepare", "replay.run",
+}
+
+// PhaseReport prints per-phase wall-clock totals (audit, package, replay)
+// from the span histograms of an observability snapshot. Phases that never
+// ran are omitted.
+func PhaseReport(snap *obs.Snapshot, w io.Writer) {
+	fmt.Fprintf(w, "%-18s %8s %14s %14s\n", "Phase", "Runs", "Total (ms)", "Mean (ms)")
+	// Fixed phases first, then any other span histogram alphabetically.
+	names := append(append([]string(nil), phaseNames...), sortedExtra(snap, phaseNames)...)
+	for _, name := range names {
+		h := snap.Histogram("span." + name)
+		if h.Count == 0 {
+			continue
+		}
+		total := time.Duration(h.Sum)
+		fmt.Fprintf(w, "%-18s %8d %14s %14s\n", name, h.Count, ms(total), ms(total/time.Duration(h.Count)))
+	}
+}
+
+func contains(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedExtra(snap *obs.Snapshot, known []string) []string {
+	var extra []string
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "span.") && !contains(known, strings.TrimPrefix(name, "span.")) {
+			extra = append(extra, strings.TrimPrefix(name, "span."))
+		}
+	}
+	sort.Strings(extra)
+	return extra
+}

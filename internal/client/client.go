@@ -12,6 +12,7 @@ import (
 	"net"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/sqlval"
 	"ldv/internal/wire"
 )
@@ -149,6 +150,50 @@ func (c *Conn) Query(sql string) (*engine.Result, error) {
 
 // Exec executes a statement, discarding rows (convenience alias).
 func (c *Conn) Exec(sql string) (*engine.Result, error) { return c.Query(sql) }
+
+// Stats fetches the server's observability snapshot via a wire Stats
+// request. Fully-replayed sessions have no server to ask and return the
+// local process's snapshot instead (the replayer runs in-process anyway).
+func (c *Conn) Stats() (*obs.Snapshot, error) {
+	if c.closed {
+		return nil, fmt.Errorf("connection closed")
+	}
+	if c.nc == nil {
+		return obs.TakeSnapshot(), nil
+	}
+	if err := wire.Write(c.nc, wire.Stats{}); err != nil {
+		return nil, err
+	}
+	var snap *obs.Snapshot
+	for {
+		msg, err := wire.Read(c.nc)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case wire.StatsResult:
+			snap, err = obs.ParseSnapshot(m.JSON)
+			if err != nil {
+				return nil, err
+			}
+		case wire.Error:
+			// Drain the Ready that follows an error.
+			if next, rerr := wire.Read(c.nc); rerr == nil {
+				if _, ok := next.(wire.Ready); !ok {
+					return nil, fmt.Errorf("protocol error after server error: %T", next)
+				}
+			}
+			return nil, fmt.Errorf("server error: %s", m.Message)
+		case wire.Ready:
+			if snap == nil {
+				return nil, fmt.Errorf("protocol error: Ready before StatsResult")
+			}
+			return snap, nil
+		default:
+			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
+		}
+	}
+}
 
 func (c *Conn) notifyAfter(info QueryInfo, res *engine.Result, err error) {
 	for _, ic := range c.interceptors {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
@@ -116,7 +117,7 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // Exec parses and executes a single SQL statement.
 func (db *DB) Exec(sql string, opts ExecOptions) (*Result, error) {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, err := timedParse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +127,9 @@ func (db *DB) Exec(sql string, opts ExecOptions) (*Result, error) {
 // ExecScript parses and executes a semicolon-separated script, stopping at
 // the first error.
 func (db *DB) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
+	t0 := time.Now()
 	stmts, err := sqlparse.ParseScript(sql)
+	hParse.Observe(time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
@@ -145,10 +148,12 @@ func (db *DB) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
 func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	t0 := time.Now()
 	db.nextStmt++
 	res := &Result{StmtID: db.nextStmt, Start: db.clock.Tick()}
 	if handled, err := db.execTxnStatement(stmt); handled {
 		res.End = db.clock.Tick()
+		observeStatement(stmt, res, err, time.Since(t0))
 		if err != nil {
 			return nil, err
 		}
@@ -182,6 +187,7 @@ func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result,
 		err = fmt.Errorf("unsupported statement type %T", stmt)
 	}
 	res.End = db.clock.Tick()
+	observeStatement(stmt, res, err, time.Since(t0))
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
@@ -48,6 +49,8 @@ func (db *DB) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) erro
 	res.Columns = cols
 	res.Rows = rows
 	if withLineage {
+		t0 := time.Now()
+		defer func() { hLineage.Observe(time.Since(t0)) }()
 		if subState != nil && len(subState.refs) > 0 {
 			for i := range lineage {
 				lineage[i] = mergeLineage(lineage[i], subState.refs)
@@ -263,6 +266,7 @@ func (db *DB) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, c
 		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: pc})
 	}
 	ncols := len(t.Schema.Columns)
+	mRowsScanned.Add(int64(len(t.rows)))
 	rel.tuples = make([]tuple, 0, len(t.rows))
 	for _, r := range t.rows {
 		vals := make([]sqlval.Value, ncols+4)

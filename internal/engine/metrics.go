@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"time"
+
+	"ldv/internal/obs"
+	"ldv/internal/sqlparse"
+)
+
+// Observability handles for the statement execution hot path. Updates are
+// single atomic operations; handle creation happens once at init.
+var (
+	mStmts        = obs.GetCounter("engine.stmts")
+	mStmtErrors   = obs.GetCounter("engine.stmt_errors")
+	mRowsReturned = obs.GetCounter("engine.rows_returned")
+	mRowsAffected = obs.GetCounter("engine.rows_affected")
+	mRowsScanned  = obs.GetCounter("engine.rows_scanned")
+	mTxnCommits   = obs.GetCounter("engine.txn_commits")
+	mTxnRollbacks = obs.GetCounter("engine.txn_rollbacks")
+
+	hParse   = obs.GetHistogram("engine.parse_ns")
+	hLineage = obs.GetHistogram(obs.MetricLineageNS)
+
+	// Per-kind statement latency. Unknown statement types fall back to
+	// hExecOther.
+	hExecSelect = obs.GetHistogram("engine.exec_ns.select")
+	hExecInsert = obs.GetHistogram("engine.exec_ns.insert")
+	hExecUpdate = obs.GetHistogram("engine.exec_ns.update")
+	hExecDelete = obs.GetHistogram("engine.exec_ns.delete")
+	hExecDDL    = obs.GetHistogram("engine.exec_ns.ddl")
+	hExecTxn    = obs.GetHistogram("engine.exec_ns.txn")
+	hExecOther  = obs.GetHistogram("engine.exec_ns.other")
+)
+
+// execHistogram picks the latency histogram for a parsed statement.
+func execHistogram(stmt sqlparse.Statement) *obs.Histogram {
+	switch stmt.(type) {
+	case *sqlparse.Select:
+		return hExecSelect
+	case *sqlparse.Insert:
+		return hExecInsert
+	case *sqlparse.Update:
+		return hExecUpdate
+	case *sqlparse.Delete:
+		return hExecDelete
+	case *sqlparse.CreateTable, *sqlparse.DropTable:
+		return hExecDDL
+	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
+		return hExecTxn
+	default:
+		return hExecOther
+	}
+}
+
+// observeStatement records one statement execution's metrics.
+func observeStatement(stmt sqlparse.Statement, res *Result, err error, d time.Duration) {
+	mStmts.Inc()
+	execHistogram(stmt).Observe(d)
+	if err != nil {
+		mStmtErrors.Inc()
+		return
+	}
+	mRowsReturned.Add(int64(len(res.Rows)))
+	mRowsAffected.Add(int64(res.RowsAffected))
+}
+
+// timedParse wraps sqlparse.Parse with latency accounting (shared by the
+// engine's Exec and the server's COPY-intercepting exec path through
+// ParseTimed).
+func timedParse(sql string) (sqlparse.Statement, error) {
+	t0 := time.Now()
+	stmt, err := sqlparse.Parse(sql)
+	hParse.Observe(time.Since(t0))
+	return stmt, err
+}
+
+// ParseTimed parses one statement, recording the engine.parse_ns latency
+// metric — the parse entry point for callers that dispatch on the parsed
+// statement themselves (the server's COPY interception).
+func ParseTimed(sql string) (sqlparse.Statement, error) { return timedParse(sql) }

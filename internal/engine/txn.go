@@ -45,6 +45,7 @@ func (db *DB) execCommit() error {
 		return fmt.Errorf("no transaction is open")
 	}
 	db.txn = nil
+	mTxnCommits.Inc()
 	return nil
 }
 
@@ -61,6 +62,7 @@ func (db *DB) execRollback() error {
 			return fmt.Errorf("rollback: %w", err)
 		}
 	}
+	mTxnRollbacks.Inc()
 	return nil
 }
 

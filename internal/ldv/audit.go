@@ -3,6 +3,7 @@ package ldv
 import (
 	"fmt"
 
+	"ldv/internal/obs"
 	"ldv/internal/osim"
 )
 
@@ -28,6 +29,11 @@ type AuditOptions struct {
 
 // AuditWithOptions is Audit with explicit monitoring options.
 func AuditWithOptions(m *Machine, apps []App, opts AuditOptions) (*Auditor, error) {
+	// Stamp spans with the machine's logical clock so OS/DB events and
+	// observability spans share one timeline for this run.
+	obs.Default().SetLogicalClock(m.Kernel.Clock().Now)
+	sp := obs.StartSpan("audit.run")
+	defer sp.End()
 	if err := m.InstallApps(apps); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ldv/internal/client"
 	"ldv/internal/engine"
@@ -165,6 +166,7 @@ func (a *Auditor) RelevantTupleCount() int {
 // becomes a readFrom or hasWritten edge annotated with the interval between
 // first open and close.
 func (a *Auditor) OnEvent(ev osim.Event) {
+	countEvent(ev.Kind)
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	switch ev.Kind {
@@ -288,11 +290,23 @@ func statementType(sql string) string {
 func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInfo, res *engine.Result, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Partition this call's cost for the overhead report: everything is
+	// trace construction except the dedup-table and spool intervals, which
+	// are timed separately and subtracted.
+	t0 := time.Now()
+	var dedupDur, spoolDur time.Duration
+	defer func() {
+		total := time.Since(t0)
+		hTraceNS.Observe(total - dedupDur)
+		hDedupNS.Observe(dedupDur - spoolDur)
+		hSpoolNS.Observe(spoolDur)
+	}()
 
 	entry := LogEntry{SQL: info.SQL}
 	if err != nil {
 		entry.Error = err.Error()
 		log.Entries = append(log.Entries, entry)
+		mAudLogEntries.Inc()
 		return
 	}
 	entry.Columns = res.Columns
@@ -301,7 +315,9 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 		entry.Rows = append(entry.Rows, encodeRowCells(row))
 	}
 	log.Entries = append(log.Entries, entry)
+	mAudLogEntries.Inc()
 	a.stmtCount++
+	mAudStmts.Inc()
 
 	stype := statementType(info.SQL)
 	stmtNode := StmtNodeID(res.StmtID)
@@ -329,17 +345,26 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 		tupleNode := a.ensureTuple(ref)
 		_, _ = a.trace.AddEdge(tupleNode, stmtNode, prov.EdgeHasRead, iv)
 		a.tupleFetched++
+		mTuplesFetched.Inc()
 		// Relevant-tuple rule (§VII-D): read by the application and not
 		// created by it.
 		if vals, ok := res.TupleValues[ref]; ok && !a.appCreated[ref] {
+			d0 := time.Now()
 			if a.DedupDisabled {
 				entry := relevantEntry{vals: vals, cells: encodeRowCells(vals)}
 				a.relevantList = append(a.relevantList, taggedTuple{ref: ref, entry: entry})
+				mTuplesStored.Inc()
 			} else if _, dup := a.relevant[ref]; !dup {
 				entry := relevantEntry{vals: vals, cells: encodeRowCells(vals)}
 				a.relevant[ref] = entry
+				mTuplesStored.Inc()
+				s0 := time.Now()
 				a.spool(ref, entry)
+				spoolDur += time.Since(s0)
+			} else {
+				mTuplesDeduped.Inc()
 			}
+			dedupDur += time.Since(d0)
 		}
 	}
 

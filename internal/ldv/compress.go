@@ -6,8 +6,16 @@ import (
 	"fmt"
 	"io"
 
+	"ldv/internal/obs"
 	"ldv/internal/pack"
 	"ldv/internal/prov"
+)
+
+// Compression accounting: the ratio out/in over these two counters is the
+// package-metadata compression ratio reported by the obs snapshot.
+var (
+	mCompressIn  = obs.GetCounter("pack.compress.in_bytes")
+	mCompressOut = obs.GetCounter("pack.compress.out_bytes")
 )
 
 // Trace and DB-log metadata is highly repetitive (node IDs, SQL text,
@@ -25,6 +33,8 @@ func gzipBytes(data []byte) ([]byte, error) {
 	if err := zw.Close(); err != nil {
 		return nil, err
 	}
+	mCompressIn.Add(int64(len(data)))
+	mCompressOut.Add(int64(buf.Len()))
 	return buf.Bytes(), nil
 }
 

@@ -1,0 +1,38 @@
+package ldv
+
+import (
+	"ldv/internal/obs"
+	"ldv/internal/osim"
+)
+
+// Audit-monitor accounting. The three latency histograms partition
+// recordStatement's cost into the components of the paper's audit-overhead
+// breakdown (§IX-B): trace construction, duplicate suppression, and
+// spool/log writes — see obs.BuildOverheadReport.
+var (
+	mAudStmts      = obs.GetCounter("auditor.stmts")
+	mAudLogEntries = obs.GetCounter("auditor.log_entries")
+	mTuplesFetched = obs.GetCounter("auditor.tuples.fetched")
+	mTuplesStored  = obs.GetCounter("auditor.tuples.stored")
+	mTuplesDeduped = obs.GetCounter("auditor.tuples.deduped")
+
+	hTraceNS = obs.GetHistogram(obs.MetricTraceNS)
+	hDedupNS = obs.GetHistogram(obs.MetricDedupNS)
+	hSpoolNS = obs.GetHistogram(obs.MetricSpoolNS)
+
+	// mAudEvents counts intercepted syscall events by kind, indexed by
+	// osim.EventKind.
+	mAudEvents = [...]*obs.Counter{
+		osim.EvSpawn:   obs.GetCounter("auditor.syscalls.spawn"),
+		osim.EvExit:    obs.GetCounter("auditor.syscalls.exit"),
+		osim.EvOpen:    obs.GetCounter("auditor.syscalls.open"),
+		osim.EvClose:   obs.GetCounter("auditor.syscalls.close"),
+		osim.EvConnect: obs.GetCounter("auditor.syscalls.connect"),
+	}
+)
+
+func countEvent(kind osim.EventKind) {
+	if int(kind) >= 0 && int(kind) < len(mAudEvents) && mAudEvents[kind] != nil {
+		mAudEvents[kind].Inc()
+	}
+}

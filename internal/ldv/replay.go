@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/osim"
 	"ldv/internal/pack"
 )
@@ -28,6 +29,8 @@ type ReplaySetup struct {
 // occurs"). The appPrograms map supplies the behaviour for each binary path
 // in the manifest — the simulation's stand-in for loading machine code.
 func PrepareReplay(arch *pack.Archive, appPrograms map[string]osim.Program) (*ReplaySetup, error) {
+	prep := obs.StartSpan("replay.prepare")
+	defer prep.End()
 	mdata, err := arch.Read(ManifestPath)
 	if err != nil {
 		return nil, fmt.Errorf("replay: package has no manifest: %w", err)
@@ -36,11 +39,15 @@ func PrepareReplay(arch *pack.Archive, appPrograms map[string]osim.Program) (*Re
 	if err != nil {
 		return nil, err
 	}
+	prep.SetAttr("type", string(manifest.Type))
 
 	k := osim.NewKernel()
+	obs.Default().SetLogicalClock(k.Clock().Now)
+	extract := prep.Child("replay.extract")
 	if err := arch.ExtractTo(k.FS(), "/"); err != nil {
 		return nil, fmt.Errorf("replay: extract: %w", err)
 	}
+	extract.End()
 
 	var apps []App
 	for _, am := range manifest.Apps {
@@ -64,9 +71,11 @@ func PrepareReplay(arch *pack.Archive, appPrograms map[string]osim.Program) (*Re
 				return nil, err
 			}
 		}
+		restore := prep.Child("replay.restore_tuples")
 		if err := restoreTuples(arch, db, manifest); err != nil {
 			return nil, err
 		}
+		restore.End()
 		m := NewMachineForReplay(k, db, manifest.Addr, manifest.DataDir, manifest.Database)
 		m.RegisterApps(apps)
 		setup.Machine = m
@@ -136,19 +145,26 @@ func restoreTuples(arch *pack.Archive, db *engine.DB, manifest *Manifest) error 
 // it starts the packaged server first and stops it after; for
 // server-excluded packages the apps run against the replayer alone.
 func (s *ReplaySetup) Run() error {
+	run := obs.StartSpan("replay.run").SetAttr("type", string(s.Manifest.Type))
+	defer run.End()
 	root := s.Machine.Kernel.Start("ldv-exec")
 	defer root.Exit()
 	if s.Manifest.Type == TypeServerIncluded {
+		boot := run.Child("replay.start_server")
 		if err := s.Machine.StartServer(root); err != nil {
 			return fmt.Errorf("replay: start packaged server: %w", err)
 		}
+		boot.End()
 	}
 	var runErr error
 	for _, app := range s.Apps {
+		step := run.Child("replay.app").SetAttr("binary", app.Binary)
 		if err := root.Spawn(app.Binary, app.Libs...); err != nil {
 			runErr = fmt.Errorf("replay %s: %w", app.Binary, err)
+			step.End()
 			break
 		}
+		step.End()
 	}
 	if s.Manifest.Type == TypeServerIncluded {
 		if err := s.Machine.StopServer(); err != nil && runErr == nil {

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// value v (in the recorded unit, nanoseconds for latencies) satisfies
+// 2^(i-1) <= v < 2^i, with bucket 0 holding v <= 0..1. Power-of-two bounds
+// make recording a single bits.Len64 plus one atomic add.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket exponential histogram with atomic recording.
+// It tracks count, sum, min, and max exactly and the distribution at
+// power-of-two resolution — enough to read p50/p95/p99 latencies off a
+// snapshot without per-observation allocation or locks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64 sentinel
+	return h
+}
+
+// bucketIndex maps a value to its power-of-two bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the exclusive upper bound of bucket i (the largest
+// bucket is unbounded and reports -1).
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return int64(1) << uint(i)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Observe records a duration in nanoseconds — the convention for all
+// latency histograms in this codebase (their names end in `_ns`).
+func (h *Histogram) Observe(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(int64(^uint64(0) >> 1))
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is the exported point-in-time state of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets holds only non-empty buckets as {index: count}; bounds are
+	// reconstructed with BucketBound.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[int]int64{}
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1) using
+// the bucket bounds; exact values degrade to power-of-two resolution.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen >= target {
+			if b := BucketBound(i); b >= 0 {
+				if b > s.Max {
+					return s.Max
+				}
+				return b
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one in-flight timed operation. Spans nest explicitly — a child
+// created with Child carries its parent's ID — so a snapshot reconstructs
+// the hierarchy without goroutine-local context plumbing. End records the
+// finished span into the registry's bounded ring buffer and into the
+// `span.<name>` latency histogram.
+type Span struct {
+	reg      *Registry
+	id       uint64
+	parent   uint64
+	name     string
+	start    time.Time
+	startTck uint64
+	attrs    []Attr
+	ended    bool
+}
+
+// StartSpan begins a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{
+		reg:      r,
+		id:       r.nextSpanID.Add(1),
+		name:     name,
+		start:    time.Now(),
+		startTck: r.logicalNow(),
+	}
+}
+
+// StartSpan begins a root span in the default registry.
+func StartSpan(name string) *Span { return defaultRegistry.StartSpan(name) }
+
+// Child begins a nested span.
+func (s *Span) Child(name string) *Span {
+	c := s.reg.StartSpan(name)
+	c.parent = s.id
+	return c
+}
+
+// ID returns the span's identity (unique within its registry).
+func (s *Span) ID() uint64 { return s.id }
+
+// SetAttr attaches a key/value annotation.
+func (s *Span) SetAttr(key, value string) *Span {
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// End finishes the span, records it, and returns its wall duration. A
+// second End is a no-op (returns the original duration measured lazily as
+// zero) so `defer sp.End()` composes with early explicit ends.
+func (s *Span) End() time.Duration {
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	rec := SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		StartUnix:  s.start.UnixNano(),
+		DurationNS: int64(d),
+		StartTick:  s.startTck,
+		EndTick:    s.reg.logicalNow(),
+		Attrs:      s.attrs,
+	}
+	s.reg.spans.add(rec)
+	s.reg.Histogram("span." + s.name).Observe(d)
+	return d
+}
+
+// SpanRecord is one finished span as stored in the ring buffer.
+type SpanRecord struct {
+	ID         uint64 `json:"id"`
+	Parent     uint64 `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	StartUnix  int64  `json:"start_unix_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	// StartTick/EndTick are osim logical-clock stamps (0 when no logical
+	// clock is attached to the registry).
+	StartTick uint64 `json:"start_tick,omitempty"`
+	EndTick   uint64 `json:"end_tick,omitempty"`
+	Attrs     []Attr `json:"attrs,omitempty"`
+}
+
+// spanRing is a bounded circular buffer of finished spans: the most recent
+// cap spans survive, older ones are evicted.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	full  bool
+	total int64 // lifetime count, including evicted spans
+}
+
+func newSpanRing(capacity int) *spanRing {
+	return &spanRing{buf: make([]SpanRecord, capacity)}
+}
+
+func (r *spanRing) add(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = rec
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// records returns retained spans oldest-first plus the lifetime total.
+func (r *spanRing) records() ([]SpanRecord, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SpanRecord
+	if r.full {
+		out = make([]SpanRecord, 0, len(r.buf))
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append([]SpanRecord(nil), r.buf[:r.next]...)
+	}
+	return out, r.total
+}
+
+func (r *spanRing) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next = 0
+	r.full = false
+	r.total = 0
+}

@@ -11,6 +11,18 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"ldv/internal/obs"
+)
+
+// Packaging accounting: member adds, serialized archive bytes, and
+// extraction volume — the inputs to the paper's package-size figures.
+var (
+	mFilesAdded     = obs.GetCounter("pack.files_added")
+	mBytesAdded     = obs.GetCounter("pack.bytes_added")
+	mBytesMarshaled = obs.GetCounter("pack.bytes_marshaled")
+	mFilesExtracted = obs.GetCounter("pack.files_extracted")
+	mBytesExtracted = obs.GetCounter("pack.bytes_extracted")
 )
 
 // Archive is a self-contained package: a mapping from slash paths to file
@@ -38,6 +50,8 @@ func normalize(p string) string {
 // Add stores a regular file, replacing any existing entry.
 func (a *Archive) Add(path string, data []byte) {
 	a.files[normalize(path)] = &Entry{Data: append([]byte(nil), data...)}
+	mFilesAdded.Inc()
+	mBytesAdded.Add(int64(len(data)))
 }
 
 // AddSymlink stores a symbolic link.
@@ -135,6 +149,7 @@ func (a *Archive) Marshal() []byte {
 			buf = append(buf, e.Data...)
 		}
 	}
+	mBytesMarshaled.Add(int64(len(buf)))
 	return buf
 }
 
@@ -212,6 +227,8 @@ func (a *Archive) ExtractTo(fs FileSystem, root string) error {
 		if err := fs.WriteFile(dst, e.Data); err != nil {
 			return fmt.Errorf("extract %s: %w", p, err)
 		}
+		mFilesExtracted.Inc()
+		mBytesExtracted.Add(int64(len(e.Data)))
 	}
 	return nil
 }

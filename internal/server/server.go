@@ -16,8 +16,17 @@ import (
 	"sync"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/sqlparse"
 	"ldv/internal/wire"
+)
+
+// Session and statement accounting for the Stats endpoint.
+var (
+	mSessions       = obs.GetCounter("server.sessions")
+	gActiveSessions = obs.GetGauge("server.active_sessions")
+	mStatements     = obs.GetCounter("server.stmts")
+	mErrors         = obs.GetCounter("server.errors")
 )
 
 // Acceptor abstracts the listeners the server can serve on: both
@@ -29,14 +38,18 @@ type Acceptor interface {
 // Server executes statements against a database on behalf of wire clients.
 type Server struct {
 	db *engine.DB
+	// logger is immutable after New — unlike fs it is never reassigned, so
+	// every goroutine may read it without holding mu. All logging must go
+	// through logf, which relies on exactly this invariant.
+	logger *log.Logger
 
 	mu       sync.Mutex
 	fs       engine.FileSystem
 	sessions int
-	logger   *log.Logger
 }
 
-// New returns a server over db. logger may be nil to disable logging.
+// New returns a server over db. logger may be nil to disable logging; it
+// must not be changed after New (sessions read it concurrently, unlocked).
 func New(db *engine.DB, logger *log.Logger) *Server {
 	return &Server{db: db, logger: logger}
 }
@@ -95,6 +108,9 @@ func (s *Server) HandleConn(conn net.Conn) {
 	s.sessions++
 	sid := s.sessions
 	s.mu.Unlock()
+	mSessions.Inc()
+	gActiveSessions.Add(1)
+	defer gActiveSessions.Add(-1)
 	s.logf("session %d: proc=%s db=%s", sid, startup.Proc, startup.Database)
 
 	if err := wire.Write(conn, wire.Ready{}); err != nil {
@@ -112,8 +128,14 @@ func (s *Server) HandleConn(conn net.Conn) {
 		case wire.Terminate:
 			return
 		case wire.Query:
+			mStatements.Inc()
 			if err := s.handleQuery(conn, startup.Proc, m); err != nil {
 				s.logf("session %d: %v", sid, err)
+				return
+			}
+		case wire.Stats:
+			if err := s.handleStats(conn); err != nil {
+				s.logf("session %d: stats: %v", sid, err)
 				return
 			}
 		default:
@@ -127,9 +149,26 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}
 }
 
+// handleStats serves a Stats request with a snapshot of the process-wide
+// observability registry, serialized as JSON.
+func (s *Server) handleStats(conn net.Conn) error {
+	data, err := obs.TakeSnapshot().JSON()
+	if err != nil {
+		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
+			return werr
+		}
+		return wire.Write(conn, wire.Ready{})
+	}
+	if err := wire.Write(conn, wire.StatsResult{JSON: data}); err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Ready{})
+}
+
 func (s *Server) handleQuery(conn net.Conn, proc string, q wire.Query) error {
 	res, err := s.exec(q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage})
 	if err != nil {
+		mErrors.Inc()
 		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
 			return werr
 		}
@@ -174,7 +213,7 @@ func (s *Server) handleQuery(conn net.Conn, proc string, q wire.Query) error {
 
 // exec runs one statement, intercepting COPY (which needs file access).
 func (s *Server) exec(sql string, opts engine.ExecOptions) (*engine.Result, error) {
-	stmt, err := sqlparse.Parse(sql)
+	stmt, err := engine.ParseTimed(sql)
 	if err != nil {
 		return nil, err
 	}

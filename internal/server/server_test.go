@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/osim"
 	"ldv/internal/wire"
 )
@@ -229,5 +230,51 @@ func TestServerCopyFromTo(t *testing.T) {
 	defer c2.Close()
 	if _, _, serr := query(t, c2, "COPY t TO '/x.csv'", false); serr == "" {
 		t.Fatal("COPY without FS must error")
+	}
+}
+
+func TestServerStatsRequest(t *testing.T) {
+	s := newTestServer(t)
+	c := dial(t, s, "proc:stats")
+	defer c.Close()
+	if _, _, serr := query(t, c, "SELECT a FROM t", false); serr != "" {
+		t.Fatal(serr)
+	}
+	if err := wire.Write(c, wire.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	var snap *obs.Snapshot
+	for snap == nil {
+		msg, err := wire.Read(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case wire.StatsResult:
+			snap, err = obs.ParseSnapshot(m.JSON)
+			if err != nil {
+				t.Fatalf("bad snapshot JSON: %v", err)
+			}
+		case wire.Error:
+			t.Fatalf("server error: %s", m.Message)
+		default:
+			t.Fatalf("unexpected message %#v", msg)
+		}
+	}
+	// The Ready that ends the Stats exchange.
+	if msg, err := wire.Read(c); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(wire.Ready); !ok {
+		t.Fatalf("expected Ready after StatsResult, got %#v", msg)
+	}
+	// Metrics are process-global, so assert floors, not exact values.
+	if snap.Counter("server.sessions") < 1 {
+		t.Fatal("server.sessions not counted")
+	}
+	if snap.Counter("server.stmts") < 1 {
+		t.Fatal("server.stmts not counted")
+	}
+	if snap.Counter("engine.stmts") < 1 {
+		t.Fatal("engine.stmts not counted")
 	}
 }

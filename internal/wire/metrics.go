@@ -1,0 +1,44 @@
+package wire
+
+import "ldv/internal/obs"
+
+// Frame accounting: every Write/Read records total messages and bytes
+// (header + payload) plus a per-kind message counter. Both endpoints of a
+// simulated connection live in this process, so "out" means frames passed
+// to Write and "in" means frames returned by Read, regardless of role.
+var (
+	mOutMsgs  = obs.GetCounter("wire.out.msgs")
+	mOutBytes = obs.GetCounter("wire.out.bytes")
+	mInMsgs   = obs.GetCounter("wire.in.msgs")
+	mInBytes  = obs.GetCounter("wire.in.bytes")
+
+	mOutByTag [256]*obs.Counter
+	mInByTag  [256]*obs.Counter
+)
+
+func init() {
+	for _, tag := range []byte{
+		TagStartup, TagQuery, TagRowDescription, TagDataRow, TagLineageRow,
+		TagCommandComplete, TagTupleValues, TagError, TagReady, TagTerminate,
+		TagStats, TagStatsResult,
+	} {
+		mOutByTag[tag] = obs.GetCounter("wire.out.msgs." + TagName(tag))
+		mInByTag[tag] = obs.GetCounter("wire.in.msgs." + TagName(tag))
+	}
+}
+
+func recordOut(tag byte, frameBytes int) {
+	mOutMsgs.Inc()
+	mOutBytes.Add(int64(frameBytes))
+	if c := mOutByTag[tag]; c != nil {
+		c.Inc()
+	}
+}
+
+func recordIn(tag byte, frameBytes int) {
+	mInMsgs.Inc()
+	mInBytes.Add(int64(frameBytes))
+	if c := mInByTag[tag]; c != nil {
+		c.Inc()
+	}
+}

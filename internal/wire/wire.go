@@ -26,7 +26,42 @@ const (
 	TagError           = 'E'
 	TagReady           = 'Z'
 	TagTerminate       = 'X'
+	TagStats           = 'T'
+	TagStatsResult     = 't'
 )
+
+// TagName returns the human-readable message kind for a tag byte (used for
+// per-kind metric names); unknown tags map to "unknown".
+func TagName(tag byte) string {
+	switch tag {
+	case TagStartup:
+		return "Startup"
+	case TagQuery:
+		return "Query"
+	case TagRowDescription:
+		return "RowDescription"
+	case TagDataRow:
+		return "DataRow"
+	case TagLineageRow:
+		return "LineageRow"
+	case TagCommandComplete:
+		return "CommandComplete"
+	case TagTupleValues:
+		return "TupleValues"
+	case TagError:
+		return "Error"
+	case TagReady:
+		return "Ready"
+	case TagTerminate:
+		return "Terminate"
+	case TagStats:
+		return "Stats"
+	case TagStatsResult:
+		return "StatsResult"
+	default:
+		return "unknown"
+	}
+}
 
 // MaxMessageSize bounds a single frame (64 MiB) to protect against
 // corrupted length prefixes.
@@ -78,6 +113,17 @@ type CommandComplete struct {
 	WrittenRefs  []engine.TupleRef
 }
 
+// Stats asks the server for a snapshot of its observability registry — a
+// metadata request any wire client can issue (ldvsql's \stats, monitoring
+// probes), analogous to PostgreSQL's pg_stat views but transported as a
+// protocol message rather than a query.
+type Stats struct{}
+
+// StatsResult carries the obs.Snapshot serialized as JSON. The payload is
+// opaque to the wire layer so the protocol does not depend on the metric
+// schema.
+type StatsResult struct{ JSON []byte }
+
 // Error reports a failed statement; the session stays usable.
 type Error struct{ Message string }
 
@@ -88,6 +134,8 @@ type Ready struct{}
 type Terminate struct{}
 
 func (Startup) tag() byte         { return TagStartup }
+func (Stats) tag() byte           { return TagStats }
+func (StatsResult) tag() byte     { return TagStatsResult }
 func (Query) tag() byte           { return TagQuery }
 func (RowDescription) tag() byte  { return TagRowDescription }
 func (DataRow) tag() byte         { return TagDataRow }
@@ -111,6 +159,7 @@ func Write(w io.Writer, m Message) error {
 			return fmt.Errorf("wire write payload: %w", err)
 		}
 	}
+	recordOut(m.tag(), len(header)+len(payload))
 	return nil
 }
 
@@ -128,7 +177,11 @@ func Read(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire read payload: %w", err)
 	}
-	return decodePayload(header[0], payload)
+	m, err := decodePayload(header[0], payload)
+	if err == nil {
+		recordIn(header[0], len(header)+len(payload))
+	}
+	return m, err
 }
 
 func encodePayload(m Message) []byte {
@@ -167,7 +220,9 @@ func encodePayload(m Message) []byte {
 		b = appendRefs(b, v.WrittenRefs)
 	case Error:
 		b = appendString(b, v.Message)
-	case Ready, Terminate:
+	case StatsResult:
+		b = append(b, v.JSON...)
+	case Ready, Terminate, Stats:
 	}
 	return b
 }
@@ -223,6 +278,11 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		}
 	case TagError:
 		m = Error{Message: d.string()}
+	case TagStats:
+		m = Stats{}
+	case TagStatsResult:
+		m = StatsResult{JSON: append([]byte(nil), d.buf...)}
+		d.buf = nil
 	case TagReady:
 		m = Ready{}
 	case TagTerminate:

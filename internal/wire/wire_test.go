@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/sqlval"
 )
 
@@ -47,6 +48,8 @@ func TestRoundTripAllMessages(t *testing.T) {
 		Error{Message: "boom"},
 		Ready{},
 		Terminate{},
+		Stats{},
+		StatsResult{JSON: []byte(`{"counters":{"engine.stmts":7}}`)},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -174,5 +177,30 @@ func TestPipeConversation(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWireMetrics(t *testing.T) {
+	outMsgs := obs.GetCounter("wire.out.msgs.Stats")
+	inMsgs := obs.GetCounter("wire.in.msgs.Stats")
+	outBytes := obs.GetCounter("wire.out.bytes")
+	m0, i0, b0 := outMsgs.Load(), inMsgs.Load(), outBytes.Load()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if outMsgs.Load() != m0+1 {
+		t.Fatalf("wire.out.msgs.Stats did not increment: %d -> %d", m0, outMsgs.Load())
+	}
+	if inMsgs.Load() != i0+1 {
+		t.Fatalf("wire.in.msgs.Stats did not increment: %d -> %d", i0, inMsgs.Load())
+	}
+	// A Stats frame is tag + length = 5 bytes on the wire.
+	if got := outBytes.Load() - b0; got != 5 {
+		t.Fatalf("wire.out.bytes delta = %d, want 5", got)
 	}
 }
