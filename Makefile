@@ -12,11 +12,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The observability registry is all lock-free atomics; always exercise it
-# under the race detector.
+# The observability registry is all lock-free atomics and the engine/server
+# are concurrent (per-session transactions, MVCC reads); always exercise
+# those three packages under the race detector.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/server/...
 
 # Full verification: vet plus the whole tree under the race detector.
 check:

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/server"
+	"ldv/internal/tpch"
+)
+
+// pipeDialer connects clients to an in-process server over net.Pipe, one
+// server goroutine per connection — the same path a TCP deployment takes,
+// minus the kernel socket.
+type pipeDialer struct{ srv *server.Server }
+
+func (d pipeDialer) Connect(string) (net.Conn, error) {
+	c, s := net.Pipe()
+	go d.srv.HandleConn(s)
+	return c, nil
+}
+
+// Concurrency measures throughput scaling with concurrent client sessions
+// over the TPC-H dataset.
+//
+// Each client is a closed loop: think, send one operation, wait for the
+// reply. The think time models application work between statements, so the
+// server's ability to interleave sessions — not raw single-core query speed
+// — determines scaling: a serial server bounds throughput at 1/(think+exec)
+// regardless of client count, while per-session transactions with MVCC
+// reads let N clients overlap their think times.
+//
+// The mix is read-dominated: TPC-H point and aggregate SELECTs on the
+// dimension tables, plus 1 short transfer transaction per 10 operations;
+// each client updates its own supplier row, so writers conflict on tables
+// and locks but not on tuples.
+func Concurrency(cfg Config, w io.Writer) error {
+	const (
+		opsPerClient = 60
+		think        = 2 * time.Millisecond
+		writeEvery   = 10 // 1 write transaction per writeEvery ops
+	)
+	clientCounts := []int{1, 2, 4, 8}
+
+	db := engine.NewDB(nil)
+	if _, err := tpch.Load(db, cfg.TPCH()); err != nil {
+		return err
+	}
+	srv := server.New(db, nil)
+	dialer := pipeDialer{srv}
+
+	reads := []string{
+		"SELECT COUNT(*) FROM supplier",
+		"SELECT SUM(s_acctbal) FROM supplier",
+		"SELECT n_name FROM nation WHERE n_nationkey = 7",
+		"SELECT c_name FROM customer WHERE c_custkey = 13",
+	}
+	runClient := func(id, ops int) error {
+		conn, err := client.Dial(dialer, "pipe", client.Options{Proc: fmt.Sprintf("bench:%d", id)})
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		for i := 0; i < ops; i++ {
+			time.Sleep(think)
+			if i%writeEvery == writeEvery-1 {
+				// Short transaction on the client's own supplier row.
+				for _, sql := range []string{
+					"BEGIN",
+					fmt.Sprintf("UPDATE supplier SET s_acctbal = s_acctbal + 1 WHERE s_suppkey = %d", id+1),
+					"COMMIT",
+				} {
+					if _, err := conn.Exec(sql); err != nil {
+						return fmt.Errorf("client %d: %s: %w", id, sql, err)
+					}
+				}
+			} else {
+				if _, err := conn.Query(reads[i%len(reads)]); err != nil {
+					return fmt.Errorf("client %d: %w", id, err)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Warm up parsers, catalogs, and the pipe path outside the timed runs.
+	if err := runClient(0, writeEvery); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Concurrency at SF %g: closed-loop clients, %d ops/client, %s think time, 1 write txn per %d ops\n",
+		cfg.SF, opsPerClient, think, writeEvery)
+	fmt.Fprintf(w, "%-8s %-8s %-12s %-12s %-8s\n", "Clients", "Ops", "Elapsed ms", "Ops/sec", "Speedup")
+
+	var base float64
+	for _, n := range clientCounts {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		start := time.Now()
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if err := runClient(c, opsPerClient); err != nil {
+					errs <- err
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		tput := float64(n*opsPerClient) / elapsed.Seconds()
+		if base == 0 {
+			base = tput
+		}
+		fmt.Fprintf(w, "%-8d %-8d %-12s %-12.1f %-8.2f\n",
+			n, n*opsPerClient, ms(elapsed), tput, tput/base)
+	}
+	return nil
+}

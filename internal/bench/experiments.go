@@ -321,9 +321,10 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"fig7b":  Fig7b,
 		"fig8a":  Fig8a,
 		"fig8b":  Fig8b,
-		"fig9":     Fig9,
-		"vmi":      VMIComparison,
-		"overhead": Overhead,
+		"fig9":        Fig9,
+		"vmi":         VMIComparison,
+		"overhead":    Overhead,
+		"concurrency": Concurrency,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -338,7 +339,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "concurrency", "ablation"}
 }
 
 // RunAll executes every experiment in order.

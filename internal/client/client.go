@@ -73,6 +73,7 @@ type Conn struct {
 	proc         string
 	interceptors []Interceptor
 	closed       bool
+	inTxn        bool // server-reported transaction state from the last Ready
 }
 
 // Options configure Dial.
@@ -107,10 +108,12 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 			nc.Close()
 			return nil, fmt.Errorf("server rejected session: %s", e.Message)
 		}
-		if _, ok := msg.(wire.Ready); !ok {
+		r, ok := msg.(wire.Ready)
+		if !ok {
 			nc.Close()
 			return nil, fmt.Errorf("protocol error: expected Ready, got %T", msg)
 		}
+		c.inTxn = r.InTxn
 	}
 	for _, ic := range c.interceptors {
 		ic.OnConnect(opts.Proc, addr)
@@ -120,6 +123,10 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 
 // Proc returns the process identity announced at startup.
 func (c *Conn) Proc() string { return c.proc }
+
+// InTxn reports whether the server session holds an open transaction, as of
+// the last Ready frame. Replay-only sessions always report false.
+func (c *Conn) InTxn() bool { return c.inTxn }
 
 // Query executes one SQL statement and returns its full result.
 func (c *Conn) Query(sql string) (*engine.Result, error) {
@@ -179,12 +186,15 @@ func (c *Conn) Stats() (*obs.Snapshot, error) {
 		case wire.Error:
 			// Drain the Ready that follows an error.
 			if next, rerr := wire.Read(c.nc); rerr == nil {
-				if _, ok := next.(wire.Ready); !ok {
+				r, ok := next.(wire.Ready)
+				if !ok {
 					return nil, fmt.Errorf("protocol error after server error: %T", next)
 				}
+				c.inTxn = r.InTxn
 			}
 			return nil, fmt.Errorf("server error: %s", m.Message)
 		case wire.Ready:
+			c.inTxn = m.InTxn
 			if snap == nil {
 				return nil, fmt.Errorf("protocol error: Ready before StatsResult")
 			}
@@ -251,12 +261,15 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 		case wire.Error:
 			// Drain the Ready that follows an error.
 			if next, rerr := wire.Read(c.nc); rerr == nil {
-				if _, ok := next.(wire.Ready); !ok {
+				r, ok := next.(wire.Ready)
+				if !ok {
 					return nil, fmt.Errorf("protocol error after server error: %T", next)
 				}
+				c.inTxn = r.InTxn
 			}
 			return nil, fmt.Errorf("server error: %s", m.Message)
 		case wire.Ready:
+			c.inTxn = m.InTxn
 			return res, nil
 		default:
 			return nil, fmt.Errorf("protocol error: unexpected %T", msg)

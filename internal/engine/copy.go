@@ -18,61 +18,95 @@ const copyNull = `\N`
 
 // CopyFrom bulk-loads text records into a table, coercing each field by
 // the column's declared type. Rows are stamped like INSERTs (the calling
-// process and statement own them).
-func (db *DB) CopyFrom(table string, records [][]string, opts ExecOptions) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return nil, fmt.Errorf("table %q does not exist", table)
+// process and statement own them); like DML, the load runs inside the
+// session's open transaction or an implicit one, so a failed load leaves
+// nothing behind and a concurrent snapshot never sees a torn load.
+func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	t, err := db.lookupTable(table)
+	if err != nil {
+		return nil, err
 	}
-	db.nextStmt++
-	res := &Result{StmtID: db.nextStmt, Start: db.clock.Tick()}
-	for ln, rec := range records {
-		if len(rec) != len(t.Schema.Columns) {
-			return nil, fmt.Errorf("COPY %s: record %d has %d fields, want %d",
-				table, ln+1, len(rec), len(t.Schema.Columns))
-		}
-		vals := make([]sqlval.Value, len(rec))
-		for i, field := range rec {
-			v, err := parseCopyField(t.Schema.Columns[i], field)
-			if err != nil {
-				return nil, fmt.Errorf("COPY %s record %d: %w", table, ln+1, err)
+	txn := s.txn
+	implicit := txn == nil
+	if implicit {
+		txn = db.beginTxn()
+	}
+	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
+	mark := len(txn.undo)
+	t.mu.Lock()
+	err = func() error {
+		for ln, rec := range records {
+			if len(rec) != len(t.Schema.Columns) {
+				return fmt.Errorf("COPY %s: record %d has %d fields, want %d",
+					table, ln+1, len(rec), len(t.Schema.Columns))
 			}
-			vals[i] = v
+			vals := make([]sqlval.Value, len(rec))
+			for i, field := range rec {
+				v, err := parseCopyField(t.Schema.Columns[i], field)
+				if err != nil {
+					return fmt.Errorf("COPY %s record %d: %w", table, ln+1, err)
+				}
+				vals[i] = v
+			}
+			r := &storedRow{
+				id:      db.newRowID(),
+				vals:    vals,
+				version: db.clock.Tick(),
+				proc:    opts.Proc,
+				stmt:    res.StmtID,
+				txnID:   txn.id,
+			}
+			if err := t.insertRow(r); err != nil {
+				return fmt.Errorf("COPY %s record %d: %w", table, ln+1, err)
+			}
+			txn.logUndo(t, undoInsert(t, r))
+			res.WrittenRefs = append(res.WrittenRefs, r.ref(table))
+			res.RowsAffected++
 		}
-		db.nextRow++
-		r := &storedRow{
-			id:      db.nextRow,
-			vals:    vals,
-			version: db.clock.Tick(),
-			proc:    opts.Proc,
-			stmt:    res.StmtID,
+		return nil
+	}()
+	if err != nil {
+		if uerr := txn.undoFrom(mark); uerr != nil {
+			err = fmt.Errorf("%w (statement %v)", uerr, err)
 		}
-		if err := t.insertRow(r); err != nil {
-			db.nextRow--
-			return nil, fmt.Errorf("COPY %s record %d: %w", table, ln+1, err)
-		}
-		db.logUndo(db.undoInsert(table, r.id))
-		res.WrittenRefs = append(res.WrittenRefs, r.ref(table))
-		res.RowsAffected++
+	}
+	t.mu.Unlock()
+	if implicit {
+		db.endTxn(txn.id)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.End = db.clock.Tick()
 	return res, nil
 }
 
-// CopyTo dumps a table as text records in row order.
-func (db *DB) CopyTo(table string, opts ExecOptions) ([][]string, *Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return nil, nil, fmt.Errorf("table %q does not exist", table)
+// CopyTo dumps the snapshot-visible rows of a table as text records in row
+// order (the session's transaction snapshot, or a fresh cut).
+func (s *Session) CopyTo(table string, opts ExecOptions) ([][]string, *Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	t, err := db.lookupTable(table)
+	if err != nil {
+		return nil, nil, err
 	}
-	db.nextStmt++
-	res := &Result{StmtID: db.nextStmt, Start: db.clock.Tick()}
+	var snap snapshot
+	if s.txn != nil {
+		snap = s.txn.snap
+	} else {
+		snap = db.takeSnapshot(0)
+	}
+	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
+	t.mu.RLock()
 	records := make([][]string, 0, len(t.rows))
 	for _, r := range t.rows {
+		if !snap.visible(r) {
+			continue
+		}
 		rec := make([]string, len(r.vals))
 		for i, v := range r.vals {
 			if v.IsNull() {
@@ -89,12 +123,23 @@ func (db *DB) CopyTo(table string, opts ExecOptions) ([][]string, *Result, error
 				res.TupleValues = map[TupleRef][]sqlval.Value{}
 			}
 			res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
-			r.usedBy = res.StmtID
+			r.usedBy.Store(res.StmtID)
 		}
 		res.RowsAffected++
 	}
+	t.mu.RUnlock()
 	res.End = db.clock.Tick()
 	return records, res, nil
+}
+
+// CopyFrom is the single-session compatibility wrapper.
+func (db *DB) CopyFrom(table string, records [][]string, opts ExecOptions) (*Result, error) {
+	return db.defaultSession().CopyFrom(table, records, opts)
+}
+
+// CopyTo is the single-session compatibility wrapper.
+func (db *DB) CopyTo(table string, opts ExecOptions) ([][]string, *Result, error) {
+	return db.defaultSession().CopyTo(table, opts)
 }
 
 // parseCopyField coerces one text field to the column's type.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
@@ -14,6 +14,8 @@ import (
 // statement executions. When the engine runs inside the simulated OS the
 // kernel clock is plugged in here so DB and OS events share one timeline —
 // the property the temporal dependency inference of the paper relies on.
+// Implementations must be safe for concurrent use: sessions tick it in
+// parallel.
 type Clock interface {
 	// Tick advances the clock and returns the new time.
 	Tick() uint64
@@ -21,16 +23,10 @@ type Clock interface {
 
 // counterClock is the default standalone clock.
 type counterClock struct {
-	mu sync.Mutex
-	t  uint64
+	t atomic.Uint64
 }
 
-func (c *counterClock) Tick() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.t++
-	return c.t
-}
+func (c *counterClock) Tick() uint64 { return c.t.Add(1) }
 
 // NewCounterClock returns a fresh logical clock starting at 1.
 func NewCounterClock() Clock { return &counterClock{} }
@@ -72,15 +68,30 @@ type Result struct {
 	TupleValues map[TupleRef][]sqlval.Value
 }
 
-// DB is an in-memory relational database with provenance support. The zero
-// value is not usable; call NewDB.
+// DB is an in-memory relational database with provenance support and MVCC
+// snapshot isolation across concurrent sessions. The zero value is not
+// usable; call NewDB.
 type DB struct {
-	mu       sync.Mutex
-	tables   map[string]*Table
+	// mu is the catalog lock: it guards only the tables map and is held for
+	// short critical sections (name resolution, DDL). Data access is
+	// synchronized by the per-table RWMutexes, acquired strictly after mu.
+	mu     sync.Mutex
+	tables map[string]*Table
+
 	clock    Clock
-	nextRow  RowID
-	nextStmt int64
-	txn      *txn
+	nextRow  atomic.Uint64
+	nextStmt atomic.Int64
+
+	// txnMu guards the active-transaction registry.
+	txnMu      sync.RWMutex
+	activeTxns map[int64]struct{}
+	nextTxn    int64
+
+	// defSess serves the DB-level Exec* compatibility API: callers that
+	// never open their own Session share this one (and therefore serialize
+	// with each other, as they did when the DB had a single global mutex).
+	defSessOnce sync.Once
+	defSess     *Session
 }
 
 // NewDB returns an empty database using the given clock (nil for a private
@@ -89,7 +100,23 @@ func NewDB(clock Clock) *DB {
 	if clock == nil {
 		clock = NewCounterClock()
 	}
-	return &DB{tables: make(map[string]*Table), clock: clock}
+	return &DB{
+		tables:     make(map[string]*Table),
+		clock:      clock,
+		activeTxns: make(map[int64]struct{}),
+	}
+}
+
+// newStmtID assigns a database-wide unique statement id.
+func (db *DB) newStmtID() int64 { return db.nextStmt.Add(1) }
+
+// newRowID assigns a database-wide unique row id.
+func (db *DB) newRowID() RowID { return RowID(db.nextRow.Add(1)) }
+
+// defaultSession lazily creates the shared compatibility session.
+func (db *DB) defaultSession() *Session {
+	db.defSessOnce.Do(func() { db.defSess = db.NewSession() })
+	return db.defSess
 }
 
 // TableNames returns the sorted names of all tables.
@@ -104,103 +131,46 @@ func (db *DB) TableNames() []string {
 	return names
 }
 
+// TableMeta is an immutable view of a table's metadata: a snapshot of the
+// schema plus the live row count at the time of the call. Unlike a *Table it
+// can be read without holding any engine lock.
+type TableMeta struct {
+	Name   string
+	Schema Schema
+	Rows   int
+}
+
 // Table returns the named table's metadata, or an error.
-func (db *DB) Table(name string) (*Table, error) {
+func (db *DB) Table(name string) (TableMeta, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	t, ok := db.tables[name]
+	db.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("table %q does not exist", name)
+		return TableMeta{}, fmt.Errorf("table %q does not exist", name)
 	}
-	return t, nil
+	schema := Schema{Columns: append([]Column(nil), t.Schema.Columns...)}
+	return TableMeta{Name: t.Name, Schema: schema, Rows: t.RowCount()}, nil
 }
 
-// Exec parses and executes a single SQL statement.
+// Exec parses and executes a single SQL statement on the shared default
+// session (single-session compatibility API; servers open one Session per
+// connection instead).
 func (db *DB) Exec(sql string, opts ExecOptions) (*Result, error) {
-	stmt, err := timedParse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return db.ExecStatement(stmt, opts)
+	return db.defaultSession().Exec(sql, opts)
 }
 
-// ExecScript parses and executes a semicolon-separated script, stopping at
-// the first error.
+// ExecScript parses and executes a semicolon-separated script on the shared
+// default session, stopping at the first error.
 func (db *DB) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
-	t0 := time.Now()
-	stmts, err := sqlparse.ParseScript(sql)
-	hParse.Observe(time.Since(t0))
-	if err != nil {
-		return nil, err
-	}
-	results := make([]*Result, 0, len(stmts))
-	for _, s := range stmts {
-		r, err := db.ExecStatement(s, opts)
-		if err != nil {
-			return results, err
-		}
-		results = append(results, r)
-	}
-	return results, nil
+	return db.defaultSession().ExecScript(sql, opts)
 }
 
-// ExecStatement executes a parsed statement.
+// ExecStatement executes a parsed statement on the shared default session.
 func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t0 := time.Now()
-	db.nextStmt++
-	res := &Result{StmtID: db.nextStmt, Start: db.clock.Tick()}
-	if handled, err := db.execTxnStatement(stmt); handled {
-		res.End = db.clock.Tick()
-		observeStatement(stmt, res, err, time.Since(t0))
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
-	}
-	var err error
-	switch s := stmt.(type) {
-	case *sqlparse.Select:
-		err = db.execSelect(s, opts, res)
-	case *sqlparse.Insert:
-		err = db.execInsert(s, opts, res)
-	case *sqlparse.Update:
-		err = db.execUpdate(s, opts, res)
-	case *sqlparse.Delete:
-		err = db.execDelete(s, opts, res)
-	case *sqlparse.CreateTable:
-		if db.inTxn() {
-			err = fmt.Errorf("DDL is not allowed inside a transaction")
-		} else {
-			err = db.execCreateTable(s)
-		}
-	case *sqlparse.DropTable:
-		if db.inTxn() {
-			err = fmt.Errorf("DDL is not allowed inside a transaction")
-		} else {
-			err = db.execDropTable(s)
-		}
-	case *sqlparse.Copy:
-		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
-	default:
-		err = fmt.Errorf("unsupported statement type %T", stmt)
-	}
-	res.End = db.clock.Tick()
-	observeStatement(stmt, res, err, time.Since(t0))
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return db.defaultSession().ExecStatement(stmt, opts)
 }
 
 func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
-	if _, exists := db.tables[s.Table]; exists {
-		if s.IfNotExists {
-			return nil
-		}
-		return fmt.Errorf("table %q already exists", s.Table)
-	}
 	if len(s.Columns) == 0 {
 		return fmt.Errorf("table %q needs at least one column", s.Table)
 	}
@@ -223,11 +193,21 @@ func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
 	if pkCount > 1 {
 		return fmt.Errorf("table %q: at most one PRIMARY KEY column is supported", s.Table)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Table]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("table %q already exists", s.Table)
+	}
 	db.tables[s.Table] = newTable(s.Table, schema)
 	return nil
 }
 
 func (db *DB) execDropTable(s *sqlparse.DropTable) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.tables[s.Table]; !exists {
 		if s.IfExists {
 			return nil
@@ -238,20 +218,30 @@ func (db *DB) execDropTable(s *sqlparse.DropTable) error {
 	return nil
 }
 
+// lookupTable resolves a table name under the catalog lock.
+func (db *DB) lookupTable(name string) (*Table, error) {
+	db.mu.Lock()
+	t, ok := db.tables[name]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	return t, nil
+}
+
 // InsertRowDirect loads a row bypassing SQL (bulk load path used by the
 // TPC-H generator and package restore). The row is recorded as preloaded:
 // proc="" and stmt=0 so it never counts as application-created.
 func (db *DB) InsertRowDirect(table string, vals []sqlval.Value) (TupleRef, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return TupleRef{}, fmt.Errorf("table %q does not exist", table)
+	t, err := db.lookupTable(table)
+	if err != nil {
+		return TupleRef{}, err
 	}
-	db.nextRow++
-	r := &storedRow{id: db.nextRow, vals: vals, version: db.clock.Tick()}
-	if err := t.insertRow(r); err != nil {
-		db.nextRow--
+	r := &storedRow{id: db.newRowID(), vals: vals, version: db.clock.Tick()}
+	t.mu.Lock()
+	err = t.insertRow(r)
+	t.mu.Unlock()
+	if err != nil {
 		return TupleRef{}, err
 	}
 	return r.ref(table), nil
@@ -261,50 +251,59 @@ func (db *DB) InsertRowDirect(table string, vals []sqlval.Value) (TupleRef, erro
 // package re-creates the relevant DB slice with original row ids and
 // versions preserved).
 func (db *DB) RestoreRow(table string, id RowID, version uint64, proc string, vals []sqlval.Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return fmt.Errorf("table %q does not exist", table)
-	}
-	r := &storedRow{id: id, vals: vals, version: version, proc: proc}
-	if err := t.insertRow(r); err != nil {
+	t, err := db.lookupTable(table)
+	if err != nil {
 		return err
 	}
-	if id > db.nextRow {
-		db.nextRow = id
+	r := &storedRow{id: id, vals: vals, version: version, proc: proc}
+	t.mu.Lock()
+	err = t.insertRow(r)
+	t.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	return nil
+	for {
+		cur := db.nextRow.Load()
+		if uint64(id) <= cur || db.nextRow.CompareAndSwap(cur, uint64(id)) {
+			return nil
+		}
+	}
 }
 
-// ScanAll returns every live tuple version of a table along with its values
-// (used by whole-DB packaging baselines and tests).
+// ScanAll returns every tuple version of a table visible to a fresh snapshot
+// along with its values (used by whole-DB packaging baselines and tests).
 func (db *DB) ScanAll(table string) ([]TupleRef, [][]sqlval.Value, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return nil, nil, fmt.Errorf("table %q does not exist", table)
+	t, err := db.lookupTable(table)
+	if err != nil {
+		return nil, nil, err
 	}
-	refs := make([]TupleRef, len(t.rows))
-	rows := make([][]sqlval.Value, len(t.rows))
-	for i, r := range t.rows {
-		refs[i] = r.ref(table)
-		rows[i] = append([]sqlval.Value(nil), r.vals...)
+	snap := db.takeSnapshot(0)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var refs []TupleRef
+	var rows [][]sqlval.Value
+	for _, r := range t.rows {
+		if !snap.visible(r) {
+			continue
+		}
+		refs = append(refs, r.ref(table))
+		rows = append(rows, append([]sqlval.Value(nil), r.vals...))
 	}
 	return refs, rows, nil
 }
 
-// LookupVersion fetches the values of a live tuple version, if present.
+// LookupVersion fetches the values of a committed tuple version, if present.
+// Superseded (end-marked) versions remain addressable: they are exactly the
+// provenance tuples reenactment refers back to.
 func (db *DB) LookupVersion(ref TupleRef) ([]sqlval.Value, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[ref.Table]
-	if !ok {
+	t, err := db.lookupTable(ref.Table)
+	if err != nil {
 		return nil, false
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, r := range t.rows {
-		if r.id == ref.Row && r.version == ref.Version {
+		if r.id == ref.Row && r.version == ref.Version && !db.txnActive(r.txnID) {
 			return append([]sqlval.Value(nil), r.vals...), true
 		}
 	}

@@ -7,13 +7,20 @@ import (
 	"ldv/internal/sqlval"
 )
 
+// The write path always runs inside a transaction (the session wraps
+// auto-commit DML in an implicit one) while holding the target table's write
+// lock. Writes read the *current committed* state rather than the snapshot —
+// first-updater-wins: a row already modified by a concurrent uncommitted
+// transaction raises a serialization error instead of silently producing a
+// lost update.
+
 // execInsert handles INSERT ... VALUES and INSERT ... SELECT. Produced tuple
 // versions are stamped with the executing process and statement so that
 // packaging can exclude application-created tuples (§II of the paper).
-func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) error {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return fmt.Errorf("table %q does not exist", s.Table)
+func (ec *stmtCtx) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) error {
+	t, err := ec.table(s.Table)
+	if err != nil {
+		return err
 	}
 
 	// Map the statement's column list onto schema positions.
@@ -35,7 +42,7 @@ func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) erro
 	var inputRows [][]sqlval.Value
 	if s.Query != nil {
 		sub := &Result{StmtID: res.StmtID}
-		if err := db.execSelect(s.Query, opts, sub); err != nil {
+		if err := ec.execSelect(s.Query, opts, sub); err != nil {
 			return err
 		}
 		inputRows = sub.Rows
@@ -61,7 +68,7 @@ func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) erro
 		for _, rowExprs := range s.Rows {
 			for _, e := range rowExprs {
 				if hasSubqueries(e) {
-					st = &subqueryState{db: db, opts: opts, stmtID: res.StmtID}
+					st = &subqueryState{ec: ec, opts: opts, stmtID: res.StmtID}
 				}
 			}
 		}
@@ -85,7 +92,7 @@ func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) erro
 			inputRows = append(inputRows, row)
 		}
 		if st != nil {
-			db.mergeSubProvenance(st, opts, res)
+			mergeSubProvenance(st, opts, res)
 		}
 	}
 
@@ -97,19 +104,18 @@ func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) erro
 		for i, slot := range colIdx {
 			vals[slot] = in[i]
 		}
-		db.nextRow++
 		r := &storedRow{
-			id:      db.nextRow,
+			id:      ec.db.newRowID(),
 			vals:    vals,
-			version: db.clock.Tick(),
+			version: ec.db.clock.Tick(),
 			proc:    opts.Proc,
 			stmt:    res.StmtID,
+			txnID:   ec.txn.id,
 		}
 		if err := t.insertRow(r); err != nil {
-			db.nextRow--
 			return err
 		}
-		db.logUndo(db.undoInsert(s.Table, r.id))
+		ec.txn.logUndo(t, undoInsert(t, r))
 		res.WrittenRefs = append(res.WrittenRefs, r.ref(s.Table))
 		res.RowsAffected++
 	}
@@ -119,16 +125,17 @@ func (db *DB) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result) erro
 // execUpdate applies an UPDATE. Provenance is captured by reenactment: the
 // pre-update tuple versions are recorded (ReadRefs) *before* the
 // modification is applied, mirroring GProM's retrieve-then-execute strategy
-// (§VII-B of the paper). Each modified row becomes a new version.
-func (db *DB) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) error {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return fmt.Errorf("table %q does not exist", s.Table)
-	}
-	if err := db.resolveDMLSubqueries(&s, opts, res); err != nil {
+// (§VII-B of the paper). Each modified row version is end-marked and a
+// successor version appended.
+func (ec *stmtCtx) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) error {
+	t, err := ec.table(s.Table)
+	if err != nil {
 		return err
 	}
-	en, matches, err := db.matchRows(t, s.Where)
+	if err := ec.resolveDMLSubqueries(&s, opts, res); err != nil {
+		return err
+	}
+	en, matches, err := ec.matchRows(t, s.Where)
 	if err != nil {
 		return err
 	}
@@ -144,11 +151,10 @@ func (db *DB) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) erro
 	}
 
 	pk := t.Schema.PrimaryKeyIndex()
-	for _, ri := range matches {
-		r := t.rows[ri]
+	for _, r := range matches {
 		// Reenactment: record the pre-update version, values included,
-		// *before* applying the modification — afterwards it no longer
-		// exists anywhere.
+		// *before* applying the modification — it stays addressable as a
+		// superseded version but its role here is the statement's input.
 		if opts.WithLineage {
 			ref := r.ref(s.Table)
 			res.ReadRefs = append(res.ReadRefs, ref)
@@ -156,7 +162,7 @@ func (db *DB) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) erro
 				res.TupleValues = map[TupleRef][]sqlval.Value{}
 			}
 			res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
-			r.usedBy = res.StmtID
+			r.usedBy.Store(res.StmtID)
 		}
 		newVals := append([]sqlval.Value(nil), r.vals...)
 		envVals := rowEnvVals(r, len(t.Schema.Columns))
@@ -171,44 +177,53 @@ func (db *DB) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result) erro
 			}
 			newVals[setIdx[i]] = v
 		}
-		if pk >= 0 && !newVals[pk].Equal(r.vals[pk]) {
-			newKey := newVals[pk].GroupKey()
-			if other, dup := t.pkIndex[newKey]; dup && other != ri {
-				return fmt.Errorf("table %s: duplicate primary key %s", s.Table, newVals[pk])
-			}
-			delete(t.pkIndex, r.vals[pk].GroupKey())
-			t.pkIndex[newKey] = ri
+		nv := &storedRow{
+			id:      r.id,
+			vals:    newVals,
+			version: ec.db.clock.Tick(),
+			proc:    opts.Proc,
+			stmt:    res.StmtID,
+			txnID:   ec.txn.id,
 		}
-		db.logUndo(db.undoUpdate(s.Table, r, *r))
-		r.vals = newVals
-		r.version = db.clock.Tick()
-		r.proc = opts.Proc
-		r.stmt = res.StmtID
-		res.WrittenRefs = append(res.WrittenRefs, r.ref(s.Table))
+		// Keep the pk index pointing at the live latest version; all checks
+		// precede any mutation so an error leaves this row untouched.
+		if pk >= 0 {
+			oldKey := r.vals[pk].GroupKey()
+			newKey := newVals[pk].GroupKey()
+			if newKey != oldKey {
+				if _, dup := t.pkIndex[newKey]; dup {
+					return fmt.Errorf("table %s: duplicate primary key %s", s.Table, newVals[pk])
+				}
+				delete(t.pkIndex, oldKey)
+			}
+			t.pkIndex[newKey] = nv
+		}
+		r.end = nv.version
+		r.endTxn = ec.txn.id
+		t.rows = append(t.rows, nv)
+		ec.txn.logUndo(t, undoUpdate(t, r, nv))
+		res.WrittenRefs = append(res.WrittenRefs, nv.ref(s.Table))
 		res.RowsAffected++
 	}
 	return nil
 }
 
-// execDelete removes matching rows, recording the deleted versions as reads
-// (a delete's provenance is the tuples it consumed).
-func (db *DB) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result) error {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return fmt.Errorf("table %q does not exist", s.Table)
-	}
-	if err := db.resolveDeleteSubqueries(&s, opts, res); err != nil {
-		return err
-	}
-	_, matches, err := db.matchRows(t, s.Where)
+// execDelete end-marks matching row versions, recording them as reads (a
+// delete's provenance is the tuples it consumed).
+func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result) error {
+	t, err := ec.table(s.Table)
 	if err != nil {
 		return err
 	}
-	// Delete from highest index down so earlier indices stay valid under the
-	// swap-with-last strategy.
-	for i := len(matches) - 1; i >= 0; i-- {
-		ri := matches[i]
-		r := t.rows[ri]
+	if err := ec.resolveDeleteSubqueries(&s, opts, res); err != nil {
+		return err
+	}
+	_, matches, err := ec.matchRows(t, s.Where)
+	if err != nil {
+		return err
+	}
+	pk := t.Schema.PrimaryKeyIndex()
+	for _, r := range matches {
 		if opts.WithLineage {
 			ref := r.ref(s.Table)
 			res.ReadRefs = append(res.ReadRefs, ref)
@@ -217,16 +232,26 @@ func (db *DB) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result) erro
 			}
 			res.TupleValues[ref] = append([]sqlval.Value(nil), r.vals...)
 		}
-		db.logUndo(db.undoDelete(s.Table, r))
-		t.deleteAt(ri)
+		r.end = ec.db.clock.Tick()
+		r.endTxn = ec.txn.id
+		if pk >= 0 {
+			key := r.vals[pk].GroupKey()
+			if t.pkIndex[key] == r {
+				delete(t.pkIndex, key)
+			}
+		}
+		ec.txn.logUndo(t, undoDelete(t, r))
 		res.RowsAffected++
 	}
 	return nil
 }
 
-// matchRows evaluates a WHERE clause over a single table and returns the
-// matching row indices in ascending order, plus the evaluation env.
-func (db *DB) matchRows(t *Table, where sqlparse.Expr) (*env, []int, error) {
+// matchRows evaluates a WHERE clause over the current committed state of a
+// table (plus the transaction's own writes) and returns the matching live
+// versions. A matching row end-marked by a concurrent uncommitted
+// transaction is a write-write conflict: first-updater-wins, the later
+// writer errors out.
+func (ec *stmtCtx) matchRows(t *Table, where sqlparse.Expr) (*env, []*storedRow, error) {
 	en := &env{}
 	for _, c := range t.Schema.Columns {
 		en.bindings = append(en.bindings, binding{table: t.Name, name: c.Name})
@@ -234,8 +259,19 @@ func (db *DB) matchRows(t *Table, where sqlparse.Expr) (*env, []int, error) {
 	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
 		en.bindings = append(en.bindings, binding{table: t.Name, name: pc})
 	}
-	var matches []int
-	for i, r := range t.rows {
+	self := ec.txn.id
+	var matches []*storedRow
+	for _, r := range t.rows {
+		if r.txnID != self && ec.db.txnActive(r.txnID) {
+			continue // uncommitted insert of another transaction
+		}
+		conflict := false
+		if r.end != 0 {
+			if r.endTxn == self || !ec.db.txnActive(r.endTxn) {
+				continue // superseded/deleted by self or by a committed txn
+			}
+			conflict = true // end-marked by a concurrent uncommitted txn
+		}
 		if where != nil {
 			v, err := evalExpr(where, en, rowEnvVals(r, len(t.Schema.Columns)), nil)
 			if err != nil {
@@ -245,7 +281,10 @@ func (db *DB) matchRows(t *Table, where sqlparse.Expr) (*env, []int, error) {
 				continue
 			}
 		}
-		matches = append(matches, i)
+		if conflict {
+			return nil, nil, fmt.Errorf("could not serialize access due to concurrent update on table %s", t.Name)
+		}
+		matches = append(matches, r)
 	}
 	return en, matches, nil
 }
@@ -258,6 +297,6 @@ func rowEnvVals(r *storedRow, ncols int) []sqlval.Value {
 	vals[ncols] = sqlval.NewInt(int64(r.id))
 	vals[ncols+1] = sqlval.NewInt(int64(r.version))
 	vals[ncols+2] = sqlval.NewString(r.proc)
-	vals[ncols+3] = sqlval.NewInt(r.usedBy)
+	vals[ncols+3] = sqlval.NewInt(r.usedBy.Load())
 	return vals
 }

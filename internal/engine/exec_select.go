@@ -18,14 +18,15 @@ type relation struct {
 }
 
 // execSelect plans and runs a SELECT, filling res.
-func (db *DB) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) error {
+func (ec *stmtCtx) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) error {
 	withLineage := opts.WithLineage || s.Provenance
 	// Resolve uncorrelated subqueries up front; their lineage joins every
-	// result row's lineage below.
+	// result row's lineage below. Subqueries run in the outer statement's
+	// context: same snapshot, same already-locked table footprint.
 	var subState *subqueryState
 	if selectHasSubqueries(s) {
-		subState = &subqueryState{db: db, opts: ExecOptions{Proc: opts.Proc, WithLineage: withLineage}, stmtID: res.StmtID}
-		ns, _, err := db.resolveSelectSubqueries(s, subState)
+		subState = &subqueryState{ec: ec, opts: ExecOptions{Proc: opts.Proc, WithLineage: withLineage}, stmtID: res.StmtID}
+		ns, _, err := ec.resolveSelectSubqueries(s, subState)
 		if err != nil {
 			return err
 		}
@@ -38,11 +39,11 @@ func (db *DB) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) erro
 	if withLineage {
 		collect = map[TupleRef]*storedRow{}
 	}
-	rel, err := db.runSelect(s, withLineage, res.StmtID, collect)
+	rel, err := ec.runSelect(s, withLineage, res.StmtID, collect)
 	if err != nil {
 		return err
 	}
-	cols, rows, lineage, err := db.project(s, rel, withLineage)
+	cols, rows, lineage, err := project(s, rel, withLineage)
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func (db *DB) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result) erro
 // runSelect executes the FROM/WHERE/GROUP BY portion, returning the
 // pre-projection relation (post-aggregation for aggregate queries, with
 // aggregate values stashed in the aggCtx of each tuple via aggRelation).
-func (db *DB) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (*aggRelation, error) {
+func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (*aggRelation, error) {
 	if len(s.From) == 0 {
 		// Table-less SELECT (e.g. SELECT 1+1): a single empty tuple.
 		return &aggRelation{rel: relation{tuples: []tuple{{}}}}, nil
@@ -107,14 +108,14 @@ func (db *DB) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, coll
 	}
 
 	used := make([]bool, len(conjuncts))
-	cur, err := db.scanTable(refs[0], withLineage, stmtID, collect)
+	cur, err := ec.scanTable(refs[0], withLineage, stmtID, collect)
 	if err != nil {
 		return nil, err
 	}
 	cur = applyResolvedFilters(cur, conjuncts, used)
 
 	for _, ref := range refs[1:] {
-		right, err := db.scanTable(ref, withLineage, stmtID, collect)
+		right, err := ec.scanTable(ref, withLineage, stmtID, collect)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +161,7 @@ func (db *DB) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, coll
 		}
 	}
 
-	return db.aggregate(s, cur)
+	return aggregate(s, cur)
 }
 
 // splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
@@ -247,15 +248,17 @@ func filter(rel relation, conjuncts []sqlparse.Expr) relation {
 	return rel
 }
 
-// scanTable materializes a table as a relation. The tuple layout is the
-// table's columns followed by the four hidden provenance attributes, all
-// qualified by the effective (aliased) table name. In lineage mode each
-// tuple starts with itself as lineage and the scan stamps prov_usedby —
-// the versioning write the paper charges to audit overhead (§IX-B).
-func (db *DB) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
-	t, ok := db.tables[ref.Name]
-	if !ok {
-		return relation{}, fmt.Errorf("table %q does not exist", ref.Name)
+// scanTable materializes the snapshot-visible versions of a table as a
+// relation. The tuple layout is the table's columns followed by the four
+// hidden provenance attributes, all qualified by the effective (aliased)
+// table name. In lineage mode each tuple starts with itself as lineage and
+// the scan stamps prov_usedby — the versioning write the paper charges to
+// audit overhead (§IX-B). The stamp is atomic because the scan holds only
+// the table's read lock.
+func (ec *stmtCtx) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
+	t, err := ec.table(ref.Name)
+	if err != nil {
+		return relation{}, err
 	}
 	name := ref.EffectiveName()
 	var rel relation
@@ -269,10 +272,13 @@ func (db *DB) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, c
 	mRowsScanned.Add(int64(len(t.rows)))
 	rel.tuples = make([]tuple, 0, len(t.rows))
 	for _, r := range t.rows {
+		if !ec.snap.visible(r) {
+			continue
+		}
 		vals := make([]sqlval.Value, ncols+4)
 		copy(vals, r.vals)
 		if withLineage {
-			r.usedBy = stmtID
+			r.usedBy.Store(stmtID)
 			if collect != nil {
 				collect[r.ref(t.Name)] = r
 			}
@@ -280,7 +286,7 @@ func (db *DB) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, c
 		vals[ncols] = sqlval.NewInt(int64(r.id))
 		vals[ncols+1] = sqlval.NewInt(int64(r.version))
 		vals[ncols+2] = sqlval.NewString(r.proc)
-		vals[ncols+3] = sqlval.NewInt(r.usedBy)
+		vals[ncols+3] = sqlval.NewInt(r.usedBy.Load())
 		tp := tuple{vals: vals}
 		if withLineage {
 			tp.lineage = []TupleRef{r.ref(t.Name)}
@@ -375,7 +381,7 @@ type aggRelation struct {
 }
 
 // aggregate applies GROUP BY / aggregate semantics if the query needs them.
-func (db *DB) aggregate(s *sqlparse.Select, rel relation) (*aggRelation, error) {
+func aggregate(s *sqlparse.Select, rel relation) (*aggRelation, error) {
 	var aggCalls []*sqlparse.FuncExpr
 	for _, it := range s.Items {
 		if it.Expr != nil {
@@ -574,7 +580,7 @@ func (a *aggAcc) result() sqlval.Value {
 
 // project evaluates the select list (star expansion excludes the hidden
 // provenance attributes), then applies DISTINCT, ORDER BY, and LIMIT.
-func (db *DB) project(s *sqlparse.Select, ar *aggRelation, withLineage bool) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
+func project(s *sqlparse.Select, ar *aggRelation, withLineage bool) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
 	rel := ar.rel
 
 	// Resolve output columns.

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"ldv/internal/sqlparse"
+)
+
+// Statements declare their whole table footprint before touching any data:
+// lockTables walks the AST (including every subquery position), resolves the
+// names under the catalog lock, and acquires the per-table RWMutexes in
+// sorted name order — write mode subsuming read mode. Sorted acquisition
+// makes the locking deadlock-free, and the up-front footprint means no lock
+// is ever taken inside a scan (table RWMutexes are not reentrant, which
+// matters for statements like INSERT INTO t SELECT ... FROM t).
+
+// lockSet is a statement's table footprint.
+type lockSet struct {
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+// stmtTables computes the lock set of a statement.
+func stmtTables(stmt sqlparse.Statement) lockSet {
+	ls := lockSet{reads: map[string]bool{}, writes: map[string]bool{}}
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		collectSelectTables(s, &ls)
+	case *sqlparse.Insert:
+		ls.writes[s.Table] = true
+		for _, row := range s.Rows {
+			for _, e := range row {
+				collectExprTables(e, &ls)
+			}
+		}
+		if s.Query != nil {
+			collectSelectTables(s.Query, &ls)
+		}
+	case *sqlparse.Update:
+		ls.writes[s.Table] = true
+		collectExprTables(s.Where, &ls)
+		for _, a := range s.Set {
+			collectExprTables(a.Expr, &ls)
+		}
+	case *sqlparse.Delete:
+		ls.writes[s.Table] = true
+		collectExprTables(s.Where, &ls)
+	}
+	return ls
+}
+
+func collectSelectTables(s *sqlparse.Select, ls *lockSet) {
+	for _, r := range s.From {
+		ls.reads[r.Name] = true
+	}
+	for _, j := range s.Joins {
+		ls.reads[j.Table.Name] = true
+		collectExprTables(j.On, ls)
+	}
+	for _, it := range s.Items {
+		collectExprTables(it.Expr, ls)
+	}
+	collectExprTables(s.Where, ls)
+	collectExprTables(s.Having, ls)
+	for _, g := range s.GroupBy {
+		collectExprTables(g, ls)
+	}
+	for _, o := range s.OrderBy {
+		collectExprTables(o.Expr, ls)
+	}
+}
+
+func collectExprTables(e sqlparse.Expr, ls *lockSet) {
+	switch x := e.(type) {
+	case nil:
+	case *sqlparse.SubqueryExpr:
+		collectSelectTables(x.Query, ls)
+	case *sqlparse.ExistsExpr:
+		collectSelectTables(x.Query, ls)
+	case *sqlparse.InExpr:
+		collectExprTables(x.Expr, ls)
+		for _, i := range x.List {
+			collectExprTables(i, ls)
+		}
+		if x.Sub != nil {
+			collectSelectTables(x.Sub, ls)
+		}
+	case *sqlparse.BinaryExpr:
+		collectExprTables(x.Left, ls)
+		collectExprTables(x.Right, ls)
+	case *sqlparse.UnaryExpr:
+		collectExprTables(x.Expr, ls)
+	case *sqlparse.BetweenExpr:
+		collectExprTables(x.Expr, ls)
+		collectExprTables(x.Lo, ls)
+		collectExprTables(x.Hi, ls)
+	case *sqlparse.IsNullExpr:
+		collectExprTables(x.Expr, ls)
+	case *sqlparse.FuncExpr:
+		collectExprTables(x.Arg, ls)
+	}
+}
+
+// lockTables resolves and locks the statement's footprint, filling
+// ec.tables, and returns the release function. Names that do not resolve
+// are simply absent from the footprint; the executor reports them as
+// missing tables when it looks them up.
+func (ec *stmtCtx) lockTables(ls lockSet) func() {
+	names := make([]string, 0, len(ls.reads)+len(ls.writes))
+	for n := range ls.writes {
+		names = append(names, n)
+	}
+	for n := range ls.reads {
+		if !ls.writes[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	ec.db.mu.Lock()
+	ec.tables = make(map[string]*Table, len(names))
+	locked := make([]*Table, 0, len(names))
+	writeMode := make([]bool, 0, len(names))
+	for _, n := range names {
+		if t, ok := ec.db.tables[n]; ok {
+			ec.tables[n] = t
+			locked = append(locked, t)
+			writeMode = append(writeMode, ls.writes[n])
+		}
+	}
+	ec.db.mu.Unlock()
+
+	t0 := time.Now()
+	for i, t := range locked {
+		if writeMode[i] {
+			t.mu.Lock()
+		} else {
+			t.mu.RLock()
+		}
+	}
+	hLockWait.Observe(time.Since(t0))
+
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			if writeMode[i] {
+				locked[i].mu.Unlock()
+			} else {
+				locked[i].mu.RUnlock()
+			}
+		}
+	}
+}

@@ -18,6 +18,13 @@ var (
 	mTxnCommits   = obs.GetCounter("engine.txn_commits")
 	mTxnRollbacks = obs.GetCounter("engine.txn_rollbacks")
 
+	// Concurrency health: how many transactions are open, how long statements
+	// wait for their table locks, and how far (in logical ticks) transaction
+	// snapshots trail the current clock when statements run against them.
+	gTxnsActive  = obs.GetGauge("engine.txns_active")
+	hLockWait    = obs.GetHistogram("engine.lock_wait_ns")
+	hSnapshotAge = obs.GetHistogram("engine.snapshot_age_ticks")
+
 	hParse   = obs.GetHistogram("engine.parse_ns")
 	hLineage = obs.GetHistogram(obs.MetricLineageNS)
 

@@ -23,15 +23,23 @@ type FileSystem interface {
 const tableFileMagic = "LDVTBL1\n"
 
 // Checkpoint writes every table to dir as <table>.tbl data files, creating
-// dir if needed.
+// dir if needed. The checkpoint is a fresh snapshot's view: uncommitted
+// writes of transactions open at the time are excluded.
 func (db *DB) Checkpoint(fs FileSystem, dir string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if err := fs.MkdirAll(dir); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	db.mu.Lock()
+	tables := make(map[string]*Table, len(db.tables))
 	for name, t := range db.tables {
-		data := encodeTable(t)
+		tables[name] = t
+	}
+	db.mu.Unlock()
+	snap := db.takeSnapshot(0)
+	for name, t := range tables {
+		t.mu.RLock()
+		data := encodeTable(t, snap)
+		t.mu.RUnlock()
 		if err := fs.WriteFile(path.Join(dir, name+".tbl"), data); err != nil {
 			return fmt.Errorf("checkpoint table %s: %w", name, err)
 		}
@@ -60,15 +68,18 @@ func (db *DB) LoadDir(fs FileSystem, dir string) error {
 		}
 		db.mu.Lock()
 		db.tables[t.Name] = t
-		if maxRow > db.nextRow {
-			db.nextRow = maxRow
-		}
 		db.mu.Unlock()
+		for {
+			cur := db.nextRow.Load()
+			if uint64(maxRow) <= cur || db.nextRow.CompareAndSwap(cur, uint64(maxRow)) {
+				break
+			}
+		}
 	}
 	return nil
 }
 
-func encodeTable(t *Table) []byte {
+func encodeTable(t *Table, snap snapshot) []byte {
 	buf := []byte(tableFileMagic)
 	buf = appendString(buf, t.Name)
 	buf = binary.AppendUvarint(buf, uint64(len(t.Schema.Columns)))
@@ -81,13 +92,19 @@ func encodeTable(t *Table) []byte {
 			buf = append(buf, 0)
 		}
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(t.rows)))
+	visible := make([]*storedRow, 0, len(t.rows))
 	for _, r := range t.rows {
+		if snap.visible(r) {
+			visible = append(visible, r)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(visible)))
+	for _, r := range visible {
 		buf = binary.AppendUvarint(buf, uint64(r.id))
 		buf = binary.AppendUvarint(buf, r.version)
 		buf = appendString(buf, r.proc)
 		buf = binary.AppendVarint(buf, r.stmt)
-		buf = binary.AppendVarint(buf, r.usedBy)
+		buf = binary.AppendVarint(buf, r.usedBy.Load())
 		buf = sqlval.EncodeRow(buf, r.vals)
 	}
 	return buf
@@ -160,7 +177,8 @@ func decodeTable(data []byte) (*Table, RowID, error) {
 			return nil, 0, err
 		}
 		b = b[used:]
-		r := &storedRow{id: RowID(id), vals: vals, version: version, proc: proc, stmt: stmt, usedBy: usedBy}
+		r := &storedRow{id: RowID(id), vals: vals, version: version, proc: proc, stmt: stmt}
+		r.usedBy.Store(usedBy)
 		if err := t.insertRow(r); err != nil {
 			return nil, 0, err
 		}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ldv/internal/sqlparse"
+)
+
+// Concurrency model (see DESIGN.md "Concurrency model" for the long form):
+//
+//   - Every session owns at most one open *Txn. Transactions are registered
+//     in the DB's active-transaction set; tuple versions are tagged with the
+//     writing transaction's id permanently, so COMMIT is O(1) — it only
+//     deregisters the id. ROLLBACK replays the undo log in reverse.
+//   - A snapshot is a logical-clock timestamp plus a copy of the active set
+//     (PostgreSQL's xip-list scheme). A version is visible when it was begun
+//     by the reader itself, or begun at-or-before the snapshot time by a
+//     transaction not active at snapshot capture — and not end-marked under
+//     the same rule. Readers therefore never see uncommitted or torn writes
+//     and never block on writers.
+//   - Lock hierarchy: the DB catalog mutex (tables map, short critical
+//     sections only) is acquired before any table lock and never while one
+//     is held. Statements compute their full table footprint from the AST up
+//     front and take per-table RWMutexes in sorted name order (readers
+//     shared, writers exclusive), which makes lock acquisition deadlock-free.
+
+// snapshot is an immutable logical-clock cut of the database.
+type snapshot struct {
+	ts     uint64             // logical time of the cut
+	active map[int64]struct{} // transactions uncommitted at the cut
+	self   int64              // reading transaction's own id (0 = none)
+}
+
+// visible reports whether a tuple version is part of the snapshot:
+// begin ≤ snapshot < end, where writes of transactions active at the cut
+// (other than the reader's own) sit beyond the horizon on both bounds.
+func (s snapshot) visible(r *storedRow) bool {
+	if s.self == 0 || r.txnID != s.self {
+		if _, uncommitted := s.active[r.txnID]; uncommitted {
+			return false
+		}
+		// Preloaded/bulk rows (txnID 0) are committed by definition and may
+		// carry versions from a previous database life (LoadDir, RestoreRow)
+		// that post-date this clock — they are always begin-visible.
+		if r.txnID != 0 && r.version > s.ts {
+			return false
+		}
+	}
+	if r.end == 0 {
+		return true
+	}
+	if s.self != 0 && r.endTxn == s.self {
+		return false // the reader itself superseded/deleted it
+	}
+	if _, uncommitted := s.active[r.endTxn]; uncommitted {
+		return true // end mark not committed at the cut
+	}
+	return r.end > s.ts
+}
+
+// Txn is one session's open transaction: its identity in the active set, the
+// snapshot its reads run against, and the undo log its rollback replays.
+type Txn struct {
+	id   int64
+	db   *DB
+	snap snapshot
+	undo []undoEntry
+}
+
+// undoEntry is one compensating action together with the table it mutates,
+// so rollback can assemble its lock set.
+type undoEntry struct {
+	table *Table
+	fn    func() error
+}
+
+func (x *Txn) logUndo(t *Table, fn func() error) {
+	x.undo = append(x.undo, undoEntry{table: t, fn: fn})
+}
+
+// undoFrom applies the undo entries at and after mark, newest first. The
+// caller must hold the write locks of every table those entries touch
+// (statement-level rollback runs under the failing statement's own locks).
+func (x *Txn) undoFrom(mark int) error {
+	var firstErr error
+	for i := len(x.undo) - 1; i >= mark; i-- {
+		if err := x.undo[i].fn(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rollback: %w", err)
+		}
+	}
+	x.undo = x.undo[:mark]
+	return firstErr
+}
+
+// rollback undoes the whole transaction, acquiring the write locks of every
+// table in the undo log (sorted, deduplicated), and deregisters it.
+func (x *Txn) rollback() error {
+	tabs := map[string]*Table{}
+	for _, e := range x.undo {
+		tabs[e.table.Name] = e.table
+	}
+	names := make([]string, 0, len(tabs))
+	for n := range tabs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tabs[n].mu.Lock()
+	}
+	err := x.undoFrom(0)
+	for i := len(names) - 1; i >= 0; i-- {
+		tabs[names[i]].mu.Unlock()
+	}
+	x.db.endTxn(x.id)
+	return err
+}
+
+// beginTxn registers a new transaction and captures its snapshot. The
+// registration happens before the snapshot tick, so any other snapshot taken
+// from then on either lists the transaction as active or post-dates every
+// version it will write — both exclude its uncommitted writes.
+func (db *DB) beginTxn() *Txn {
+	db.txnMu.Lock()
+	db.nextTxn++
+	id := db.nextTxn
+	db.activeTxns[id] = struct{}{}
+	db.txnMu.Unlock()
+	gTxnsActive.Add(1)
+	return &Txn{id: id, db: db, snap: db.takeSnapshot(id)}
+}
+
+// endTxn removes a transaction from the active set: the commit (or
+// post-rollback cleanup) step. Version tags stay on the rows; committedness
+// is exactly "no longer active".
+func (db *DB) endTxn(id int64) {
+	db.txnMu.Lock()
+	delete(db.activeTxns, id)
+	db.txnMu.Unlock()
+	gTxnsActive.Add(-1)
+}
+
+// txnActive reports whether a transaction is currently uncommitted (the
+// write path's first-updater-wins conflict check reads the *current* state,
+// not a snapshot).
+func (db *DB) txnActive(id int64) bool {
+	if id == 0 {
+		return false
+	}
+	db.txnMu.RLock()
+	_, ok := db.activeTxns[id]
+	db.txnMu.RUnlock()
+	return ok
+}
+
+// takeSnapshot captures a logical-clock cut. Ticking before copying the
+// active set is what makes the cut consistent: a transaction missing from
+// the copy either committed (visible, correctly) or registered after the
+// tick, in which case all its writes post-date ts.
+func (db *DB) takeSnapshot(self int64) snapshot {
+	ts := db.clock.Tick()
+	db.txnMu.RLock()
+	active := make(map[int64]struct{}, len(db.activeTxns))
+	for id := range db.activeTxns {
+		active[id] = struct{}{}
+	}
+	db.txnMu.RUnlock()
+	return snapshot{ts: ts, active: active, self: self}
+}
+
+// Session is one client's statement stream: it owns the open transaction (if
+// any) and serializes the statements of that one client. Different sessions
+// execute concurrently.
+type Session struct {
+	db *DB
+	mu sync.Mutex
+
+	txn *Txn
+}
+
+// NewSession opens an independent session on the database.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db}
+}
+
+// InTxn reports whether the session has an open transaction.
+func (s *Session) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txn != nil
+}
+
+// Close ends the session, rolling back any open transaction so an abandoned
+// connection cannot pin the active set (and with it every snapshot horizon).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txn == nil {
+		return nil
+	}
+	err := s.txn.rollback()
+	s.txn = nil
+	mTxnRollbacks.Inc()
+	return err
+}
+
+// Exec parses and executes a single SQL statement on this session.
+func (s *Session) Exec(sql string, opts ExecOptions) (*Result, error) {
+	stmt, err := timedParse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStatement(stmt, opts)
+}
+
+// ExecScript parses and executes a semicolon-separated script, stopping at
+// the first error.
+func (s *Session) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
+	t0 := time.Now()
+	stmts, err := sqlparse.ParseScript(sql)
+	hParse.Observe(time.Since(t0))
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.ExecStatement(st, opts)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// ExecStatement executes a parsed statement on this session.
+func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	t0 := time.Now()
+	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
+	finish := func(err error) (*Result, error) {
+		res.End = db.clock.Tick()
+		observeStatement(stmt, res, err, time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	switch stmt.(type) {
+	case *sqlparse.Begin:
+		if s.txn != nil {
+			return finish(fmt.Errorf("a transaction is already open"))
+		}
+		s.txn = db.beginTxn()
+		return finish(nil)
+	case *sqlparse.Commit:
+		if s.txn == nil {
+			return finish(fmt.Errorf("no transaction is open"))
+		}
+		db.endTxn(s.txn.id)
+		s.txn = nil
+		mTxnCommits.Inc()
+		return finish(nil)
+	case *sqlparse.Rollback:
+		if s.txn == nil {
+			return finish(fmt.Errorf("no transaction is open"))
+		}
+		err := s.txn.rollback()
+		s.txn = nil
+		mTxnRollbacks.Inc()
+		return finish(err)
+	}
+
+	if s.txn != nil {
+		// How far behind the current logical time this statement's snapshot
+		// trails (long-running transactions read increasingly old cuts).
+		hSnapshotAge.Record(int64(res.Start - s.txn.snap.ts))
+	}
+
+	var err error
+	switch st := stmt.(type) {
+	case *sqlparse.Select:
+		err = s.execSelectStmt(st, opts, res)
+	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
+		err = s.execDMLStmt(stmt, opts, res)
+	case *sqlparse.CreateTable:
+		if s.txn != nil {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			err = db.execCreateTable(st)
+		}
+	case *sqlparse.DropTable:
+		if s.txn != nil {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			err = db.execDropTable(st)
+		}
+	case *sqlparse.Copy:
+		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
+	default:
+		err = fmt.Errorf("unsupported statement type %T", stmt)
+	}
+	return finish(err)
+}
+
+// execSelectStmt runs a query against the session's snapshot: the open
+// transaction's (repeatable) snapshot, or a fresh cut per statement.
+func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Result) error {
+	ec := &stmtCtx{db: s.db, txn: s.txn}
+	if s.txn != nil {
+		ec.snap = s.txn.snap
+	} else {
+		ec.snap = s.db.takeSnapshot(0)
+	}
+	unlock := ec.lockTables(stmtTables(sel))
+	defer unlock()
+	return ec.execSelect(sel, opts, res)
+}
+
+// execDMLStmt runs a write statement. Outside an explicit transaction the
+// statement gets an implicit one, which both gives it statement-level
+// atomicity (a mid-statement error rolls back its partial writes) and keeps
+// its in-flight writes invisible to concurrent snapshots until it finishes.
+func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Result) error {
+	db := s.db
+	txn := s.txn
+	implicit := txn == nil
+	if implicit {
+		txn = db.beginTxn()
+	}
+	ec := &stmtCtx{db: db, snap: txn.snap, txn: txn}
+	mark := len(txn.undo)
+	unlock := ec.lockTables(stmtTables(stmt))
+	var err error
+	switch st := stmt.(type) {
+	case *sqlparse.Insert:
+		err = ec.execInsert(st, opts, res)
+	case *sqlparse.Update:
+		err = ec.execUpdate(st, opts, res)
+	case *sqlparse.Delete:
+		err = ec.execDelete(st, opts, res)
+	}
+	if err != nil {
+		// Statement-level atomicity: undo this statement's writes while its
+		// table locks are still held, inside or outside an explicit txn.
+		if uerr := txn.undoFrom(mark); uerr != nil {
+			err = fmt.Errorf("%w (statement %v)", uerr, err)
+		}
+	}
+	unlock()
+	if implicit {
+		db.endTxn(txn.id) // commit (deregister) — or abort; undo already ran
+	}
+	return err
+}
+
+// stmtCtx is the execution context of one statement: its snapshot, its
+// transaction (DML only), and the tables it resolved and locked up front.
+// All exec* functions run lock-free against this context.
+type stmtCtx struct {
+	db     *DB
+	snap   snapshot
+	txn    *Txn
+	tables map[string]*Table
+}
+
+// table resolves a name against the statement's locked footprint.
+func (ec *stmtCtx) table(name string) (*Table, error) {
+	if t, ok := ec.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("table %q does not exist", name)
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ldv/internal/sqlval"
 )
@@ -19,42 +21,66 @@ func (r TupleRef) String() string {
 	return fmt.Sprintf("%s/%d@%d", r.Table, r.Row, r.Version)
 }
 
-// storedRow is one live tuple version in a table.
+// storedRow is one tuple version. Under MVCC a version is never mutated in
+// place: an UPDATE appends a successor version and end-marks the old one, a
+// DELETE only end-marks. id, vals, version, proc, stmt, and txnID are
+// immutable after insertion; end and endTxn change only under the table's
+// write lock (set by UPDATE/DELETE, cleared again by rollback); usedBy is
+// atomic because lineage-collecting reads stamp it while holding only the
+// read lock.
 type storedRow struct {
 	id      RowID
 	vals    []sqlval.Value
-	version uint64 // prov_v: logical time the version was produced
+	version uint64 // prov_v: logical time the version was produced (begin timestamp)
+	end     uint64 // logical time the version was superseded or deleted; 0 = live
 	proc    string // prov_p: process that produced the version ("" = preloaded)
 	stmt    int64  // statement id that produced the version (0 = preloaded)
-	usedBy  int64  // prov_usedby: last statement id that read the tuple
+	txnID   int64  // transaction that produced the version (0 = preloaded/bulk)
+	endTxn  int64  // transaction that end-marked the version (0 = none)
+	usedBy  atomic.Int64
 }
 
 func (r *storedRow) ref(table string) TupleRef {
 	return TupleRef{Table: table, Row: r.id, Version: r.version}
 }
 
-// Table is the storage for one relation: an append-friendly slice of live
-// rows plus a primary-key hash index.
+// Table is the storage for one relation: an append-only slice of tuple
+// versions plus a primary-key hash index over the *live latest* versions.
+// The RWMutex is the table's entry in the engine's lock hierarchy: statements
+// acquire table locks (readers share, writers exclude) after resolving names
+// under the DB catalog lock and never the other way around.
 type Table struct {
 	Name   string
 	Schema Schema
 
+	mu      sync.RWMutex
 	rows    []*storedRow
-	pkIndex map[string]int // GroupKey of pk value -> index in rows; nil if no pk
+	pkIndex map[string]*storedRow // GroupKey of pk value -> live latest version; nil if no pk
 }
 
 func newTable(name string, schema Schema) *Table {
 	t := &Table{Name: name, Schema: schema}
 	if schema.PrimaryKeyIndex() >= 0 {
-		t.pkIndex = make(map[string]int)
+		t.pkIndex = make(map[string]*storedRow)
 	}
 	return t
 }
 
-// RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+// RowCount returns the number of live (not end-marked) tuple versions.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, r := range t.rows {
+		if r.end == 0 {
+			n++
+		}
+	}
+	return n
+}
 
-// insertRow validates and appends a row, enforcing the primary key.
+// insertRow validates and appends a row version, enforcing the primary key
+// (caller holds the table write lock).
 func (t *Table) insertRow(r *storedRow) error {
 	if len(r.vals) != len(t.Schema.Columns) {
 		return fmt.Errorf("table %s: row has %d values, schema has %d columns",
@@ -72,34 +98,47 @@ func (t *Table) insertRow(r *storedRow) error {
 		if _, dup := t.pkIndex[key]; dup {
 			return fmt.Errorf("table %s: duplicate primary key %s", t.Name, r.vals[pk])
 		}
-		t.pkIndex[key] = len(t.rows)
+		t.pkIndex[key] = r
 	}
 	t.rows = append(t.rows, r)
 	return nil
 }
 
-// deleteAt removes the row at index i, keeping the pk index consistent.
-func (t *Table) deleteAt(i int) {
-	if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
-		delete(t.pkIndex, t.rows[i].vals[pk].GroupKey())
+// removeRow physically removes a version (insert rollback only), keeping the
+// pk index consistent. Searches from the end: rolled-back inserts are recent.
+func (t *Table) removeRow(r *storedRow) error {
+	for i := len(t.rows) - 1; i >= 0; i-- {
+		if t.rows[i] != r {
+			continue
+		}
+		if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
+			key := r.vals[pk].GroupKey()
+			if t.pkIndex[key] == r {
+				delete(t.pkIndex, key)
+			}
+		}
+		last := len(t.rows) - 1
+		t.rows[i] = t.rows[last]
+		t.rows = t.rows[:last]
+		return nil
 	}
-	last := len(t.rows) - 1
-	t.rows[i] = t.rows[last]
-	t.rows = t.rows[:last]
-	if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 && i < len(t.rows) {
-		t.pkIndex[t.rows[i].vals[pk].GroupKey()] = i
-	}
+	return fmt.Errorf("table %s: row %d not found", t.Name, r.id)
 }
 
-// lookupPK returns the row index for a primary-key value, or -1.
-func (t *Table) lookupPK(v sqlval.Value) int {
-	if t.pkIndex == nil {
-		return -1
+// restorePK re-points the pk index at a version whose end mark is being
+// rolled back. A concurrent insert may have claimed the key while the
+// delete/update was uncommitted — that collision surfaces here.
+func (t *Table) restorePK(r *storedRow) error {
+	pk := t.Schema.PrimaryKeyIndex()
+	if pk < 0 {
+		return nil
 	}
-	if i, ok := t.pkIndex[v.GroupKey()]; ok {
-		return i
+	key := r.vals[pk].GroupKey()
+	if cur, ok := t.pkIndex[key]; ok && cur != r {
+		return fmt.Errorf("table %s: rollback conflict: primary key %s was re-used by a concurrent transaction", t.Name, r.vals[pk])
 	}
-	return -1
+	t.pkIndex[key] = r
+	return nil
 }
 
 // provValue serves the hidden provenance attributes for a row.
@@ -112,7 +151,7 @@ func provValue(r *storedRow, name string) (sqlval.Value, bool) {
 	case ColProvP:
 		return sqlval.NewString(r.proc), true
 	case ColProvUsedBy:
-		return sqlval.NewInt(r.usedBy), true
+		return sqlval.NewInt(r.usedBy.Load()), true
 	}
 	return sqlval.Null, false
 }

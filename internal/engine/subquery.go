@@ -14,9 +14,10 @@ import (
 // "column does not exist" errors from the inner execution, reported with a
 // clarifying wrapper.
 
-// subqueryState accumulates the provenance of resolved subqueries.
+// subqueryState accumulates the provenance of resolved subqueries. It runs
+// in the outer statement's context: same snapshot, same locked footprint.
 type subqueryState struct {
-	db     *DB
+	ec     *stmtCtx
 	opts   ExecOptions
 	stmtID int64
 	refs   []TupleRef
@@ -36,11 +37,11 @@ func (st *subqueryState) runSubquery(sel *sqlparse.Select) (*Result, error) {
 	defer func() { st.depth-- }()
 	// The inner statement shares the outer statement's execution identity.
 	res := &Result{StmtID: st.stmtID}
-	inner, _, err := st.db.resolveSelectSubqueries(sel, st)
+	inner, _, err := st.ec.resolveSelectSubqueries(sel, st)
 	if err != nil {
 		return nil, err
 	}
-	if err := st.db.execSelect(inner, st.opts, res); err != nil {
+	if err := st.ec.execSelect(inner, st.opts, res); err != nil {
 		return nil, fmt.Errorf("subquery (%s): %w", sel.String(), err)
 	}
 	if st.opts.WithLineage {
@@ -229,7 +230,7 @@ func (st *subqueryState) rewriteExprs(es []sqlparse.Expr) ([]sqlparse.Expr, bool
 
 // resolveSelectSubqueries returns sel with all subqueries substituted; the
 // bool reports whether anything changed.
-func (db *DB) resolveSelectSubqueries(sel *sqlparse.Select, st *subqueryState) (*sqlparse.Select, bool, error) {
+func (ec *stmtCtx) resolveSelectSubqueries(sel *sqlparse.Select, st *subqueryState) (*sqlparse.Select, bool, error) {
 	changed := false
 	out := *sel
 
@@ -350,7 +351,7 @@ func selectHasSubqueries(sel *sqlparse.Select) bool {
 
 // resolveDMLSubqueries substitutes subqueries in an UPDATE's WHERE and SET
 // expressions, folding their provenance into res.
-func (db *DB) resolveDMLSubqueries(sp **sqlparse.Update, opts ExecOptions, res *Result) error {
+func (ec *stmtCtx) resolveDMLSubqueries(sp **sqlparse.Update, opts ExecOptions, res *Result) error {
 	s := *sp
 	need := hasSubqueries(s.Where)
 	for _, a := range s.Set {
@@ -359,7 +360,7 @@ func (db *DB) resolveDMLSubqueries(sp **sqlparse.Update, opts ExecOptions, res *
 	if !need {
 		return nil
 	}
-	st := &subqueryState{db: db, opts: opts, stmtID: res.StmtID}
+	st := &subqueryState{ec: ec, opts: opts, stmtID: res.StmtID}
 	out := *s
 	where, _, err := st.rewriteExpr(s.Where)
 	if err != nil {
@@ -376,17 +377,17 @@ func (db *DB) resolveDMLSubqueries(sp **sqlparse.Update, opts ExecOptions, res *
 	}
 	out.Set = set
 	*sp = &out
-	db.mergeSubProvenance(st, opts, res)
+	mergeSubProvenance(st, opts, res)
 	return nil
 }
 
 // resolveDeleteSubqueries substitutes subqueries in a DELETE's WHERE.
-func (db *DB) resolveDeleteSubqueries(sp **sqlparse.Delete, opts ExecOptions, res *Result) error {
+func (ec *stmtCtx) resolveDeleteSubqueries(sp **sqlparse.Delete, opts ExecOptions, res *Result) error {
 	s := *sp
 	if !hasSubqueries(s.Where) {
 		return nil
 	}
-	st := &subqueryState{db: db, opts: opts, stmtID: res.StmtID}
+	st := &subqueryState{ec: ec, opts: opts, stmtID: res.StmtID}
 	out := *s
 	where, _, err := st.rewriteExpr(s.Where)
 	if err != nil {
@@ -394,11 +395,11 @@ func (db *DB) resolveDeleteSubqueries(sp **sqlparse.Delete, opts ExecOptions, re
 	}
 	out.Where = where
 	*sp = &out
-	db.mergeSubProvenance(st, opts, res)
+	mergeSubProvenance(st, opts, res)
 	return nil
 }
 
-func (db *DB) mergeSubProvenance(st *subqueryState, opts ExecOptions, res *Result) {
+func mergeSubProvenance(st *subqueryState, opts ExecOptions, res *Result) {
 	if !opts.WithLineage {
 		return
 	}

@@ -1,135 +1,38 @@
 package engine
 
-import (
-	"fmt"
+// Transactions are implemented with an in-memory undo log over the MVCC
+// store: each DML statement appends compensating actions that rollback
+// applies in reverse order while holding the write locks of the affected
+// tables. Because an UPDATE appends a new version and end-marks the old one
+// (never mutating values in place), every compensation is structural —
+// remove the new version, clear the end mark — and a rolled-back version
+// vanishes entirely, which is why "committed" can be defined as "writer no
+// longer in the active set" without a commit log.
 
-	"ldv/internal/sqlparse"
-)
-
-// Transactions are implemented with an in-memory undo log: each DML
-// statement executed inside an open transaction appends compensating
-// actions that ROLLBACK applies in reverse order. The engine is
-// single-writer (statements serialize on the DB mutex), so a single open
-// transaction per database suffices — the model PostgreSQL presents to one
-// session, which is all the paper's applications use. DDL inside a
-// transaction is rejected to keep the undo log purely tuple-level.
-
-// txn is the open transaction's undo state.
-type txn struct {
-	undo []func() error
-}
-
-// inTxn reports whether a transaction is open (caller holds db.mu).
-func (db *DB) inTxn() bool { return db.txn != nil }
-
-// logUndo appends a compensating action (caller holds db.mu).
-func (db *DB) logUndo(fn func() error) {
-	if db.txn != nil {
-		db.txn.undo = append(db.txn.undo, fn)
-	}
-}
-
-// execBegin opens a transaction.
-func (db *DB) execBegin() error {
-	if db.txn != nil {
-		return fmt.Errorf("a transaction is already open")
-	}
-	db.txn = &txn{}
-	return nil
-}
-
-// execCommit makes the transaction's effects permanent by discarding the
-// undo log.
-func (db *DB) execCommit() error {
-	if db.txn == nil {
-		return fmt.Errorf("no transaction is open")
-	}
-	db.txn = nil
-	mTxnCommits.Inc()
-	return nil
-}
-
-// execRollback undoes every statement of the open transaction, newest
-// first.
-func (db *DB) execRollback() error {
-	if db.txn == nil {
-		return fmt.Errorf("no transaction is open")
-	}
-	undo := db.txn.undo
-	db.txn = nil
-	for i := len(undo) - 1; i >= 0; i-- {
-		if err := undo[i](); err != nil {
-			return fmt.Errorf("rollback: %w", err)
-		}
-	}
-	mTxnRollbacks.Inc()
-	return nil
-}
-
-// undoInsert removes the row with the given id from the table.
-func (db *DB) undoInsert(table string, id RowID) func() error {
+// undoInsert removes an inserted version.
+func undoInsert(t *Table, r *storedRow) func() error {
 	return func() error {
-		t, ok := db.tables[table]
-		if !ok {
-			return fmt.Errorf("undo insert: table %q is gone", table)
-		}
-		for i, r := range t.rows {
-			if r.id == id {
-				t.deleteAt(i)
-				return nil
-			}
-		}
-		return fmt.Errorf("undo insert: row %d not found in %q", id, table)
+		return t.removeRow(r)
 	}
 }
 
-// undoUpdate restores a row's previous image.
-func (db *DB) undoUpdate(table string, r *storedRow, old storedRow) func() error {
+// undoUpdate removes the successor version and revives the old one.
+func undoUpdate(t *Table, old, successor *storedRow) func() error {
 	return func() error {
-		t, ok := db.tables[table]
-		if !ok {
-			return fmt.Errorf("undo update: table %q is gone", table)
+		if err := t.removeRow(successor); err != nil {
+			return err
 		}
-		// Keep the pk index consistent if the key changed.
-		if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 && !r.vals[pk].Equal(old.vals[pk]) {
-			for i, cur := range t.rows {
-				if cur == r {
-					delete(t.pkIndex, r.vals[pk].GroupKey())
-					t.pkIndex[old.vals[pk].GroupKey()] = i
-					break
-				}
-			}
-		}
-		r.vals = old.vals
-		r.version = old.version
-		r.proc = old.proc
-		r.stmt = old.stmt
-		r.usedBy = old.usedBy
-		return nil
+		old.end = 0
+		old.endTxn = 0
+		return t.restorePK(old)
 	}
 }
 
-// undoDelete re-inserts a removed row.
-func (db *DB) undoDelete(table string, r *storedRow) func() error {
+// undoDelete clears a delete's end mark.
+func undoDelete(t *Table, r *storedRow) func() error {
 	return func() error {
-		t, ok := db.tables[table]
-		if !ok {
-			return fmt.Errorf("undo delete: table %q is gone", table)
-		}
-		return t.insertRow(r)
+		r.end = 0
+		r.endTxn = 0
+		return t.restorePK(r)
 	}
-}
-
-// execTxnStatement dispatches transaction-control statements. It returns
-// (true, err) when the statement was one of BEGIN/COMMIT/ROLLBACK.
-func (db *DB) execTxnStatement(stmt sqlparse.Statement) (bool, error) {
-	switch stmt.(type) {
-	case *sqlparse.Begin:
-		return true, db.execBegin()
-	case *sqlparse.Commit:
-		return true, db.execCommit()
-	case *sqlparse.Rollback:
-		return true, db.execRollback()
-	}
-	return false, nil
 }

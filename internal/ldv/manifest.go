@@ -77,7 +77,7 @@ var kindsByName = func() map[string]sqlval.Kind {
 }()
 
 // TableDefOf captures a table's schema.
-func TableDefOf(t *engine.Table) TableDef {
+func TableDefOf(t engine.TableMeta) TableDef {
 	def := TableDef{Name: t.Name}
 	for _, c := range t.Schema.Columns {
 		def.Columns = append(def.Columns, ColumnDef{

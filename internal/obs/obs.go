@@ -27,8 +27,9 @@ type Counter struct {
 	v atomic.Int64
 }
 
-// Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+// Add increments the counter by n and returns the new value, so a counter
+// can double as an id allocator (e.g. server session ids).
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }

@@ -29,7 +29,7 @@ func (tr *Trace) ExportDOT() string {
 		}
 		fmt.Fprintf(&sb, "  %s [shape=%s, label=%s];\n", dotID(n.ID), shape, dotString(label))
 	}
-	for _, e := range tr.Edges() {
+	for _, e := range tr.EdgesByTime() {
 		fmt.Fprintf(&sb, "  %s -> %s [label=%s];\n",
 			dotID(e.From.ID), dotID(e.To.ID), dotString(fmt.Sprintf("%s %s", e.Label, e.T)))
 	}

@@ -45,7 +45,7 @@ func (tr *Trace) Marshal() ([]byte, error) {
 		}
 		doc.Nodes = append(doc.Nodes, nodeJSON{ID: n.ID, Type: n.Type, Label: n.Label, Attrs: attrs})
 	}
-	for _, e := range tr.edges {
+	for _, e := range tr.EdgesByTime() {
 		doc.Edges = append(doc.Edges, edgeJSON{From: e.From.ID, To: e.To.ID, Label: e.Label, Begin: e.T.Begin, End: e.T.End})
 	}
 	for _, d := range tr.Deps() {
@@ -121,7 +121,7 @@ func (tr *Trace) ExportPROV() ([]byte, error) {
 	used := map[string]rel{}
 	generated := map[string]rel{}
 	started := map[string]rel{}
-	for i, e := range tr.edges {
+	for i, e := range tr.EdgesByTime() {
 		key := fmt.Sprintf("_:r%d", i)
 		switch e.Label {
 		case EdgeReadFrom, EdgeHasRead:

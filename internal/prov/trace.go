@@ -128,6 +128,32 @@ func (tr *Trace) AddEdge(fromID, toID, label string, t Interval) (*Edge, error) 
 // Edges returns all edges in insertion order.
 func (tr *Trace) Edges() []*Edge { return tr.edges }
 
+// EdgesByTime returns the edges ordered by the shared logical clock
+// (interval begin, then end), with node ids and label as tie-breakers.
+// Insertion order is arrival order, which is nondeterministic when several
+// sessions record into one trace concurrently; serialized and rendered
+// traces order by time instead so equal executions produce equal artifacts.
+func (tr *Trace) EdgesByTime() []*Edge {
+	out := append([]*Edge(nil), tr.edges...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T.Begin != b.T.Begin {
+			return a.T.Begin < b.T.Begin
+		}
+		if a.T.End != b.T.End {
+			return a.T.End < b.T.End
+		}
+		if a.From.ID != b.From.ID {
+			return a.From.ID < b.From.ID
+		}
+		if a.To.ID != b.To.ID {
+			return a.To.ID < b.To.ID
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
 // Out returns the edges leaving node id.
 func (tr *Trace) Out(id string) []*Edge { return tr.out[id] }
 

@@ -36,6 +36,8 @@ type Acceptor interface {
 }
 
 // Server executes statements against a database on behalf of wire clients.
+// Each connection gets its own engine.Session, so sessions run concurrently
+// and hold independent transactions.
 type Server struct {
 	db *engine.DB
 	// logger is immutable after New — unlike fs it is never reassigned, so
@@ -43,9 +45,8 @@ type Server struct {
 	// through logf, which relies on exactly this invariant.
 	logger *log.Logger
 
-	mu       sync.Mutex
-	fs       engine.FileSystem
-	sessions int
+	mu sync.Mutex
+	fs engine.FileSystem
 }
 
 // New returns a server over db. logger may be nil to disable logging; it
@@ -104,16 +105,18 @@ func (s *Server) HandleConn(conn net.Conn) {
 		_ = wire.Write(conn, wire.Error{Message: "protocol error: expected Startup"})
 		return
 	}
-	s.mu.Lock()
-	s.sessions++
-	sid := s.sessions
-	s.mu.Unlock()
-	mSessions.Inc()
+	// The sessions counter is the single source of truth for session ids:
+	// Add returns the post-increment value, which is this session's id.
+	sid := mSessions.Add(1)
 	gActiveSessions.Add(1)
 	defer gActiveSessions.Add(-1)
 	s.logf("session %d: proc=%s db=%s", sid, startup.Proc, startup.Database)
 
-	if err := wire.Write(conn, wire.Ready{}); err != nil {
+	// Session teardown rolls back any transaction the client abandoned.
+	sess := s.db.NewSession()
+	defer sess.Close()
+
+	if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 		return
 	}
 	for {
@@ -129,12 +132,12 @@ func (s *Server) HandleConn(conn net.Conn) {
 			return
 		case wire.Query:
 			mStatements.Inc()
-			if err := s.handleQuery(conn, startup.Proc, m); err != nil {
+			if err := s.handleQuery(conn, sess, startup.Proc, m); err != nil {
 				s.logf("session %d: %v", sid, err)
 				return
 			}
 		case wire.Stats:
-			if err := s.handleStats(conn); err != nil {
+			if err := s.handleStats(conn, sess); err != nil {
 				s.logf("session %d: stats: %v", sid, err)
 				return
 			}
@@ -142,7 +145,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 			if err := wire.Write(conn, wire.Error{Message: fmt.Sprintf("protocol error: unexpected %T", msg)}); err != nil {
 				return
 			}
-			if err := wire.Write(conn, wire.Ready{}); err != nil {
+			if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 				return
 			}
 		}
@@ -151,28 +154,28 @@ func (s *Server) HandleConn(conn net.Conn) {
 
 // handleStats serves a Stats request with a snapshot of the process-wide
 // observability registry, serialized as JSON.
-func (s *Server) handleStats(conn net.Conn) error {
+func (s *Server) handleStats(conn net.Conn, sess *engine.Session) error {
 	data, err := obs.TakeSnapshot().JSON()
 	if err != nil {
 		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
 			return werr
 		}
-		return wire.Write(conn, wire.Ready{})
+		return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
 	}
 	if err := wire.Write(conn, wire.StatsResult{JSON: data}); err != nil {
 		return err
 	}
-	return wire.Write(conn, wire.Ready{})
+	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
 }
 
-func (s *Server) handleQuery(conn net.Conn, proc string, q wire.Query) error {
-	res, err := s.exec(q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage})
+func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, proc string, q wire.Query) error {
+	res, err := s.exec(sess, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage})
 	if err != nil {
 		mErrors.Inc()
 		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
 			return werr
 		}
-		return wire.Write(conn, wire.Ready{})
+		return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
 	}
 	if err := wire.Write(conn, wire.RowDescription{Columns: res.Columns}); err != nil {
 		return err
@@ -208,30 +211,31 @@ func (s *Server) handleQuery(conn net.Conn, proc string, q wire.Query) error {
 	if err := wire.Write(conn, cc); err != nil {
 		return err
 	}
-	return wire.Write(conn, wire.Ready{})
+	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
 }
 
-// exec runs one statement, intercepting COPY (which needs file access).
-func (s *Server) exec(sql string, opts engine.ExecOptions) (*engine.Result, error) {
+// exec runs one statement on the connection's session, intercepting COPY
+// (which needs file access).
+func (s *Server) exec(sess *engine.Session, sql string, opts engine.ExecOptions) (*engine.Result, error) {
 	stmt, err := engine.ParseTimed(sql)
 	if err != nil {
 		return nil, err
 	}
 	if c, ok := stmt.(*sqlparse.Copy); ok {
-		return s.execCopy(c, opts)
+		return s.execCopy(sess, c, opts)
 	}
-	return s.db.ExecStatement(stmt, opts)
+	return sess.ExecStatement(stmt, opts)
 }
 
 // execCopy performs COPY table FROM/TO 'path' using the server's
 // filesystem. Records are CSV; NULL is \N.
-func (s *Server) execCopy(c *sqlparse.Copy, opts engine.ExecOptions) (*engine.Result, error) {
+func (s *Server) execCopy(sess *engine.Session, c *sqlparse.Copy, opts engine.ExecOptions) (*engine.Result, error) {
 	fs := s.fileSystem()
 	if fs == nil {
 		return nil, fmt.Errorf("COPY: server has no filesystem configured")
 	}
 	if c.To {
-		records, res, err := s.db.CopyTo(c.Table, opts)
+		records, res, err := sess.CopyTo(c.Table, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -254,5 +258,5 @@ func (s *Server) execCopy(c *sqlparse.Copy, opts engine.ExecOptions) (*engine.Re
 	if err != nil {
 		return nil, fmt.Errorf("COPY FROM %s: %w", c.Path, err)
 	}
-	return s.db.CopyFrom(c.Table, records, opts)
+	return sess.CopyFrom(c.Table, records, opts)
 }

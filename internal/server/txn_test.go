@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"ldv/internal/engine"
+	"ldv/internal/wire"
+)
+
+// queryTxn runs one statement and additionally reports the transaction
+// state the closing Ready carries, plus the first column of every data row.
+func queryTxn(t *testing.T, c net.Conn, sql string) (vals []string, serverErr string, inTxn bool) {
+	t.Helper()
+	if err := wire.Write(c, wire.Query{SQL: sql}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, err := wire.Read(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m := msg.(type) {
+		case wire.RowDescription, wire.CommandComplete:
+		case wire.DataRow:
+			vals = append(vals, m.Values[0].String())
+		case wire.Error:
+			serverErr = m.Message
+		case wire.Ready:
+			return vals, serverErr, m.InTxn
+		default:
+			t.Fatalf("unexpected message %#v", msg)
+		}
+	}
+}
+
+func mustQueryTxn(t *testing.T, c net.Conn, sql string) ([]string, bool) {
+	t.Helper()
+	vals, serr, inTxn := queryTxn(t, c, sql)
+	if serr != "" {
+		t.Fatalf("%s: %s", sql, serr)
+	}
+	return vals, inTxn
+}
+
+// Two wire sessions hold independent open transactions, each with snapshot
+// reads, and the Ready message reports per-session transaction state.
+func TestServerPerSessionTransactions(t *testing.T) {
+	s := newTestServer(t)
+	c1 := dial(t, s, "p1")
+	defer c1.Close()
+	c2 := dial(t, s, "p2")
+	defer c2.Close()
+
+	if _, inTxn := mustQueryTxn(t, c1, "BEGIN"); !inTxn {
+		t.Fatal("c1 Ready must report InTxn after BEGIN")
+	}
+	if _, inTxn := mustQueryTxn(t, c2, "BEGIN"); !inTxn {
+		t.Fatal("c2 must be able to BEGIN while c1's transaction is open")
+	}
+
+	mustQueryTxn(t, c1, "INSERT INTO t VALUES (10, 'c1')")
+	// c2's snapshot predates c1's insert, and the insert is uncommitted.
+	if vals, _ := mustQueryTxn(t, c2, "SELECT a FROM t ORDER BY a"); len(vals) != 2 {
+		t.Fatalf("c2 sees %v, want the 2 preloaded rows", vals)
+	}
+	if _, inTxn := mustQueryTxn(t, c1, "COMMIT"); inTxn {
+		t.Fatal("c1 Ready must report no transaction after COMMIT")
+	}
+	// Still invisible to c2: its snapshot was taken before c1 committed.
+	if vals, _ := mustQueryTxn(t, c2, "SELECT a FROM t ORDER BY a"); len(vals) != 2 {
+		t.Fatalf("c2 snapshot moved mid-transaction: %v", vals)
+	}
+	if _, inTxn := mustQueryTxn(t, c2, "ROLLBACK"); inTxn {
+		t.Fatal("c2 Ready must report no transaction after ROLLBACK")
+	}
+	if vals, _ := mustQueryTxn(t, c2, "SELECT a FROM t ORDER BY a"); len(vals) != 3 {
+		t.Fatalf("after both transactions ended c2 sees %v, want 3 rows", vals)
+	}
+
+	// A dropped connection rolls its transaction back.
+	c3 := dial(t, s, "p3")
+	mustQueryTxn(t, c3, "BEGIN")
+	mustQueryTxn(t, c3, "INSERT INTO t VALUES (99, 'doomed')")
+	c3.Close()
+	for i := 0; ; i++ {
+		res, err := s.DB().Exec("SELECT a FROM t WHERE a = 99", engine.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("abandoned wire transaction never rolled back")
+		}
+	}
+}
+
+// N goroutine clients run a mixed BEGIN/INSERT/SELECT/UPDATE/COMMIT/ROLLBACK
+// workload over the wire. Readers assert snapshot isolation via a conserved
+// balance invariant; writers assert their committed rows (and only those)
+// survive. Run under -race via `make test`.
+func TestServerMixedWorkloadConcurrent(t *testing.T) {
+	db := engine.NewDB(nil)
+	if _, err := db.ExecScript(`
+		CREATE TABLE acct (id INT PRIMARY KEY, bal INT);
+		INSERT INTO acct VALUES (1, 50), (2, 50);`, engine.ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, nil)
+
+	const writers, readers, rounds = 4, 3, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	committed := make([]int, writers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := dial(t, s, fmt.Sprintf("writer:%d", w))
+			defer c.Close()
+			for i := 0; i < rounds; i++ {
+				if _, serr, _ := queryTxn(t, c, "BEGIN"); serr != "" {
+					errs <- fmt.Errorf("writer %d: BEGIN: %s", w, serr)
+					return
+				}
+				// Unique key per (writer, round); bal 0 keeps the invariant.
+				stmts := []string{
+					fmt.Sprintf("INSERT INTO acct VALUES (%d, 0)", 100+w*1000+i),
+					"UPDATE acct SET bal = bal - 1 WHERE id = 1",
+					"UPDATE acct SET bal = bal + 1 WHERE id = 2",
+				}
+				aborted := false
+				for _, sql := range stmts {
+					if _, serr, _ := queryTxn(t, c, sql); serr != "" {
+						if !strings.Contains(serr, "could not serialize") {
+							errs <- fmt.Errorf("writer %d: %s: %s", w, sql, serr)
+							return
+						}
+						aborted = true
+						break
+					}
+				}
+				end := "COMMIT"
+				if aborted || i%3 == 2 { // every third round rolls back on purpose
+					end = "ROLLBACK"
+				}
+				if _, serr, inTxn := queryTxn(t, c, end); serr != "" || inTxn {
+					errs <- fmt.Errorf("writer %d: %s: err=%q inTxn=%v", w, end, serr, inTxn)
+					return
+				}
+				if end == "COMMIT" {
+					committed[w]++
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := dial(t, s, fmt.Sprintf("reader:%d", r))
+			defer c.Close()
+			for i := 0; i < rounds; i++ {
+				vals, serr, _ := queryTxn(t, c, "SELECT SUM(bal) FROM acct")
+				if serr != "" {
+					errs <- fmt.Errorf("reader %d: %s", r, serr)
+					return
+				}
+				if len(vals) != 1 || vals[0] != "100" {
+					errs <- fmt.Errorf("reader %d saw torn state: sum = %v", r, vals)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Exactly the committed inserts survive, per writer.
+	for w := 0; w < writers; w++ {
+		res, err := db.Exec(fmt.Sprintf(
+			"SELECT COUNT(*) FROM acct WHERE id >= %d AND id < %d", 100+w*1000, 100+(w+1)*1000),
+			engine.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].String(); got != fmt.Sprint(committed[w]) {
+			t.Fatalf("writer %d: %s rows survived, want %d", w, got, committed[w])
+		}
+	}
+	res, err := db.Exec("SELECT SUM(bal) FROM acct", engine.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].String() != "100" {
+		t.Fatalf("final sum = %s", res.Rows[0][0].String())
+	}
+}

@@ -127,8 +127,12 @@ type StatsResult struct{ JSON []byte }
 // Error reports a failed statement; the session stays usable.
 type Error struct{ Message string }
 
-// Ready signals the server awaits the next query.
-type Ready struct{}
+// Ready signals the server awaits the next query. InTxn reports whether the
+// session currently holds an open transaction, letting clients track
+// transaction state (and errors clear it) without parsing SQL.
+type Ready struct {
+	InTxn bool
+}
 
 // Terminate closes the session.
 type Terminate struct{}
@@ -222,7 +226,13 @@ func encodePayload(m Message) []byte {
 		b = appendString(b, v.Message)
 	case StatsResult:
 		b = append(b, v.JSON...)
-	case Ready, Terminate, Stats:
+	case Ready:
+		if v.InTxn {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case Terminate, Stats:
 	}
 	return b
 }
@@ -284,7 +294,13 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		m = StatsResult{JSON: append([]byte(nil), d.buf...)}
 		d.buf = nil
 	case TagReady:
-		m = Ready{}
+		// Tolerate the pre-transaction empty payload (old peers, replay
+		// corpora): absent flag means no open transaction.
+		if len(d.buf) > 0 {
+			m = Ready{InTxn: d.byte() == 1}
+		} else {
+			m = Ready{}
+		}
 	case TagTerminate:
 		m = Terminate{}
 	default:

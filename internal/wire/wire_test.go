@@ -97,9 +97,10 @@ func TestReadErrors(t *testing.T) {
 	if _, err := Read(&buf); err == nil {
 		t.Error("bad string must fail")
 	}
-	// Trailing junk inside frame.
+	// Trailing junk inside frame (one byte is the legal InTxn flag; a second
+	// byte is junk).
 	buf.Reset()
-	buf.Write([]byte{'Z', 0, 0, 0, 1, 0})
+	buf.Write([]byte{'Z', 0, 0, 0, 2, 0, 0})
 	if _, err := Read(&buf); err == nil {
 		t.Error("trailing bytes must fail")
 	}
