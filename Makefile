@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz clean
+.PHONY: all build vet test check bench examples experiments fuzz recover-bench clean
 
 all: build vet test
 
@@ -19,9 +19,13 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/server/...
 
-# Full verification: vet plus the whole tree under the race detector.
+# Full verification: vet, the docs lint (every package needs a godoc
+# comment), the durability crash matrix under the race detector, then the
+# whole tree under the race detector.
 check:
 	$(GO) vet ./...
+	$(GO) test -run TestPackageDocComments .
+	$(GO) test -race -run TestCrashMatrix ./internal/engine
 	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
@@ -43,6 +47,12 @@ fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 30s
 	$(GO) test ./internal/sqlval -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/engine -fuzz FuzzWALDecode -fuzztime 30s
+	$(GO) test ./internal/engine -fuzz FuzzWALScan -fuzztime 30s
+
+# WAL overhead and recovery-time measurements (EXPERIMENTS.md "Durability").
+recover-bench:
+	$(GO) run ./cmd/ldv-bench -exp durability | tee results/durability.txt
 
 clean:
 	rm -f *.ldvpkg test_output.txt bench_output.txt

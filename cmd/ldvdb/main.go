@@ -5,8 +5,10 @@
 //
 //	ldvdb -addr 127.0.0.1:5544 -data ./ldvdata [-init schema.sql]
 //
-// Connect with ldvsql. On SIGINT the server checkpoints its data directory
-// and exits.
+// Connect with ldvsql. Commits are written ahead to a WAL in the data
+// directory before they are acknowledged; on startup the server recovers the
+// latest checkpoint and replays the WAL tail, and a background checkpointer
+// truncates the log. On SIGINT the server takes a final checkpoint and exits.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"ldv/internal/diskfs"
 	"ldv/internal/engine"
@@ -27,24 +30,34 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:5544", "listen address")
 		dataDir  = flag.String("data", "./ldvdata", "data directory on disk")
 		initFile = flag.String("init", "", "SQL script to run at startup (e.g. schema + load)")
+		ckpt     = flag.Duration("checkpoint", time.Minute, "background checkpoint interval (0 disables)")
 		quiet    = flag.Bool("quiet", false, "disable session logging")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *initFile, *quiet); err != nil {
+	if err := run(*addr, *dataDir, *initFile, *ckpt, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "ldvdb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, initFile string, quiet bool) error {
+func run(addr, dataDir, initFile string, ckpt time.Duration, quiet bool) error {
 	fs := diskfs.New(dataDir)
 	db := engine.NewDB(nil)
-	if _, err := os.Stat(dataDir); err == nil {
-		if err := db.LoadDir(fs, "/"); err != nil {
-			return fmt.Errorf("load data dir: %w", err)
-		}
-		log.Printf("loaded %d tables from %s", len(db.TableNames()), dataDir)
+
+	var logger *log.Logger
+	if !quiet {
+		logger = log.New(os.Stderr, "ldvdb ", log.LstdFlags)
 	}
+	srv := server.New(db, logger)
+	srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
+
+	stats, err := srv.EnableDurability(fs, "/", ckpt)
+	if err != nil {
+		return fmt.Errorf("recover data dir: %w", err)
+	}
+	log.Printf("recovered %d tables from %s (replayed %d txns from WAL)",
+		stats.Tables, dataDir, stats.ReplayedTxns)
+
 	if initFile != "" {
 		script, err := os.ReadFile(initFile)
 		if err != nil {
@@ -56,12 +69,6 @@ func run(addr, dataDir, initFile string, quiet bool) error {
 		log.Printf("ran init script %s", initFile)
 	}
 
-	var logger *log.Logger
-	if !quiet {
-		logger = log.New(os.Stderr, "ldvdb ", log.LstdFlags)
-	}
-	srv := server.New(db, logger)
-	srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -73,8 +80,8 @@ func run(addr, dataDir, initFile string, quiet bool) error {
 	go func() {
 		<-sig
 		log.Printf("checkpointing to %s", dataDir)
-		if err := db.Checkpoint(fs, "/"); err != nil {
-			log.Printf("checkpoint failed: %v", err)
+		if err := srv.Close(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
 		}
 		l.Close()
 	}()

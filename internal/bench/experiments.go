@@ -325,6 +325,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"vmi":         VMIComparison,
 		"overhead":    Overhead,
 		"concurrency": Concurrency,
+		"durability":  Durability,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -339,7 +340,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "concurrency", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "concurrency", "durability", "ablation"}
 }
 
 // RunAll executes every experiment in order.

@@ -36,6 +36,7 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 	}
 	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
 	mark := len(txn.undo)
+	rmark := len(txn.redo)
 	t.mu.Lock()
 	err = func() error {
 		for ln, rec := range records {
@@ -63,6 +64,7 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 				return fmt.Errorf("COPY %s record %d: %w", table, ln+1, err)
 			}
 			txn.logUndo(t, undoInsert(t, r))
+			txn.logRedo(redoInsertEntry(table, r))
 			res.WrittenRefs = append(res.WrittenRefs, r.ref(table))
 			res.RowsAffected++
 		}
@@ -72,12 +74,18 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 		if uerr := txn.undoFrom(mark); uerr != nil {
 			err = fmt.Errorf("%w (statement %v)", uerr, err)
 		}
+		txn.redo = txn.redo[:rmark]
 	}
 	t.mu.Unlock()
 	if implicit {
-		db.endTxn(txn.id)
-	}
-	if err != nil {
+		if err != nil {
+			db.endTxn(txn.id)
+			return nil, err
+		}
+		if cerr := db.commitTxn(txn); cerr != nil {
+			return nil, cerr
+		}
+	} else if err != nil {
 		return nil, err
 	}
 	res.End = db.clock.Tick()

@@ -73,10 +73,19 @@ type Result struct {
 // usable; call NewDB.
 type DB struct {
 	// mu is the catalog lock: it guards only the tables map and is held for
-	// short critical sections (name resolution, DDL). Data access is
-	// synchronized by the per-table RWMutexes, acquired strictly after mu.
-	mu     sync.Mutex
+	// short critical sections (name resolution in read mode, DDL in write
+	// mode). Data access is synchronized by the per-table RWMutexes,
+	// acquired strictly after mu.
+	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// commitMu serializes the commit step (WAL append + active-set
+	// removal) against Checkpoint's cut capture: committers hold it shared
+	// for the whole append-then-deregister sequence, Checkpoint holds it
+	// exclusively while it snapshots and records the log offset it may
+	// later truncate to. Acquired before mu; never held across table locks.
+	commitMu sync.RWMutex
+	wal      *WAL
 
 	clock    Clock
 	nextRow  atomic.Uint64
@@ -121,8 +130,8 @@ func (db *DB) defaultSession() *Session {
 
 // TableNames returns the sorted names of all tables.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -142,9 +151,9 @@ type TableMeta struct {
 
 // Table returns the named table's metadata, or an error.
 func (db *DB) Table(name string) (TableMeta, error) {
-	db.mu.Lock()
+	db.mu.RLock()
 	t, ok := db.tables[name]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if !ok {
 		return TableMeta{}, fmt.Errorf("table %q does not exist", name)
 	}
@@ -193,36 +202,90 @@ func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
 	if pkCount > 1 {
 		return fmt.Errorf("table %q: at most one PRIMARY KEY column is supported", s.Table)
 	}
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, exists := db.tables[s.Table]; exists {
+		db.mu.Unlock()
 		if s.IfNotExists {
 			return nil
 		}
 		return fmt.Errorf("table %q already exists", s.Table)
 	}
 	db.tables[s.Table] = newTable(s.Table, schema)
+	db.mu.Unlock()
+	if err := db.logDDL(redoEntry{kind: walCreate, table: s.Table, schema: schema}); err != nil {
+		db.mu.Lock()
+		delete(db.tables, s.Table)
+		db.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
 func (db *DB) execDropTable(s *sqlparse.DropTable) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, exists := db.tables[s.Table]; !exists {
+	t, exists := db.tables[s.Table]
+	if !exists {
+		db.mu.Unlock()
 		if s.IfExists {
 			return nil
 		}
 		return fmt.Errorf("table %q does not exist", s.Table)
 	}
 	delete(db.tables, s.Table)
+	db.mu.Unlock()
+	if err := db.logDDL(redoEntry{kind: walDrop, table: s.Table}); err != nil {
+		db.mu.Lock()
+		db.tables[s.Table] = t
+		db.mu.Unlock()
+		return err
+	}
 	return nil
+}
+
+// logDDL makes a catalog change durable as a single-entry WAL record (DDL
+// runs outside transactions; txn id 0 labels it). Caller holds
+// commitMu.RLock so Checkpoint's cut never splits a DDL's apply-and-log.
+func (db *DB) logDDL(e redoEntry) error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Commit(encodeWALTxn(0, []redoEntry{e}))
+}
+
+// commitTxn is the commit point of a transaction: its redo record is
+// flushed to the WAL (when one is attached) *before* it leaves the active
+// set, so success here — the acknowledgment the caller relays — implies
+// durability. On a flush failure the transaction rolls back instead: the
+// client sees an error and the in-memory state matches the log.
+func (db *DB) commitTxn(x *Txn) error {
+	db.commitMu.RLock()
+	if db.wal == nil || len(x.redo) == 0 {
+		db.endTxn(x.id)
+		db.commitMu.RUnlock()
+		return nil
+	}
+	err := db.wal.Commit(encodeWALTxn(x.id, x.redo))
+	if err == nil {
+		db.endTxn(x.id)
+		db.commitMu.RUnlock()
+		return nil
+	}
+	db.commitMu.RUnlock()
+	if rerr := x.rollback(); rerr != nil {
+		return fmt.Errorf("commit: %w (rollback: %v)", err, rerr)
+	}
+	return fmt.Errorf("commit: %w", err)
 }
 
 // lookupTable resolves a table name under the catalog lock.
 func (db *DB) lookupTable(name string) (*Table, error) {
-	db.mu.Lock()
+	db.mu.RLock()
 	t, ok := db.tables[name]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("table %q does not exist", name)
 	}

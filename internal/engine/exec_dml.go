@@ -116,10 +116,20 @@ func (ec *stmtCtx) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result)
 			return err
 		}
 		ec.txn.logUndo(t, undoInsert(t, r))
+		ec.txn.logRedo(redoInsertEntry(s.Table, r))
 		res.WrittenRefs = append(res.WrittenRefs, r.ref(s.Table))
 		res.RowsAffected++
 	}
 	return nil
+}
+
+// redoInsertEntry captures a freshly inserted version's immutable fields
+// for the transaction's WAL record.
+func redoInsertEntry(table string, r *storedRow) redoEntry {
+	return redoEntry{
+		kind: walInsert, table: table,
+		id: r.id, version: r.version, proc: r.proc, stmt: r.stmt, vals: r.vals,
+	}
 }
 
 // execUpdate applies an UPDATE. Provenance is captured by reenactment: the
@@ -202,6 +212,8 @@ func (ec *stmtCtx) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result)
 		r.endTxn = ec.txn.id
 		t.rows = append(t.rows, nv)
 		ec.txn.logUndo(t, undoUpdate(t, r, nv))
+		ec.txn.logRedo(redoEntry{kind: walEnd, table: s.Table, id: r.id, version: r.version, end: r.end})
+		ec.txn.logRedo(redoInsertEntry(s.Table, nv))
 		res.WrittenRefs = append(res.WrittenRefs, nv.ref(s.Table))
 		res.RowsAffected++
 	}
@@ -241,6 +253,7 @@ func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result)
 			}
 		}
 		ec.txn.logUndo(t, undoDelete(t, r))
+		ec.txn.logRedo(redoEntry{kind: walEnd, table: s.Table, id: r.id, version: r.version, end: r.end})
 		res.RowsAffected++
 	}
 	return nil

@@ -118,7 +118,7 @@ func (ec *stmtCtx) lockTables(ls lockSet) func() {
 	}
 	sort.Strings(names)
 
-	ec.db.mu.Lock()
+	ec.db.mu.RLock()
 	ec.tables = make(map[string]*Table, len(names))
 	locked := make([]*Table, 0, len(names))
 	writeMode := make([]bool, 0, len(names))
@@ -129,7 +129,7 @@ func (ec *stmtCtx) lockTables(ls lockSet) func() {
 			writeMode = append(writeMode, ls.writes[n])
 		}
 	}
-	ec.db.mu.Unlock()
+	ec.db.mu.RUnlock()
 
 	t0 := time.Now()
 	for i, t := range locked {

@@ -28,6 +28,16 @@ var (
 	hParse   = obs.GetHistogram("engine.parse_ns")
 	hLineage = obs.GetHistogram(obs.MetricLineageNS)
 
+	// Durability: WAL traffic (records, bytes, group-commit flushes and
+	// their latency) and what the last recovery replayed.
+	mWALAppends     = obs.GetCounter("wal.appends")
+	mWALBytes       = obs.GetCounter("wal.bytes")
+	mWALFlushes     = obs.GetCounter("wal.flushes")
+	mWALTruncations = obs.GetCounter("wal.truncations")
+	hWALFlush       = obs.GetHistogram("wal.flush_ns")
+	mRecoveredTxns  = obs.GetCounter("recovery.replayed_txns")
+	hRecoveryNS     = obs.GetHistogram("recovery.ns")
+
 	// Per-kind statement latency. Unknown statement types fall back to
 	// hExecOther.
 	hExecSelect = obs.GetHistogram("engine.exec_ns.select")

@@ -9,10 +9,23 @@ import (
 	"ldv/internal/sqlval"
 )
 
+// Checkpoint/WAL interplay: see wal.go for the log format and group-commit
+// scheme, recover.go for replay. Checkpoint below is the log's only
+// truncation point.
+
 // FileSystem is the minimal filesystem surface the engine needs to persist
 // its data directory. Both the simulated OS filesystem and the real disk
 // satisfy it; the DB server writes through the simulated one so that
 // file-granularity packagers (PTU) observe real data files.
+//
+// Atomicity contract: WriteFile must replace the file's contents
+// atomically with respect to crashes — after a failure mid-call, a reader
+// sees either the complete old contents or the complete new contents,
+// never a partial mix. (osim swaps an in-memory node; diskfs writes a
+// temporary file and renames it over the target.) Crash recovery leans on
+// this: checkpoint table files and the truncated WAL image are each
+// all-or-nothing, so torn state can only appear at the tail of an append
+// (FileAppender), where the WAL's record checksums detect and discard it.
 type FileSystem interface {
 	WriteFile(path string, data []byte) error
 	ReadFile(path string) ([]byte, error)
@@ -20,28 +33,90 @@ type FileSystem interface {
 	MkdirAll(path string) error
 }
 
+// FileAppender is the optional append extension. Unlike WriteFile, an
+// append interrupted by a crash may leave a prefix of the new bytes at the
+// file's tail. The WAL prefers appends (one flush per group commit instead
+// of rewriting the whole log) and tolerates the torn-tail semantics; when
+// the FileSystem does not implement it, the WAL falls back to atomic
+// whole-file rewrites of a mirrored image.
+type FileAppender interface {
+	AppendFile(path string, data []byte) error
+}
+
+// FileRemover is the optional delete extension. Checkpoint uses it to
+// retire the table files of dropped tables; without it a stale .tbl file
+// survives checkpoints and the table it holds reappears on the next
+// recovery once the WAL record of the DROP has been truncated away.
+type FileRemover interface {
+	Remove(path string) error
+}
+
 const tableFileMagic = "LDVTBL1\n"
 
 // Checkpoint writes every table to dir as <table>.tbl data files, creating
 // dir if needed. The checkpoint is a fresh snapshot's view: uncommitted
-// writes of transactions open at the time are excluded.
+// writes of transactions open at the time are excluded. When a WAL is
+// attached, a completed checkpoint also truncates the log records it
+// supersedes; see the protocol notes below.
+//
+// Truncation protocol: commits hold commitMu shared across their WAL
+// append and active-set removal, and Checkpoint holds it exclusively while
+// it copies the catalog, takes its snapshot, and records the log offset
+// (the cut). Every record before the cut therefore belongs to a
+// transaction the snapshot sees — it is fully contained in the table files
+// written below — and every commit the snapshot misses sits at or after
+// the cut, which truncateTo preserves. A crash anywhere in between leaves
+// old and new table files mixed with an untruncated log, which recovery
+// resolves by idempotent replay.
 func (db *DB) Checkpoint(fs FileSystem, dir string) error {
 	if err := fs.MkdirAll(dir); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	db.mu.Lock()
+	db.commitMu.Lock()
+	db.mu.RLock()
 	tables := make(map[string]*Table, len(db.tables))
 	for name, t := range db.tables {
 		tables[name] = t
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	snap := db.takeSnapshot(0)
+	wal := db.wal
+	var cut int64
+	if wal != nil {
+		cut = wal.Size()
+	}
+	db.commitMu.Unlock()
+
 	for name, t := range tables {
 		t.mu.RLock()
 		data := encodeTable(t, snap)
 		t.mu.RUnlock()
 		if err := fs.WriteFile(path.Join(dir, name+".tbl"), data); err != nil {
 			return fmt.Errorf("checkpoint table %s: %w", name, err)
+		}
+	}
+	// Retire table files whose tables were dropped: once the DROP's WAL
+	// record is truncated below, a stale file would resurrect the table.
+	if rm, ok := fs.(FileRemover); ok {
+		names, err := fs.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		for _, n := range names {
+			tn, isTbl := strings.CutSuffix(n, ".tbl")
+			if !isTbl {
+				continue
+			}
+			if _, live := tables[tn]; !live {
+				if err := rm.Remove(path.Join(dir, n)); err != nil {
+					return fmt.Errorf("checkpoint: retire %s: %w", n, err)
+				}
+			}
+		}
+	}
+	if wal != nil {
+		if err := wal.truncateTo(cut); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
 	return nil
@@ -203,12 +278,25 @@ func readString(b []byte) (string, []byte, error) {
 }
 
 // CreateTableFromSchema programmatically creates a table (bulk-load path).
+// Like SQL DDL it is WAL-logged when a log is attached; the rows bulk
+// loaders then push through InsertRowDirect/RestoreRow are not — those
+// paths bypass transactions entirely, and callers that need them durable
+// must Checkpoint afterwards (as the machine harness does).
 func (db *DB) CreateTableFromSchema(name string, schema Schema) error {
+	db.commitMu.RLock()
+	defer db.commitMu.RUnlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
+		db.mu.Unlock()
 		return fmt.Errorf("table %q already exists", name)
 	}
 	db.tables[name] = newTable(name, schema)
+	db.mu.Unlock()
+	if err := db.logDDL(redoEntry{kind: walCreate, table: name, schema: schema}); err != nil {
+		db.mu.Lock()
+		delete(db.tables, name)
+		db.mu.Unlock()
+		return err
+	}
 	return nil
 }

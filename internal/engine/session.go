@@ -61,13 +61,22 @@ func (s snapshot) visible(r *storedRow) bool {
 	return r.end > s.ts
 }
 
-// Txn is one session's open transaction: its identity in the active set, the
-// snapshot its reads run against, and the undo log its rollback replays.
+// Txn is one session's open transaction: its identity in the active set,
+// the snapshot its reads run against, the undo log its rollback replays,
+// and the redo log its commit appends to the WAL.
 type Txn struct {
 	id   int64
 	db   *DB
 	snap snapshot
 	undo []undoEntry
+	redo []redoEntry
+}
+
+// logRedo records one redo action for the WAL record this transaction
+// appends at commit. Statement-level rollback truncates back to the mark
+// its caller captured, mirroring the undo log.
+func (x *Txn) logRedo(e redoEntry) {
+	x.redo = append(x.redo, e)
 }
 
 // undoEntry is one compensating action together with the table it mutates,
@@ -262,10 +271,14 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		if s.txn == nil {
 			return finish(fmt.Errorf("no transaction is open"))
 		}
-		db.endTxn(s.txn.id)
+		err := db.commitTxn(s.txn)
 		s.txn = nil
-		mTxnCommits.Inc()
-		return finish(nil)
+		if err == nil {
+			mTxnCommits.Inc()
+		} else {
+			mTxnRollbacks.Inc()
+		}
+		return finish(err)
 	case *sqlparse.Rollback:
 		if s.txn == nil {
 			return finish(fmt.Errorf("no transaction is open"))
@@ -335,6 +348,7 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 	}
 	ec := &stmtCtx{db: db, snap: txn.snap, txn: txn}
 	mark := len(txn.undo)
+	rmark := len(txn.redo)
 	unlock := ec.lockTables(stmtTables(stmt))
 	var err error
 	switch st := stmt.(type) {
@@ -347,14 +361,20 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 	}
 	if err != nil {
 		// Statement-level atomicity: undo this statement's writes while its
-		// table locks are still held, inside or outside an explicit txn.
+		// table locks are still held, inside or outside an explicit txn —
+		// and drop its redo entries so they never reach the WAL.
 		if uerr := txn.undoFrom(mark); uerr != nil {
 			err = fmt.Errorf("%w (statement %v)", uerr, err)
 		}
+		txn.redo = txn.redo[:rmark]
 	}
 	unlock()
 	if implicit {
-		db.endTxn(txn.id) // commit (deregister) — or abort; undo already ran
+		if err != nil {
+			db.endTxn(txn.id) // abort; undo already ran, nothing to log
+			return err
+		}
+		return db.commitTxn(txn) // durability point of auto-commit DML
 	}
 	return err
 }

@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sync"
+	"time"
+
+	"ldv/internal/sqlval"
+)
+
+// Write-ahead logging. Every committed transaction appends one
+// length-prefixed, CRC-checksummed record to <dir>/wal.log *before* the
+// commit is acknowledged, so a crash between checkpoints loses nothing that
+// a client was told succeeded. Records hold logical redo entries — the tuple
+// versions a transaction produced and the end marks it placed — which
+// Recover replays idempotently over the latest checkpoint.
+//
+// Commit durability uses group commit: the first committer of a quiet
+// period becomes the flusher and writes every record that accumulated while
+// the previous flush was in flight as one append (the fsync-equivalent unit
+// on the FileSystem interface), so N concurrent sessions share O(1) flushes
+// instead of paying one each.
+//
+// A failed flush is sticky: the log's on-disk state is unknown (a torn
+// record may sit at the tail, and anything appended after it would be
+// unreachable to recovery), so the WAL refuses all further appends until a
+// restart re-opens it and truncates the tail. Commits in the failed batch
+// roll back and report the error — exactly the "not acknowledged" outcome
+// the crash matrix asserts on.
+
+// WALFileName is the log's file name inside the data directory.
+const WALFileName = "wal.log"
+
+const walMagic = "LDVWAL1\n"
+
+// walRecHeader is the per-record framing: a 4-byte little-endian payload
+// length followed by a 4-byte CRC32 (IEEE) of the payload.
+const walRecHeader = 8
+
+// walMaxRecord bounds a record's declared payload size during decoding, so
+// a corrupt length prefix cannot force a huge allocation.
+const walMaxRecord = 1 << 28
+
+// Redo entry kinds.
+const (
+	walInsert byte = 1 // a produced tuple version
+	walEnd    byte = 2 // an end mark (UPDATE's supersede or DELETE)
+	walCreate byte = 3 // CREATE TABLE
+	walDrop   byte = 4 // DROP TABLE
+)
+
+// redoEntry is one logical redo action. Insert entries capture the stored
+// row's immutable fields at log time; end entries capture the end timestamp
+// that was placed.
+type redoEntry struct {
+	kind    byte
+	table   string
+	id      RowID          // walInsert, walEnd
+	version uint64         // walInsert, walEnd: the version acted on
+	end     uint64         // walEnd: the end timestamp placed
+	proc    string         // walInsert
+	stmt    int64          // walInsert
+	vals    []sqlval.Value // walInsert
+	schema  Schema         // walCreate
+}
+
+// WAL is an append-only redo log over a FileSystem. It is safe for
+// concurrent use; see the package comment above for the batching scheme.
+type WAL struct {
+	fs       FileSystem
+	appender FileAppender // nil when fs cannot append; mirror is used instead
+	path     string
+
+	mu          sync.Mutex
+	notFlushing *sync.Cond
+	cur         *walBatch
+	flushing    bool
+	size        int64  // flushed bytes, including the magic header
+	mirror      []byte // full log contents; maintained only without appender
+	failed      error  // sticky flush failure
+}
+
+// walBatch accumulates the records of one group-commit flush.
+type walBatch struct {
+	buf  []byte
+	nrec int
+	done chan struct{}
+	err  error
+}
+
+// openWAL opens (or creates) the log file at dir/WALFileName, assuming its
+// contents are exactly `data` (the valid prefix the caller just scanned).
+func openWAL(fs FileSystem, dir string, data []byte) *WAL {
+	w := &WAL{fs: fs, path: path.Join(dir, WALFileName), size: int64(len(data))}
+	w.notFlushing = sync.NewCond(&w.mu)
+	if a, ok := fs.(FileAppender); ok {
+		w.appender = a
+	} else {
+		w.mirror = append([]byte(nil), data...)
+	}
+	return w
+}
+
+// Size returns the flushed length of the log in bytes (magic included).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Commit appends one framed record for the payload and returns once the
+// batch containing it has been flushed — the durability point.
+func (w *WAL) Commit(payload []byte) error {
+	rec := make([]byte, 0, walRecHeader+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+
+	w.mu.Lock()
+	if w.failed != nil {
+		w.mu.Unlock()
+		return w.failed
+	}
+	if w.cur == nil {
+		w.cur = &walBatch{done: make(chan struct{})}
+	}
+	b := w.cur
+	b.buf = append(b.buf, rec...)
+	b.nrec++
+	if !w.flushing {
+		w.flushing = true
+		w.mu.Unlock()
+		w.flushLoop()
+	} else {
+		w.mu.Unlock()
+	}
+	<-b.done
+	return b.err
+}
+
+// flushLoop drains pending batches. It is entered by the committer that
+// found no flush in progress and exits when no batch is pending, waking
+// anyone waiting for a quiet log (truncate).
+func (w *WAL) flushLoop() {
+	w.mu.Lock()
+	for w.cur != nil && w.failed == nil {
+		b := w.cur
+		w.cur = nil
+		w.mu.Unlock()
+
+		t0 := time.Now()
+		err := w.write(b.buf)
+		hWALFlush.Observe(time.Since(t0))
+		mWALFlushes.Inc()
+
+		w.mu.Lock()
+		if err == nil {
+			w.size += int64(len(b.buf))
+			mWALAppends.Add(int64(b.nrec))
+			mWALBytes.Add(int64(len(b.buf)))
+		} else {
+			w.failed = fmt.Errorf("wal flush: %w", err)
+		}
+		b.err = err
+		close(b.done)
+	}
+	if b := w.cur; b != nil { // failed while batches kept arriving
+		w.cur = nil
+		b.err = w.failed
+		close(b.done)
+	}
+	w.flushing = false
+	w.notFlushing.Broadcast()
+	w.mu.Unlock()
+}
+
+// write persists one batch: a single append when the filesystem supports
+// it, otherwise an atomic whole-file rewrite of the mirrored contents.
+func (w *WAL) write(buf []byte) error {
+	if w.appender != nil {
+		return w.appender.AppendFile(w.path, buf)
+	}
+	next := make([]byte, 0, len(w.mirror)+len(buf))
+	next = append(next, w.mirror...)
+	next = append(next, buf...)
+	if err := w.fs.WriteFile(w.path, next); err != nil {
+		return err
+	}
+	w.mirror = next
+	return nil
+}
+
+// truncateTo drops every byte before cut (an absolute offset captured while
+// commits were excluded), keeping the magic header and the tail. Called by
+// Checkpoint after the table files superseding those records are durable.
+func (w *WAL) truncateTo(cut int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.flushing {
+		w.notFlushing.Wait()
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	if cut <= int64(len(walMagic)) {
+		return nil // nothing before the cut but the header
+	}
+	var data []byte
+	if w.appender == nil {
+		data = w.mirror
+	} else {
+		d, err := w.fs.ReadFile(w.path)
+		if err != nil {
+			return fmt.Errorf("wal truncate: %w", err)
+		}
+		data = d
+	}
+	if cut > int64(len(data)) {
+		cut = int64(len(data))
+	}
+	next := make([]byte, 0, len(walMagic)+len(data)-int(cut))
+	next = append(next, walMagic...)
+	next = append(next, data[cut:]...)
+	if err := w.fs.WriteFile(w.path, next); err != nil {
+		return fmt.Errorf("wal truncate: %w", err)
+	}
+	w.size = int64(len(next))
+	if w.appender == nil {
+		w.mirror = next
+	}
+	mWALTruncations.Inc()
+	return nil
+}
+
+// ---- record encoding ----
+
+// encodeWALTxn serializes a committed transaction's redo entries into one
+// record payload: varint txn id, entry count, then the entries.
+func encodeWALTxn(txnID int64, redo []redoEntry) []byte {
+	var buf []byte
+	buf = binary.AppendVarint(buf, txnID)
+	buf = binary.AppendUvarint(buf, uint64(len(redo)))
+	for _, e := range redo {
+		buf = append(buf, e.kind)
+		buf = appendString(buf, e.table)
+		switch e.kind {
+		case walInsert:
+			buf = binary.AppendUvarint(buf, uint64(e.id))
+			buf = binary.AppendUvarint(buf, e.version)
+			buf = appendString(buf, e.proc)
+			buf = binary.AppendVarint(buf, e.stmt)
+			buf = sqlval.EncodeRow(buf, e.vals)
+		case walEnd:
+			buf = binary.AppendUvarint(buf, uint64(e.id))
+			buf = binary.AppendUvarint(buf, e.version)
+			buf = binary.AppendUvarint(buf, e.end)
+		case walCreate:
+			buf = binary.AppendUvarint(buf, uint64(len(e.schema.Columns)))
+			for _, c := range e.schema.Columns {
+				buf = appendString(buf, c.Name)
+				buf = append(buf, byte(c.Type))
+				if c.PrimaryKey {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+		case walDrop:
+		}
+	}
+	return buf
+}
+
+// decodeWALTxn parses one record payload. It is the inverse of
+// encodeWALTxn and must never panic on corrupt input (fuzzed).
+func decodeWALTxn(payload []byte) (int64, []redoEntry, error) {
+	txnID, n := binary.Varint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wal record: bad txn id")
+	}
+	b := payload[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("wal record: bad entry count")
+	}
+	b = b[n:]
+	entries := make([]redoEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) == 0 {
+			return 0, nil, fmt.Errorf("wal record: truncated entry")
+		}
+		e := redoEntry{kind: b[0]}
+		b = b[1:]
+		var err error
+		e.table, b, err = readString(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch e.kind {
+		case walInsert:
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad row id")
+			}
+			b = b[n:]
+			e.id = RowID(id)
+			e.version, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad version")
+			}
+			b = b[n:]
+			e.proc, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.stmt, n = binary.Varint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad stmt id")
+			}
+			b = b[n:]
+			vals, used, err := sqlval.DecodeRow(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.vals = vals
+			b = b[used:]
+		case walEnd:
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad row id")
+			}
+			b = b[n:]
+			e.id = RowID(id)
+			e.version, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad version")
+			}
+			b = b[n:]
+			e.end, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad end timestamp")
+			}
+			b = b[n:]
+		case walCreate:
+			ncols, n := binary.Uvarint(b)
+			if n <= 0 || ncols > uint64(len(b))+1 {
+				return 0, nil, fmt.Errorf("wal record: bad column count")
+			}
+			b = b[n:]
+			for c := uint64(0); c < ncols; c++ {
+				var cname string
+				cname, b, err = readString(b)
+				if err != nil {
+					return 0, nil, err
+				}
+				if len(b) < 2 {
+					return 0, nil, fmt.Errorf("wal record: truncated column def")
+				}
+				e.schema.Columns = append(e.schema.Columns, Column{
+					Name: cname, Type: sqlval.Kind(b[0]), PrimaryKey: b[1] == 1,
+				})
+				b = b[2:]
+			}
+		case walDrop:
+		default:
+			return 0, nil, fmt.Errorf("wal record: unknown entry kind %d", e.kind)
+		}
+		entries = append(entries, e)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("wal record: %d trailing bytes", len(b))
+	}
+	return txnID, entries, nil
+}
+
+// scanWAL walks the framed records of a log image, calling fn for each
+// record that frames and checksums correctly, and returns the byte length
+// of the valid prefix. Decoding stops at the first torn or corrupt record:
+// everything from there on is the un-acknowledged tail a crash may leave.
+func scanWAL(data []byte, fn func(payload []byte) error) (int64, error) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("bad wal magic")
+	}
+	off := int64(len(walMagic))
+	b := data[len(walMagic):]
+	for len(b) >= walRecHeader {
+		l := binary.LittleEndian.Uint32(b)
+		sum := binary.LittleEndian.Uint32(b[4:])
+		if l > walMaxRecord || int(l) > len(b)-walRecHeader {
+			break // torn tail: length prefix promises more than exists
+		}
+		payload := b[walRecHeader : walRecHeader+int(l)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn tail: partially written payload
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, err
+			}
+		}
+		off += walRecHeader + int64(l)
+		b = b[walRecHeader+int(l):]
+	}
+	return off, nil
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"ldv/internal/sqlval"
+)
+
+// FuzzWALDecode asserts the record payload decoder never panics on arbitrary
+// bytes — a torn write can hand it anything that happens to checksum
+// correctly (e.g. corruption introduced before the CRC was computed).
+func FuzzWALDecode(f *testing.F) {
+	f.Add(encodeWALTxn(1, []redoEntry{
+		{kind: walCreate, table: "t", schema: Schema{Columns: []Column{
+			{Name: "k", Type: sqlval.KindInt, PrimaryKey: true},
+			{Name: "v", Type: sqlval.KindString},
+		}}},
+		{kind: walInsert, table: "t", id: 1, version: 2, proc: "p", stmt: 1,
+			vals: []sqlval.Value{sqlval.NewInt(1), sqlval.NewString("x")}},
+		{kind: walEnd, table: "t", id: 1, version: 2, end: 9},
+		{kind: walDrop, table: "t"},
+	}))
+	f.Add(encodeWALTxn(-42, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		_, _, _ = decodeWALTxn(payload) // must not panic
+	})
+}
+
+// FuzzWALScan asserts the log scanner never panics and never claims a valid
+// prefix longer than the input — the property recovery's torn-tail
+// truncation relies on.
+func FuzzWALScan(f *testing.F) {
+	log := []byte(walMagic)
+	fs := newMapFS()
+	db := NewDB(nil)
+	if _, err := db.Recover(fs, "/d"); err == nil {
+		if _, err := db.Exec("CREATE TABLE t (k INT)", ExecOptions{}); err == nil {
+			_, _ = db.Exec("INSERT INTO t VALUES (1)", ExecOptions{})
+		}
+		if data, err := fs.ReadFile("/d/" + WALFileName); err == nil {
+			log = data
+		}
+	}
+	f.Add(log)
+	f.Add([]byte(walMagic))
+	f.Add([]byte("not a wal"))
+	f.Add(append([]byte(walMagic), 0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		valid, err := scanWAL(data, func(p []byte) error {
+			_, _, _ = decodeWALTxn(p)
+			return nil
+		})
+		if err == nil && valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input length %d", valid, len(data))
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// memFS is a minimal Inner for the tests.
+type memFS struct {
+	files map[string][]byte
+}
+
+func newMemFS() *memFS { return &memFS{files: map[string][]byte{}} }
+
+func (m *memFS) WriteFile(p string, data []byte) error {
+	m.files[p] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memFS) AppendFile(p string, data []byte) error {
+	m.files[p] = append(m.files[p], data...)
+	return nil
+}
+
+func (m *memFS) ReadFile(p string) ([]byte, error) {
+	d, ok := m.files[p]
+	if !ok {
+		return nil, fmt.Errorf("not found: %s", p)
+	}
+	return d, nil
+}
+
+func (m *memFS) ReadDir(string) ([]string, error) { return nil, nil }
+func (m *memFS) MkdirAll(string) error            { return nil }
+func (m *memFS) Remove(p string) error            { delete(m.files, p); return nil }
+
+func TestNoCrashPassesThrough(t *testing.T) {
+	inner := newMemFS()
+	fs := New(inner, 0, 0)
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendFile("/a", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/a"); string(got) != "xy" {
+		t.Fatalf("contents = %q", got)
+	}
+	if fs.Ops() != 2 || fs.Crashed() {
+		t.Fatalf("ops=%d crashed=%v", fs.Ops(), fs.Crashed())
+	}
+}
+
+func TestCrashingWriteIsAtomic(t *testing.T) {
+	inner := newMemFS()
+	inner.files["/a"] = []byte("old")
+	fs := New(inner, 1, 0.5)
+	if err := fs.WriteFile("/a", []byte("new")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// The write at the crash point takes no effect: old contents survive.
+	if string(inner.files["/a"]) != "old" {
+		t.Fatalf("contents = %q, want old", inner.files["/a"])
+	}
+	if !fs.Crashed() {
+		t.Fatal("must report crashed")
+	}
+}
+
+func TestCrashingAppendLandsPrefix(t *testing.T) {
+	for _, tc := range []struct {
+		frac float64
+		want string
+	}{{0, "base"}, {0.5, "base1234"}, {1, "base12345678"}} {
+		inner := newMemFS()
+		inner.files["/log"] = []byte("base")
+		fs := New(inner, 1, tc.frac)
+		err := fs.AppendFile("/log", []byte("12345678"))
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("frac %g: err = %v", tc.frac, err)
+		}
+		if got := string(inner.files["/log"]); got != tc.want {
+			t.Fatalf("frac %g: contents = %q, want %q", tc.frac, got, tc.want)
+		}
+	}
+}
+
+func TestEverythingFailsAfterCrash(t *testing.T) {
+	inner := newMemFS()
+	inner.files["/a"] = []byte("x")
+	fs := New(inner, 2, 0)
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing remove: %v", err)
+	}
+	// The crashing remove took no effect, and now the machine is dead.
+	if _, ok := inner.files["/a"]; !ok {
+		t.Fatal("crashing remove must not apply")
+	}
+	if err := fs.WriteFile("/b", nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if _, err := fs.ReadFile("/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if _, err := fs.ReadDir("/"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readdir: %v", err)
+	}
+	if fs.Ops() != 2 {
+		t.Fatalf("ops = %d, want 2 (post-crash ops not counted)", fs.Ops())
+	}
+}

@@ -41,3 +41,14 @@ func (c *Clock) Now() uint64 {
 	defer c.mu.Unlock()
 	return c.t
 }
+
+// AdvanceTo moves the clock to at least t (engine.ClockAdvancer). Crash
+// recovery uses it so ticks after a restart sort strictly after every
+// timestamp the restored state carries.
+func (c *Clock) AdvanceTo(t uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.t < t {
+		c.t = t
+	}
+}

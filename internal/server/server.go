@@ -45,8 +45,9 @@ type Server struct {
 	// through logf, which relies on exactly this invariant.
 	logger *log.Logger
 
-	mu sync.Mutex
-	fs engine.FileSystem
+	mu  sync.Mutex
+	fs  engine.FileSystem
+	dur *durability // non-nil once EnableDurability succeeds
 }
 
 // New returns a server over db. logger may be nil to disable logging; it
