@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz recover-bench clean
+.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench ops-demo clean
 
 all: build vet test
 
@@ -20,11 +20,13 @@ test:
 	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/server/...
 
 # Full verification: vet, the docs lint (every package needs a godoc
-# comment), the durability crash matrix under the race detector, then the
-# whole tree under the race detector.
+# comment), the trace lint (every span started on the request path must be
+# ended via defer), the durability crash matrix under the race detector,
+# then the whole tree under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) test -run TestPackageDocComments .
+	$(GO) test -run TestSpanEndDiscipline .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
 	$(GO) test -race ./...
 
@@ -42,17 +44,39 @@ examples:
 experiments:
 	$(GO) run ./cmd/ldv-bench -exp all
 
-# Short fuzzing pass over the parser and codecs.
+# Short fuzzing pass over the parser, codecs, and ops endpoint.
 fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzTraceContext -fuzztime 30s
 	$(GO) test ./internal/sqlval -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/engine -fuzz FuzzWALDecode -fuzztime 30s
 	$(GO) test ./internal/engine -fuzz FuzzWALScan -fuzztime 30s
+	$(GO) test ./internal/ops -fuzz FuzzTracesHandler -fuzztime 30s
 
 # WAL overhead and recovery-time measurements (EXPERIMENTS.md "Durability").
 recover-bench:
 	$(GO) run ./cmd/ldv-bench -exp durability | tee results/durability.txt
+
+# Request-tracing overhead on a read-only workload (budget: <5%).
+trace-bench:
+	$(GO) run ./cmd/ldv-bench -exp tracing | tee results/tracing.txt
+
+# Boot a throwaway ldvdb with the ops endpoint enabled and show /metrics —
+# the 30-second demo of the observability surface. Cleans up after itself.
+ops-demo:
+	@rm -rf /tmp/ldv-ops-demo && mkdir -p /tmp/ldv-ops-demo
+	@$(GO) build -o /tmp/ldv-ops-demo/ldvdb ./cmd/ldvdb
+	@/tmp/ldv-ops-demo/ldvdb -addr 127.0.0.1:15544 -data /tmp/ldv-ops-demo/data -ops 127.0.0.1:18089 & \
+	pid=$$!; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+		curl -sf http://127.0.0.1:18089/metrics > /dev/null 2>&1 && break; \
+		sleep 0.3; \
+	done; \
+	echo "== GET /metrics =="; curl -sf http://127.0.0.1:18089/metrics | head -30; \
+	echo "== GET /traces =="; curl -sf http://127.0.0.1:18089/traces; echo; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	rm -rf /tmp/ldv-ops-demo
 
 clean:
 	rm -f *.ldvpkg test_output.txt bench_output.txt

@@ -3,25 +3,32 @@
 //
 // Usage:
 //
-//	ldvdb -addr 127.0.0.1:5544 -data ./ldvdata [-init schema.sql]
+//	ldvdb -addr 127.0.0.1:5544 -data ./ldvdata [-init schema.sql] [-ops :8089]
 //
 // Connect with ldvsql. Commits are written ahead to a WAL in the data
 // directory before they are acknowledged; on startup the server recovers the
 // latest checkpoint and replays the WAL tail, and a background checkpointer
 // truncates the log. On SIGINT the server takes a final checkpoint and exits.
+//
+// With -ops the server also exposes an operations HTTP endpoint serving
+// Prometheus metrics (/metrics), the request-trace flight recorder
+// (/traces), and net/http/pprof profiles (/debug/pprof/).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"ldv/internal/diskfs"
 	"ldv/internal/engine"
+	"ldv/internal/obs"
+	obslog "ldv/internal/obs/log"
+	"ldv/internal/ops"
 	"ldv/internal/server"
 )
 
@@ -32,31 +39,35 @@ func main() {
 		initFile = flag.String("init", "", "SQL script to run at startup (e.g. schema + load)")
 		ckpt     = flag.Duration("checkpoint", time.Minute, "background checkpoint interval (0 disables)")
 		quiet    = flag.Bool("quiet", false, "disable session logging")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		opsAddr  = flag.String("ops", "", "operations HTTP endpoint address (e.g. :8089; empty disables)")
+		slow     = flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *initFile, *ckpt, *quiet); err != nil {
+	if err := run(*addr, *dataDir, *initFile, *opsAddr, *ckpt, *slow, *quiet, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "ldvdb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, initFile string, ckpt time.Duration, quiet bool) error {
+func run(addr, dataDir, initFile, opsAddr string, ckpt, slow time.Duration, quiet bool, logLevel string) error {
 	fs := diskfs.New(dataDir)
 	db := engine.NewDB(nil)
 
-	var logger *log.Logger
+	var logger *obslog.Logger
 	if !quiet {
-		logger = log.New(os.Stderr, "ldvdb ", log.LstdFlags)
+		logger = obslog.New(os.Stderr, obslog.ParseLevel(logLevel))
 	}
 	srv := server.New(db, logger)
 	srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
+	srv.SetSlowQueryThreshold(slow)
 
 	stats, err := srv.EnableDurability(fs, "/", ckpt)
 	if err != nil {
 		return fmt.Errorf("recover data dir: %w", err)
 	}
-	log.Printf("recovered %d tables from %s (replayed %d txns from WAL)",
-		stats.Tables, dataDir, stats.ReplayedTxns)
+	logger.Info("recovered", "tables", int64(stats.Tables), "data", dataDir,
+		"replayed_txns", int64(stats.ReplayedTxns))
 
 	if initFile != "" {
 		script, err := os.ReadFile(initFile)
@@ -66,22 +77,36 @@ func run(addr, dataDir, initFile string, ckpt time.Duration, quiet bool) error {
 		if _, err := db.ExecScript(string(script), engine.ExecOptions{}); err != nil {
 			return fmt.Errorf("init script: %w", err)
 		}
-		log.Printf("ran init script %s", initFile)
+		logger.Info("ran init script", "file", initFile)
+	}
+
+	if opsAddr != "" {
+		ol, err := net.Listen("tcp", opsAddr)
+		if err != nil {
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		go func() {
+			logger.Info("ops endpoint listening", "addr", ol.Addr().String())
+			if err := http.Serve(ol, ops.Handler(obs.Default())); err != nil {
+				logger.Error("ops endpoint stopped", "err", err)
+			}
+		}()
+		defer ol.Close()
 	}
 
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (data: %s)", addr, dataDir)
+	logger.Info("listening", "addr", addr, "data", dataDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
 		<-sig
-		log.Printf("checkpointing to %s", dataDir)
+		logger.Info("checkpointing", "data", dataDir)
 		if err := srv.Close(); err != nil {
-			log.Printf("final checkpoint failed: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 		}
 		l.Close()
 	}()

@@ -324,6 +324,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"fig9":        Fig9,
 		"vmi":         VMIComparison,
 		"overhead":    Overhead,
+		"tracing":     TracingOverhead,
 		"concurrency": Concurrency,
 		"durability":  Durability,
 		"ablation": func(cfg Config, w io.Writer) error {
@@ -340,7 +341,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "concurrency", "durability", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "concurrency", "durability", "ablation"}
 }
 
 // RunAll executes every experiment in order.

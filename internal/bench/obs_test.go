@@ -116,3 +116,24 @@ func TestReplayProducesSpans(t *testing.T) {
 		t.Fatalf("phase report missing bench.replay:\n%s", buf.String())
 	}
 }
+
+// TestTracingOverheadExperiment smoke-tests the tracing-overhead experiment:
+// it must run to completion, report both modes and the overhead line, and
+// leave completed request traces in the flight recorder. The <5% budget is
+// asserted by the recorded results, not here — wall-clock ratios under a
+// loaded test runner are too noisy to gate CI on.
+func TestTracingOverheadExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := TracingOverhead(smallConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NoTrace baseline", "Traced", "Overhead:", "flight recorder:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tracing output missing %q:\n%s", want, out)
+		}
+	}
+	if len(obs.Traces()) == 0 {
+		t.Fatal("traced rounds left no traces in the flight recorder")
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+	"ldv/internal/server"
+	"ldv/internal/tpch"
+)
+
+// TracingOverhead measures what end-to-end request tracing costs on a
+// read-only workload: the same TPC-H point and aggregate SELECTs run through
+// client.Conn against an in-process server once with tracing on (root span
+// per query, trace-context header on the wire, server/engine spans, flight
+// recorder) and once dialed with NoTrace, which suppresses every span on
+// both ends. Rounds alternate between the modes so clock drift and cache
+// warmth hit both sides equally, and each mode is scored by its fastest
+// round — the standard microbenchmark defense against scheduler noise.
+// The budget for the feature is <5% on this workload.
+func TracingOverhead(cfg Config, w io.Writer) error {
+	const (
+		opsPerRound = 400
+		rounds      = 5
+	)
+
+	obs.Reset()
+	db := engine.NewDB(nil)
+	if _, err := tpch.Load(db, cfg.TPCH()); err != nil {
+		return err
+	}
+	srv := server.New(db, nil)
+	dialer := pipeDialer{srv}
+
+	reads := []string{
+		"SELECT COUNT(*) FROM supplier",
+		"SELECT SUM(s_acctbal) FROM supplier",
+		"SELECT n_name FROM nation WHERE n_nationkey = 7",
+		"SELECT c_name FROM customer WHERE c_custkey = 13",
+	}
+	runRound := func(noTrace bool, ops int) (time.Duration, error) {
+		conn, err := client.Dial(dialer, "pipe", client.Options{Proc: "trace-bench", NoTrace: noTrace})
+		if err != nil {
+			return 0, err
+		}
+		defer conn.Close()
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := conn.Query(reads[i%len(reads)]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both paths: parser and catalog caches, pipe plumbing, and the
+	// trace machinery's lazy metric registrations.
+	for _, noTrace := range []bool{true, false} {
+		if _, err := runRound(noTrace, opsPerRound/4); err != nil {
+			return err
+		}
+	}
+
+	best := map[bool]time.Duration{}
+	for r := 0; r < rounds; r++ {
+		for _, noTrace := range []bool{true, false} {
+			elapsed, err := runRound(noTrace, opsPerRound)
+			if err != nil {
+				return err
+			}
+			if cur, ok := best[noTrace]; !ok || elapsed < cur {
+				best[noTrace] = elapsed
+			}
+		}
+	}
+
+	baseline, traced := best[true], best[false]
+	overhead := float64(traced-baseline) / float64(baseline) * 100
+	snap := obs.TakeSnapshot()
+	traces := obs.Traces()
+	var spans int
+	for _, tr := range traces {
+		spans += len(tr.Spans)
+	}
+
+	fmt.Fprintf(w, "Tracing overhead (read-only): SF %g, %d SELECTs/round, best of %d alternating rounds\n",
+		cfg.SF, opsPerRound, rounds)
+	fmt.Fprintf(w, "%-28s %12s %14s\n", "Mode", "Round ms", "Per query us")
+	perQuery := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(opsPerRound)
+	}
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "NoTrace baseline", ms(baseline), perQuery(baseline))
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "Traced", ms(traced), perQuery(traced))
+	fmt.Fprintf(w, "Overhead: %.2f%% (budget: <5%%)\n", overhead)
+	fmt.Fprintf(w, "flight recorder: %d traces retained, %d spans; %d client.query spans recorded in total\n",
+		len(traces), spans, snap.Histogram("span.client.query").Count)
+	return nil
+}

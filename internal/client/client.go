@@ -74,6 +74,7 @@ type Conn struct {
 	interceptors []Interceptor
 	closed       bool
 	inTxn        bool // server-reported transaction state from the last Ready
+	noTrace      bool
 }
 
 // Options configure Dial.
@@ -84,7 +85,15 @@ type Options struct {
 	Database string
 	// Interceptors are invoked in order for every statement.
 	Interceptors []Interceptor
+	// NoTrace disables request tracing: no root span, no trace-context
+	// header on queries, no "trace" startup option. This is the untraced
+	// baseline the tracing-overhead benchmark measures against.
+	NoTrace bool
 }
+
+// TraceOption is the Startup option string announcing that the client
+// originates traces and the server should record spans that join them.
+const TraceOption = "trace"
 
 // Dial opens a session via d to addr. If an interceptor fully handles
 // queries (replay mode), pass a ReplayDialer that succeeds without a server.
@@ -93,9 +102,13 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{nc: nc, proc: opts.Proc, interceptors: opts.Interceptors}
+	c := &Conn{nc: nc, proc: opts.Proc, interceptors: opts.Interceptors, noTrace: opts.NoTrace}
 	if nc != nil {
-		if err := wire.Write(nc, wire.Startup{Proc: opts.Proc, Database: opts.Database}); err != nil {
+		st := wire.Startup{Proc: opts.Proc, Database: opts.Database}
+		if !opts.NoTrace {
+			st.Options = []string{TraceOption}
+		}
+		if err := wire.Write(nc, st); err != nil {
 			nc.Close()
 			return nil, err
 		}
@@ -168,10 +181,51 @@ func (c *Conn) Stats() (*obs.Snapshot, error) {
 	if c.nc == nil {
 		return obs.TakeSnapshot(), nil
 	}
-	if err := wire.Write(c.nc, wire.Stats{}); err != nil {
+	data, err := c.statsRoundTrip(wire.StatsKindMetrics)
+	if err != nil {
 		return nil, err
 	}
-	var snap *obs.Snapshot
+	return obs.ParseSnapshot(data)
+}
+
+// Traces fetches the server's flight recorder — its completed request
+// traces, newest-first — via the wire Stats extension. Fully-replayed
+// sessions return the local process's flight recorder.
+func (c *Conn) Traces() ([]obs.TraceRecord, error) {
+	if c.closed {
+		return nil, fmt.Errorf("connection closed")
+	}
+	if c.nc == nil {
+		return obs.Traces(), nil
+	}
+	data, err := c.statsRoundTrip(wire.StatsKindTraces)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseTraces(data)
+}
+
+// SetTraceContext sets the server session's default trace context
+// (fire-and-forget): statements without their own per-query header join it
+// until the next call. A zero context clears the default. No-op for
+// replay-only sessions.
+func (c *Conn) SetTraceContext(sc obs.SpanContext) error {
+	if c.closed {
+		return fmt.Errorf("connection closed")
+	}
+	if c.nc == nil {
+		return nil
+	}
+	return wire.Write(c.nc, wire.TraceContext{Context: sc})
+}
+
+// statsRoundTrip issues one Stats request of the given kind and returns the
+// JSON document from the StatsResult.
+func (c *Conn) statsRoundTrip(kind byte) ([]byte, error) {
+	if err := wire.Write(c.nc, wire.Stats{Kind: kind}); err != nil {
+		return nil, err
+	}
+	var data []byte
 	for {
 		msg, err := wire.Read(c.nc)
 		if err != nil {
@@ -179,10 +233,7 @@ func (c *Conn) Stats() (*obs.Snapshot, error) {
 		}
 		switch m := msg.(type) {
 		case wire.StatsResult:
-			snap, err = obs.ParseSnapshot(m.JSON)
-			if err != nil {
-				return nil, err
-			}
+			data = m.JSON
 		case wire.Error:
 			// Drain the Ready that follows an error.
 			if next, rerr := wire.Read(c.nc); rerr == nil {
@@ -195,10 +246,10 @@ func (c *Conn) Stats() (*obs.Snapshot, error) {
 			return nil, fmt.Errorf("server error: %s", m.Message)
 		case wire.Ready:
 			c.inTxn = m.InTxn
-			if snap == nil {
+			if data == nil {
 				return nil, fmt.Errorf("protocol error: Ready before StatsResult")
 			}
-			return snap, nil
+			return data, nil
 		default:
 			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
 		}
@@ -211,11 +262,23 @@ func (c *Conn) notifyAfter(info QueryInfo, res *engine.Result, err error) {
 	}
 }
 
+// roundTrip sends one Query and collects the response stream. Unless the
+// connection was dialed with NoTrace, the statement runs under a fresh root
+// span whose context rides the Query frame; server, engine, and WAL spans
+// join it, and the deferred End — which runs after the final Ready has been
+// read, i.e. after the server recorded its spans — seals the trace into the
+// flight recorder.
 func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
-	if err := wire.Write(c.nc, wire.Query{SQL: info.SQL, WithLineage: info.WithLineage}); err != nil {
+	var sp *obs.Span
+	if !c.noTrace {
+		sp = obs.StartSpan("client.query").SetAttr("sql", info.SQL)
+	}
+	defer sp.End()
+	q := wire.Query{SQL: info.SQL, WithLineage: info.WithLineage, Trace: sp.Context()}
+	if err := wire.Write(c.nc, q); err != nil {
 		return nil, err
 	}
-	res := &engine.Result{}
+	res := &engine.Result{TraceID: traceIDString(sp)}
 	var sawLineage bool
 	for {
 		msg, err := wire.Read(c.nc)
@@ -275,6 +338,15 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
 		}
 	}
+}
+
+// traceIDString renders a span's trace identity for Result stamping (""
+// when tracing is off).
+func traceIDString(sp *obs.Span) string {
+	if sp == nil {
+		return ""
+	}
+	return sp.TraceID().String()
 }
 
 // Close terminates the session.

@@ -82,7 +82,7 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 			db.endTxn(txn.id)
 			return nil, err
 		}
-		if cerr := db.commitTxn(txn); cerr != nil {
+		if cerr := db.commitTxn(txn, opts.Span); cerr != nil {
 			return nil, cerr
 		}
 	} else if err != nil {

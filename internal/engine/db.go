@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ldv/internal/obs"
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
 )
@@ -39,6 +40,11 @@ type ExecOptions struct {
 	// WithLineage requests Lineage computation for queries and reenactment
 	// provenance for updates, regardless of the PROVENANCE keyword.
 	WithLineage bool
+	// Span, when non-nil, is the parent span of this execution (typically
+	// the server's per-request span): the engine's plan/exec/WAL child spans
+	// attach to it and the Result is stamped with its trace ID. Nil disables
+	// engine span recording.
+	Span *obs.Span
 }
 
 // Result is the outcome of one statement execution.
@@ -66,6 +72,11 @@ type Result struct {
 	// return the full provenance tuples inline; LDV's packager persists
 	// them to CSV. Only populated when lineage was requested.
 	TupleValues map[TupleRef][]sqlval.Value
+	// TraceID is the hex trace identity of the request that executed the
+	// statement ("" when tracing is off). The client sets it from its root
+	// span; the auditor stamps it into provenance edges and the session log
+	// so a package answers "which trace wrote this tuple version".
+	TraceID string
 }
 
 // DB is an in-memory relational database with provenance support and MVCC
@@ -261,14 +272,14 @@ func (db *DB) logDDL(e redoEntry) error {
 // set, so success here — the acknowledgment the caller relays — implies
 // durability. On a flush failure the transaction rolls back instead: the
 // client sees an error and the in-memory state matches the log.
-func (db *DB) commitTxn(x *Txn) error {
+func (db *DB) commitTxn(x *Txn, parent *obs.Span) error {
 	db.commitMu.RLock()
 	if db.wal == nil || len(x.redo) == 0 {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
 		return nil
 	}
-	err := db.wal.Commit(encodeWALTxn(x.id, x.redo))
+	err := db.walCommit(x, parent)
 	if err == nil {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
@@ -279,6 +290,14 @@ func (db *DB) commitTxn(x *Txn) error {
 		return fmt.Errorf("commit: %w (rollback: %v)", err, rerr)
 	}
 	return fmt.Errorf("commit: %w", err)
+}
+
+// walCommit flushes the transaction's redo record, under a wal.commit span
+// so a trace attributes group-commit latency to the request that paid it.
+func (db *DB) walCommit(x *Txn, parent *obs.Span) error {
+	sp := parent.Child("wal.commit")
+	defer sp.End()
+	return db.wal.Commit(encodeWALTxn(x.id, x.redo))
 }
 
 // lookupTable resolves a table name under the catalog lock.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ldv/internal/obs"
 	"ldv/internal/sqlparse"
 )
 
@@ -251,6 +252,9 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 	db := s.db
 	t0 := time.Now()
 	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
+	if opts.Span != nil {
+		res.TraceID = opts.Span.TraceID().String()
+	}
 	finish := func(err error) (*Result, error) {
 		res.End = db.clock.Tick()
 		observeStatement(stmt, res, err, time.Since(t0))
@@ -271,7 +275,7 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		if s.txn == nil {
 			return finish(fmt.Errorf("no transaction is open"))
 		}
-		err := db.commitTxn(s.txn)
+		err := db.commitTxn(s.txn, opts.Span)
 		s.txn = nil
 		if err == nil {
 			mTxnCommits.Inc()
@@ -330,8 +334,10 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 	} else {
 		ec.snap = s.db.takeSnapshot(0)
 	}
-	unlock := ec.lockTables(stmtTables(sel))
+	unlock := ec.plan(sel, opts.Span)
 	defer unlock()
+	sp := opts.Span.Child("engine.exec")
+	defer sp.End()
 	return ec.execSelect(sel, opts, res)
 }
 
@@ -346,10 +352,29 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 	if implicit {
 		txn = db.beginTxn()
 	}
-	ec := &stmtCtx{db: db, snap: txn.snap, txn: txn}
+	err := s.applyDML(stmt, opts, res, txn)
+	if implicit {
+		if err != nil {
+			db.endTxn(txn.id) // abort; undo already ran, nothing to log
+			return err
+		}
+		return db.commitTxn(txn, opts.Span) // durability point of auto-commit DML
+	}
+	return err
+}
+
+// applyDML performs the mutation under the statement's table locks with
+// statement-level atomicity. Split from execDMLStmt so the engine.exec span
+// closes when the locks release, before any commit work (wal.commit gets its
+// own span).
+func (s *Session) applyDML(stmt sqlparse.Statement, opts ExecOptions, res *Result, txn *Txn) error {
+	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn}
 	mark := len(txn.undo)
 	rmark := len(txn.redo)
-	unlock := ec.lockTables(stmtTables(stmt))
+	unlock := ec.plan(stmt, opts.Span)
+	defer unlock()
+	sp := opts.Span.Child("engine.exec")
+	defer sp.End()
 	var err error
 	switch st := stmt.(type) {
 	case *sqlparse.Insert:
@@ -368,14 +393,6 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 		}
 		txn.redo = txn.redo[:rmark]
 	}
-	unlock()
-	if implicit {
-		if err != nil {
-			db.endTxn(txn.id) // abort; undo already ran, nothing to log
-			return err
-		}
-		return db.commitTxn(txn) // durability point of auto-commit DML
-	}
 	return err
 }
 
@@ -387,6 +404,15 @@ type stmtCtx struct {
 	snap   snapshot
 	txn    *Txn
 	tables map[string]*Table
+}
+
+// plan resolves and locks the statement's table footprint under an
+// engine.plan span — lock acquisition is the dominant plan-phase cost, so
+// the span makes lock contention visible in a request's waterfall.
+func (ec *stmtCtx) plan(stmt sqlparse.Statement, parent *obs.Span) func() {
+	sp := parent.Child("engine.plan")
+	defer sp.End()
+	return ec.lockTables(stmtTables(stmt))
 }
 
 // table resolves a name against the statement's locked footprint.

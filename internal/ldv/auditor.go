@@ -309,6 +309,7 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 		mAudLogEntries.Inc()
 		return
 	}
+	entry.TraceID = res.TraceID
 	entry.Columns = res.Columns
 	entry.RowsAffected = res.RowsAffected
 	for _, row := range res.Rows {
@@ -326,9 +327,12 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 		return
 	}
 	n.Attrs["sql"] = info.SQL
+	if res.TraceID != "" {
+		n.Attrs["trace"] = res.TraceID
+	}
 	procNode := a.ensureProc(pid)
 	iv := prov.Interval{Begin: res.Start, End: res.End}
-	_, _ = a.trace.AddEdge(procNode, stmtNode, prov.EdgeRun, iv)
+	_, _ = a.trace.AddEdgeTraced(procNode, stmtNode, prov.EdgeRun, iv, res.TraceID)
 
 	// hasRead edges: every tuple version in some result row's lineage or in
 	// the DML read set.
@@ -343,7 +347,7 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 	}
 	for ref := range readSet {
 		tupleNode := a.ensureTuple(ref)
-		_, _ = a.trace.AddEdge(tupleNode, stmtNode, prov.EdgeHasRead, iv)
+		_, _ = a.trace.AddEdgeTraced(tupleNode, stmtNode, prov.EdgeHasRead, iv, res.TraceID)
 		a.tupleFetched++
 		mTuplesFetched.Inc()
 		// Relevant-tuple rule (§VII-D): read by the application and not
@@ -373,7 +377,7 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 	writtenByRow := map[engine.RowID]engine.TupleRef{}
 	for _, ref := range res.WrittenRefs {
 		tupleNode := a.ensureTuple(ref)
-		_, _ = a.trace.AddEdge(stmtNode, tupleNode, prov.EdgeHasReturned, iv)
+		_, _ = a.trace.AddEdgeTraced(stmtNode, tupleNode, prov.EdgeHasReturned, iv, res.TraceID)
 		a.appCreated[ref] = true
 		writtenByRow[ref.Row] = ref
 	}
@@ -402,8 +406,8 @@ func (a *Auditor) recordStatement(pid int, log *SessionLog, info client.QueryInf
 		for i := range res.Rows {
 			rnode := ResultTupleNodeID(res.StmtID, i)
 			_, _ = a.trace.AddNode(rnode, prov.TypeTuple, rnode)
-			_, _ = a.trace.AddEdge(stmtNode, rnode, prov.EdgeHasReturned, iv)
-			_, _ = a.trace.AddEdge(rnode, procNode, prov.EdgeReadFrom, iv)
+			_, _ = a.trace.AddEdgeTraced(stmtNode, rnode, prov.EdgeHasReturned, iv, res.TraceID)
+			_, _ = a.trace.AddEdgeTraced(rnode, procNode, prov.EdgeReadFrom, iv, res.TraceID)
 			if res.Lineage != nil {
 				for _, ref := range res.Lineage[i] {
 					_ = a.trace.AddDep(TupleNodeID(ref), rnode)

@@ -17,9 +17,12 @@ type SessionLog struct {
 	Entries []LogEntry `json:"entries"`
 }
 
-// LogEntry is one recorded statement with its full response.
+// LogEntry is one recorded statement with its full response. TraceID, when
+// present, is the hex obs request-trace identity of the recorded execution,
+// linking the replay log back to the flight recorder and provenance edges.
 type LogEntry struct {
 	SQL          string     `json:"sql"`
+	TraceID      string     `json:"trace,omitempty"`
 	Columns      []string   `json:"columns,omitempty"`
 	Rows         [][]string `json:"rows,omitempty"` // kind-prefixed cells
 	RowsAffected int        `json:"rows_affected,omitempty"`
@@ -50,7 +53,7 @@ func (e *LogEntry) Result() (*engine.Result, error) {
 	if e.Error != "" {
 		return nil, fmt.Errorf("replayed error: %s", e.Error)
 	}
-	res := &engine.Result{Columns: e.Columns, RowsAffected: e.RowsAffected}
+	res := &engine.Result{Columns: e.Columns, RowsAffected: e.RowsAffected, TraceID: e.TraceID}
 	for _, cells := range e.Rows {
 		row, err := decodeRowCells(cells)
 		if err != nil {

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The flight recorder keeps the last completed traces — each a causal tree
+// of spans sharing one TraceID — in a bounded ring, queryable over the wire
+// protocol (Stats kind "traces") and over the ops endpoint (GET /traces).
+// Spans accumulate per trace while any of them is open; once an *entry*
+// span (one that originated the trace, or joined it from a wire context —
+// i.e. whose parent is not a local span) has ended and no local spans of
+// the trace remain open, the collected tree is sealed into a TraceRecord
+// and the working state is dropped. Sealing on entry spans rather than
+// only true roots is what makes the recorder work across processes: a TCP
+// server never sees the client's root end, but its own server.query entry
+// span closing (after every engine child) completes the server's local
+// view of the trace. Each process therefore records the portion of the
+// trace it executed; in-process deployments (net.Pipe, the simulated
+// machine) share one registry and seal the full client-to-WAL tree when
+// the client root ends last. Traces that never drain (a crashed client, a
+// leaked span) are evicted oldest-first once too many are in flight, so an
+// abandoned trace costs bounded memory, not a leak.
+
+// TraceRecord is one completed request trace: the root span's identity plus
+// every span that joined the trace, ordered by start time.
+type TraceRecord struct {
+	Trace TraceID `json:"trace"`
+	// Root names the span that originated (and completed) the trace.
+	Root       string `json:"root"`
+	StartUnix  int64  `json:"start_unix_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	// Spans holds the full tree, sorted by start time then span ID; parent
+	// links (SpanRecord.Parent) reconstruct the hierarchy.
+	Spans []SpanRecord `json:"spans"`
+}
+
+// Flight-recorder sizing: DefaultTraceCapacity completed traces are
+// retained; at most maxOpenTraces may be accumulating concurrently, each
+// holding at most maxSpansPerTrace spans. Overflow drops the oldest open
+// trace (or the newest span), never blocks.
+const (
+	DefaultTraceCapacity = 256
+	maxOpenTraces        = 1024
+	maxSpansPerTrace     = 512
+)
+
+// openTrace is the working state of one trace still accumulating spans.
+type openTrace struct {
+	spans []SpanRecord
+	// inFlight counts locally started, not-yet-ended spans; the trace can
+	// only seal when it drains to zero.
+	inFlight int
+	// entryEnded is set when an entry span (root or wire-joined) finishes;
+	// entryRec is the latest such span, which names the sealed record. The
+	// outermost entry span ends last, so the final overwrite wins.
+	entryEnded bool
+	entryRec   SpanRecord
+}
+
+// flightRecorder is the bounded completed-trace ring plus the per-trace
+// working state of spans still accumulating.
+type flightRecorder struct {
+	mu    sync.Mutex
+	open  map[TraceID]*openTrace
+	order []TraceID // open traces in first-seen order, for eviction
+
+	ring  []TraceRecord
+	next  int
+	full  bool
+	total int64 // lifetime completed-trace count, including evicted
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	return &flightRecorder{
+		open: map[TraceID]*openTrace{},
+		ring: make([]TraceRecord, capacity),
+	}
+}
+
+// lookup returns the working state for a trace, creating (and, at the open
+// cap, evicting oldest-first) as needed. Callers hold f.mu.
+func (f *flightRecorder) lookup(trace TraceID) *openTrace {
+	ot, known := f.open[trace]
+	if !known {
+		if len(f.order) >= maxOpenTraces {
+			oldest := f.order[0]
+			f.order = f.order[1:]
+			delete(f.open, oldest)
+		}
+		ot = &openTrace{}
+		f.open[trace] = ot
+		f.order = append(f.order, trace)
+	}
+	return ot
+}
+
+// begin notes that a span of the trace has started, keeping the in-flight
+// count that gates sealing.
+func (f *flightRecorder) begin(trace TraceID) {
+	if trace.IsZero() {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lookup(trace).inFlight++
+}
+
+// observe folds one finished span into its trace. entry marks a span whose
+// parent is not a local span (it originated the trace or joined it from a
+// wire context); once an entry span has ended and no local spans remain in
+// flight, the trace seals into the ring.
+func (f *flightRecorder) observe(trace TraceID, rec SpanRecord, entry bool) {
+	if trace.IsZero() {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ot := f.lookup(trace)
+	// An eviction between begin and observe loses the count; clamp so a
+	// recreated trace still drains.
+	if ot.inFlight > 0 {
+		ot.inFlight--
+	}
+	if len(ot.spans) < maxSpansPerTrace {
+		ot.spans = append(ot.spans, rec)
+	}
+	if entry {
+		ot.entryEnded = true
+		ot.entryRec = rec
+	}
+	if !ot.entryEnded || ot.inFlight > 0 {
+		return
+	}
+	delete(f.open, trace)
+	for i, id := range f.order {
+		if id == trace {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	spans := ot.spans
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartUnix != spans[j].StartUnix {
+			return spans[i].StartUnix < spans[j].StartUnix
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	f.ring[f.next] = TraceRecord{
+		Trace:      trace,
+		Root:       ot.entryRec.Name,
+		StartUnix:  ot.entryRec.StartUnix,
+		DurationNS: ot.entryRec.DurationNS,
+		Spans:      spans,
+	}
+	f.next++
+	f.total++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+}
+
+// records returns retained completed traces newest-first plus the lifetime
+// total (newest-first because "the last N requests" is what an operator
+// asks the flight recorder for).
+func (f *flightRecorder) records() ([]TraceRecord, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []TraceRecord
+	appendReversed := func(part []TraceRecord) {
+		for i := len(part) - 1; i >= 0; i-- {
+			out = append(out, part[i])
+		}
+	}
+	if f.full {
+		out = make([]TraceRecord, 0, len(f.ring))
+		appendReversed(f.ring[:f.next])
+		appendReversed(f.ring[f.next:])
+	} else {
+		appendReversed(f.ring[:f.next])
+	}
+	return out, f.total
+}
+
+func (f *flightRecorder) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.open = map[TraceID]*openTrace{}
+	f.order = nil
+	f.next = 0
+	f.full = false
+	f.total = 0
+	for i := range f.ring {
+		f.ring[i] = TraceRecord{}
+	}
+}
+
+// Traces returns the completed traces retained by the registry's flight
+// recorder, newest-first.
+func (r *Registry) Traces() []TraceRecord {
+	recs, _ := r.flight.records()
+	return recs
+}
+
+// Traces returns the default registry's completed traces, newest-first.
+func Traces() []TraceRecord { return defaultRegistry.Traces() }
+
+// tracesDoc is the JSON envelope served over the wire Stats extension and
+// the ops endpoint's /traces handler.
+type tracesDoc struct {
+	Traces []TraceRecord `json:"traces"`
+}
+
+// MarshalTraces serializes completed traces for transport. An empty flight
+// recorder encodes as an empty array, not null, so consumers can always
+// iterate.
+func MarshalTraces(traces []TraceRecord) ([]byte, error) {
+	if traces == nil {
+		traces = []TraceRecord{}
+	}
+	return json.Marshal(tracesDoc{Traces: traces})
+}
+
+// ParseTraces decodes the payload produced by MarshalTraces.
+func ParseTraces(data []byte) ([]TraceRecord, error) {
+	var doc tracesDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: parse traces: %w", err)
+	}
+	return doc.Traces, nil
+}
+
+// waterfallWidth is the bar area of the ASCII waterfall, in characters.
+const waterfallWidth = 40
+
+// Waterfall renders the trace as an ASCII timeline: one row per span in
+// tree order (children indented under their parent), each with a bar whose
+// offset and length are proportional to the span's position inside the
+// trace.
+func (t *TraceRecord) Waterfall(w io.Writer) {
+	if len(t.Spans) == 0 {
+		fmt.Fprintf(w, "trace %s: no spans\n", t.Trace)
+		return
+	}
+	t0 := t.Spans[0].StartUnix
+	var end int64
+	for _, sp := range t.Spans {
+		if e := sp.StartUnix + sp.DurationNS; e > end {
+			end = e
+		}
+		if sp.StartUnix < t0 {
+			t0 = sp.StartUnix
+		}
+	}
+	total := end - t0
+	if total <= 0 {
+		total = 1
+	}
+	fmt.Fprintf(w, "trace %s  root=%s  %s\n",
+		t.Trace, t.Root, time.Duration(t.DurationNS))
+
+	children := map[uint64][]SpanRecord{}
+	ids := map[uint64]bool{}
+	for _, sp := range t.Spans {
+		ids[sp.ID] = true
+	}
+	var roots []SpanRecord
+	for _, sp := range t.Spans {
+		if sp.Parent != 0 && ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var render func(sp SpanRecord, depth int)
+	render = func(sp SpanRecord, depth int) {
+		off := int(float64(sp.StartUnix-t0) / float64(total) * waterfallWidth)
+		length := int(float64(sp.DurationNS) / float64(total) * waterfallWidth)
+		if length < 1 {
+			length = 1
+		}
+		if off+length > waterfallWidth {
+			off = waterfallWidth - length
+			if off < 0 {
+				off = 0
+				length = waterfallWidth
+			}
+		}
+		bar := strings.Repeat(" ", off) + strings.Repeat("=", length) +
+			strings.Repeat(" ", waterfallWidth-off-length)
+		name := strings.Repeat("  ", depth) + sp.Name
+		fmt.Fprintf(w, "  %-28s |%s| %s\n", name, bar, time.Duration(sp.DurationNS))
+		for _, c := range children[sp.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		render(sp, 0)
+	}
+}

@@ -1,0 +1,139 @@
+package log
+
+import (
+	"bytes"
+	"errors"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldv/internal/obs"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Info("session open", "sid", int64(7), "addr", "127.0.0.1:5000")
+	line := buf.String()
+	if !regexp.MustCompile(`^t=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z `).MatchString(line) {
+		t.Fatalf("bad timestamp prefix: %q", line)
+	}
+	for _, want := range []string{`lvl=info`, `msg="session open"`, `sid=7`, `addr=127.0.0.1:5000`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line not newline-terminated: %q", line)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e", "err", errors.New("boom boom"))
+	out := buf.String()
+	if strings.Contains(out, "lvl=debug") || strings.Contains(out, "lvl=info") {
+		t.Fatalf("below-threshold lines written: %q", out)
+	}
+	if !strings.Contains(out, "lvl=warn") || !strings.Contains(out, "lvl=error") {
+		t.Fatalf("missing warn/error lines: %q", out)
+	}
+	if !strings.Contains(out, `err="boom boom"`) {
+		t.Fatalf("error value not quoted: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), `msg="now visible"`) {
+		t.Fatal("SetLevel did not lower the threshold")
+	}
+}
+
+func TestLoggerWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	base := New(&buf, LevelInfo)
+	trace := obs.NewTraceID()
+	l := base.With("sid", int64(3)).With("trace", trace)
+	l.Info("query failed")
+	line := buf.String()
+	if !strings.Contains(line, "sid=3") || !strings.Contains(line, "trace="+trace.String()) {
+		t.Fatalf("bound fields missing: %q", line)
+	}
+	// The parent is unaffected.
+	buf.Reset()
+	base.Info("plain")
+	if strings.Contains(buf.String(), "sid=") {
+		t.Fatalf("parent logger inherited child fields: %q", buf.String())
+	}
+}
+
+func TestLoggerOddPairsAndDuration(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Info("slow query", "elapsed", 1500*time.Millisecond, "dangling")
+	line := buf.String()
+	if !strings.Contains(line, "elapsed=1.5s") {
+		t.Fatalf("duration not formatted: %q", line)
+	}
+	if !strings.Contains(line, "!BADKEY=dangling") {
+		t.Fatalf("odd trailing value dropped: %q", line)
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info("ignored")
+	l.Error("ignored")
+	l.SetLevel(LevelDebug)
+	if l.With("k", "v") != nil {
+		t.Fatal("nil.With should return nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger should report disabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestLoggerConcurrent checks that derived loggers sharing one writer do not
+// interleave within a line (run under -race).
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := l.With("worker", int64(w))
+			for i := 0; i < 100; i++ {
+				d.Info("tick", "i", int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "msg=tick") || !strings.Contains(line, "worker=") {
+			t.Fatalf("mangled line: %q", line)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 // the packagers — reports here, and snapshots export as JSON (served over
 // the wire protocol as a Stats request) or as a human-readable table.
 //
+// Spans carry 128-bit trace IDs (TraceID/SpanContext) that propagate across
+// the wire protocol, so one client request forms a single causal tree —
+// client, server, engine, WAL — reconstructed by the flight recorder: a
+// bounded ring of completed traces (TraceRecord) queryable over the wire
+// Stats extension and the ops endpoint, and renderable as an ASCII
+// waterfall.
+//
 // The paper's evaluation (§VIII/§IX) is an exercise in cost attribution:
 // audit-time overhead vs. native execution, package size, replay time. This
 // package is the measurement substrate for that attribution — see
@@ -64,7 +71,8 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	spans *spanRing
+	spans  *spanRing
+	flight *flightRecorder
 
 	// nextSpanID allocates span identities; logicalClock, when set, stamps
 	// spans with the osim logical clock in addition to wall time.
@@ -86,6 +94,7 @@ func NewRegistry(spanCapacity int) *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		spans:    newSpanRing(spanCapacity),
+		flight:   newFlightRecorder(DefaultTraceCapacity),
 	}
 }
 
@@ -164,6 +173,7 @@ func (r *Registry) Reset() {
 		h.reset()
 	}
 	r.spans.reset()
+	r.flight.reset()
 }
 
 // GetCounter returns a named counter in the default registry (handle

@@ -1,0 +1,130 @@
+// Package ops serves the operations HTTP endpoint of a standalone LDV
+// server: GET /metrics exposes the obs registry in Prometheus text format,
+// GET /traces serves the request-trace flight recorder as JSON (with an
+// optional ASCII waterfall form), and /debug/pprof/ mounts the standard
+// net/http/pprof profiles. The endpoint is read-only and carries no
+// authentication — bind it to a loopback or otherwise private address.
+package ops
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ldv/internal/obs"
+)
+
+// Handler returns the ops endpoint for a registry (typically obs.Default()).
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		ServeTraces(w, r, reg)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeTraces handles one /traces request: the flight recorder's completed
+// traces newest-first as JSON, truncated by ?limit=N, or as ASCII waterfalls
+// with ?format=waterfall.
+func ServeTraces(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
+	traces := reg.Traces()
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	if r.URL.Query().Get("format") == "waterfall" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i := range traces {
+			traces[i].Waterfall(w)
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	data, err := obs.MarshalTraces(traces)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// writeMetrics renders a snapshot in the Prometheus text exposition format:
+// counters and gauges one sample each, histograms as cumulative _bucket
+// series (power-of-two le bounds) plus _sum and _count.
+func writeMetrics(w http.ResponseWriter, s *obs.Snapshot) {
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+		idxs := make([]int, 0, len(h.Buckets))
+		for i := range h.Buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var cum int64
+		for _, i := range idxs {
+			cum += h.Buckets[i]
+			if b := obs.BucketBound(i); b >= 0 {
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m, b, cum)
+			}
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+	}
+}
+
+// promName mangles a dotted obs metric name into a valid Prometheus metric
+// name under the ldv_ namespace: "engine.exec_ns.select" →
+// "ldv_engine_exec_ns_select".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("ldv_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

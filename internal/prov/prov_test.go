@@ -268,3 +268,43 @@ func TestExportDOT(t *testing.T) {
 		t.Error("unescaped DOT label")
 	}
 }
+
+func TestEdgeTraceIDRoundTrip(t *testing.T) {
+	tr := NewTrace(CombinedDefault())
+	tr.AddNode("P", TypeProcess, "")
+	tr.AddNode("Q", TypeQuery, "")
+	const tid = "0102030405060708090a0b0c0d0e0f10"
+	e, err := tr.AddEdgeTraced("P", "Q", EdgeRun, Point(1), tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TraceID != tid {
+		t.Fatalf("TraceID = %q", e.TraceID)
+	}
+	data, err := tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"trace":"`+tid+`"`) {
+		t.Fatalf("serialized trace missing trace id: %s", data)
+	}
+	tr2, err := Unmarshal(data, CombinedDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Edges()[0].TraceID; got != tid {
+		t.Fatalf("round-tripped TraceID = %q", got)
+	}
+	// Untraced edges stay untraced and omit the field on the wire.
+	tr.AddNode("Q2", TypeQuery, "")
+	if _, err := tr.AddEdge("P", "Q2", EdgeRun, Point(2)); err != nil {
+		t.Fatal(err)
+	}
+	data, err = tr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), `"trace":`) != 1 {
+		t.Fatalf("untraced edge must omit trace field: %s", data)
+	}
+}

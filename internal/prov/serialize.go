@@ -23,11 +23,12 @@ type nodeJSON struct {
 }
 
 type edgeJSON struct {
-	From  string `json:"from"`
-	To    string `json:"to"`
-	Label string `json:"label"`
-	Begin uint64 `json:"begin"`
-	End   uint64 `json:"end"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Label   string `json:"label"`
+	Begin   uint64 `json:"begin"`
+	End     uint64 `json:"end"`
+	TraceID string `json:"trace,omitempty"`
 }
 
 type depJSON struct {
@@ -46,7 +47,10 @@ func (tr *Trace) Marshal() ([]byte, error) {
 		doc.Nodes = append(doc.Nodes, nodeJSON{ID: n.ID, Type: n.Type, Label: n.Label, Attrs: attrs})
 	}
 	for _, e := range tr.EdgesByTime() {
-		doc.Edges = append(doc.Edges, edgeJSON{From: e.From.ID, To: e.To.ID, Label: e.Label, Begin: e.T.Begin, End: e.T.End})
+		doc.Edges = append(doc.Edges, edgeJSON{
+			From: e.From.ID, To: e.To.ID, Label: e.Label,
+			Begin: e.T.Begin, End: e.T.End, TraceID: e.TraceID,
+		})
 	}
 	for _, d := range tr.Deps() {
 		doc.Deps = append(doc.Deps, depJSON{From: d.From, To: d.To})
@@ -75,7 +79,7 @@ func Unmarshal(data []byte, m *Model) (*Trace, error) {
 		}
 	}
 	for _, e := range doc.Edges {
-		if _, err := tr.AddEdge(e.From, e.To, e.Label, Interval{Begin: e.Begin, End: e.End}); err != nil {
+		if _, err := tr.AddEdgeTraced(e.From, e.To, e.Label, Interval{Begin: e.Begin, End: e.End}, e.TraceID); err != nil {
 			return nil, err
 		}
 	}

@@ -31,11 +31,15 @@ type Node struct {
 // IsEntity reports whether the node is an entity under model m.
 func (n *Node) IsEntity(m *Model) bool { return m.IsEntity(n.Type) }
 
-// Edge is one typed, time-annotated interaction.
+// Edge is one typed, time-annotated interaction. TraceID, when set, names
+// the obs request trace (hex form) whose execution recorded the edge —
+// linking the provenance graph back to the flight recorder so a package
+// answers "which request wrote this tuple version".
 type Edge struct {
 	From, To *Node
 	Label    string
 	T        Interval
+	TraceID  string
 }
 
 // Dep records a direct same-model data dependency between two entities:
@@ -122,6 +126,17 @@ func (tr *Trace) AddEdge(fromID, toID, label string, t Interval) (*Edge, error) 
 	tr.edges = append(tr.edges, e)
 	tr.out[fromID] = append(tr.out[fromID], e)
 	tr.in[toID] = append(tr.in[toID], e)
+	return e, nil
+}
+
+// AddEdgeTraced is AddEdge with a request-trace annotation: traceID (the
+// hex obs.TraceID, "" for none) is stamped on the edge.
+func (tr *Trace) AddEdgeTraced(fromID, toID, label string, t Interval, traceID string) (*Edge, error) {
+	e, err := tr.AddEdge(fromID, toID, label, t)
+	if err != nil {
+		return nil, err
+	}
+	e.TraceID = traceID
 	return e, nil
 }
 

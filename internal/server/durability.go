@@ -48,8 +48,9 @@ func (s *Server) EnableDurability(fs engine.FileSystem, dir string, interval tim
 		s.mu.Unlock()
 		return stats, err
 	}
-	s.logf("recovered %d tables from %s (replayed %d txns, %d WAL bytes, %d torn)",
-		stats.Tables, dir, stats.ReplayedTxns, stats.WALBytes, stats.TornBytes)
+	s.logger.Info("recovery complete", "dir", dir, "tables", int64(stats.Tables),
+		"replayed_txns", int64(stats.ReplayedTxns), "wal_bytes", stats.WALBytes,
+		"torn_bytes", stats.TornBytes)
 
 	if interval > 0 {
 		d.wg.Add(1)
@@ -63,7 +64,7 @@ func (s *Server) EnableDurability(fs engine.FileSystem, dir string, interval tim
 					return
 				case <-t.C:
 					if err := s.Checkpoint(); err != nil {
-						s.logf("background checkpoint: %v", err)
+						s.logger.Error("background checkpoint failed", "err", err)
 					}
 				}
 			}

@@ -11,12 +11,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ldv/internal/engine"
 	"ldv/internal/obs"
+	obslog "ldv/internal/obs/log"
 	"ldv/internal/sqlparse"
 	"ldv/internal/wire"
 )
@@ -41,9 +43,11 @@ type Acceptor interface {
 type Server struct {
 	db *engine.DB
 	// logger is immutable after New — unlike fs it is never reassigned, so
-	// every goroutine may read it without holding mu. All logging must go
-	// through logf, which relies on exactly this invariant.
-	logger *log.Logger
+	// every goroutine may read it without holding mu. A nil logger discards
+	// everything (obslog methods are nil-safe).
+	logger *obslog.Logger
+	// slowQueryNS is the slow-query log threshold in nanoseconds (0 = off).
+	slowQueryNS atomic.Int64
 
 	mu  sync.Mutex
 	fs  engine.FileSystem
@@ -52,8 +56,15 @@ type Server struct {
 
 // New returns a server over db. logger may be nil to disable logging; it
 // must not be changed after New (sessions read it concurrently, unlocked).
-func New(db *engine.DB, logger *log.Logger) *Server {
+func New(db *engine.DB, logger *obslog.Logger) *Server {
 	return &Server{db: db, logger: logger}
+}
+
+// SetSlowQueryThreshold enables the slow-query log: statements taking d or
+// longer are logged at warn level with their SQL, latency, and trace id.
+// Zero disables it. Safe to call while serving.
+func (s *Server) SetSlowQueryThreshold(d time.Duration) {
+	s.slowQueryNS.Store(int64(d))
 }
 
 // SetFS gives the server a filesystem for COPY statements. When the server
@@ -87,12 +98,6 @@ func (s *Server) Serve(l Acceptor) error {
 	}
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
-}
-
 // HandleConn runs one client session to completion.
 func (s *Server) HandleConn(conn net.Conn) {
 	defer conn.Close()
@@ -111,7 +116,20 @@ func (s *Server) HandleConn(conn net.Conn) {
 	sid := mSessions.Add(1)
 	gActiveSessions.Add(1)
 	defer gActiveSessions.Add(-1)
-	s.logf("session %d: proc=%s db=%s", sid, startup.Proc, startup.Database)
+	slog := s.logger.With("sid", sid)
+	slog.Info("session open", "proc", startup.Proc, "db", startup.Database)
+
+	// traceAware sessions announced the "trace" Startup option: the server
+	// records spans joining the trace context their queries carry.
+	traceAware := false
+	for _, o := range startup.Options {
+		if o == "trace" {
+			traceAware = true
+		}
+	}
+	// defaultTrace is the session's standing trace context, set by
+	// TraceContext messages; per-query headers override it.
+	var defaultTrace obs.SpanContext
 
 	// Session teardown rolls back any transaction the client abandoned.
 	sess := s.db.NewSession()
@@ -124,22 +142,31 @@ func (s *Server) HandleConn(conn net.Conn) {
 		msg, err := wire.Read(conn)
 		if err != nil {
 			if err != io.EOF {
-				s.logf("session %d: read: %v", sid, err)
+				slog.Error("read failed", "err", err)
 			}
 			return
 		}
 		switch m := msg.(type) {
 		case wire.Terminate:
 			return
+		case wire.TraceContext:
+			defaultTrace = m.Context
 		case wire.Query:
 			mStatements.Inc()
-			if err := s.handleQuery(conn, sess, startup.Proc, m); err != nil {
-				s.logf("session %d: %v", sid, err)
+			sc := m.Trace
+			if sc.IsZero() {
+				sc = defaultTrace
+			}
+			if !traceAware {
+				sc = obs.SpanContext{}
+			}
+			if err := s.handleQuery(conn, sess, slog, startup.Proc, m, sc); err != nil {
+				slog.Error("query connection failed", "err", err)
 				return
 			}
 		case wire.Stats:
-			if err := s.handleStats(conn, sess); err != nil {
-				s.logf("session %d: stats: %v", sid, err)
+			if err := s.handleStats(conn, sess, m); err != nil {
+				slog.Error("stats failed", "err", err)
 				return
 			}
 		default:
@@ -153,10 +180,19 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}
 }
 
-// handleStats serves a Stats request with a snapshot of the process-wide
-// observability registry, serialized as JSON.
-func (s *Server) handleStats(conn net.Conn, sess *engine.Session) error {
-	data, err := obs.TakeSnapshot().JSON()
+// handleStats serves a Stats request with the requested observability
+// document: the metrics snapshot, or the flight recorder's completed traces.
+func (s *Server) handleStats(conn net.Conn, sess *engine.Session, req wire.Stats) error {
+	var data []byte
+	var err error
+	switch req.Kind {
+	case wire.StatsKindMetrics:
+		data, err = obs.TakeSnapshot().JSON()
+	case wire.StatsKindTraces:
+		data, err = obs.MarshalTraces(obs.Traces())
+	default:
+		err = fmt.Errorf("unknown stats kind %d", req.Kind)
+	}
 	if err != nil {
 		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
 			return werr
@@ -169,14 +205,38 @@ func (s *Server) handleStats(conn net.Conn, sess *engine.Session) error {
 	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
 }
 
-func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, proc string, q wire.Query) error {
-	res, err := s.exec(sess, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage})
+// handleQuery executes one Query and streams its response. The response
+// body (rows, completion or error) is written by runQuery, which owns the
+// per-request span; the final Ready goes out only after runQuery returns —
+// i.e. after the span has ended — because the client seals the trace when it
+// reads Ready, and the server's spans must be in the flight recorder by then.
+func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+	if err := s.runQuery(conn, sess, slog, proc, q, sc); err != nil {
+		return err
+	}
+	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
+}
+
+// runQuery executes the statement under a server.query span joining the
+// request's trace context (when one is present) and writes everything up to
+// but not including the final Ready.
+func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+	var sp *obs.Span
+	if !sc.IsZero() {
+		sp = obs.StartSpanIn("server.query", sc)
+		slog = slog.With("trace", sp.TraceID())
+	}
+	defer sp.End()
+	t0 := time.Now()
+	res, err := s.exec(sess, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp})
+	elapsed := time.Since(t0)
+	if thr := s.slowQueryNS.Load(); thr > 0 && elapsed >= time.Duration(thr) {
+		slog.Warn("slow query", "elapsed", elapsed, "sql", q.SQL)
+	}
 	if err != nil {
 		mErrors.Inc()
-		if werr := wire.Write(conn, wire.Error{Message: err.Error()}); werr != nil {
-			return werr
-		}
-		return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
+		slog.Error("statement failed", "err", err, "sql", q.SQL)
+		return wire.Write(conn, wire.Error{Message: err.Error()})
 	}
 	if err := wire.Write(conn, wire.RowDescription{Columns: res.Columns}); err != nil {
 		return err
@@ -209,16 +269,13 @@ func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, proc string, q
 		ReadRefs:     res.ReadRefs,
 		WrittenRefs:  res.WrittenRefs,
 	}
-	if err := wire.Write(conn, cc); err != nil {
-		return err
-	}
-	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
+	return wire.Write(conn, cc)
 }
 
 // exec runs one statement on the connection's session, intercepting COPY
 // (which needs file access).
 func (s *Server) exec(sess *engine.Session, sql string, opts engine.ExecOptions) (*engine.Result, error) {
-	stmt, err := engine.ParseTimed(sql)
+	stmt, err := parseTraced(sql, opts.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +283,13 @@ func (s *Server) exec(sess *engine.Session, sql string, opts engine.ExecOptions)
 		return s.execCopy(sess, c, opts)
 	}
 	return sess.ExecStatement(stmt, opts)
+}
+
+// parseTraced parses one statement under an engine.parse span.
+func parseTraced(sql string, parent *obs.Span) (sqlparse.Statement, error) {
+	sp := parent.Child("engine.parse")
+	defer sp.End()
+	return engine.ParseTimed(sql)
 }
 
 // execCopy performs COPY table FROM/TO 'path' using the server's

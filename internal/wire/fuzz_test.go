@@ -13,8 +13,21 @@ func FuzzRead(f *testing.F) {
 	buf.Reset()
 	Write(&buf, CommandComplete{RowsAffected: 3, StmtID: 9})
 	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Query{SQL: "SELECT 1", Trace: testSpanContext()})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, TraceContext{Context: testSpanContext()})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Startup{Proc: "p", Database: "db", Options: []string{"trace"}})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Stats{Kind: StatsKindTraces})
+	f.Add(buf.Bytes())
 	f.Add([]byte{'D', 0, 0, 0, 4, 1, 2, 3, 4})
 	f.Add([]byte{'?', 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{'c', 0, 0, 0, 3, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = Read(bytes.NewReader(data)) // must not panic
 	})

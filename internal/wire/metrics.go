@@ -17,11 +17,7 @@ var (
 )
 
 func init() {
-	for _, tag := range []byte{
-		TagStartup, TagQuery, TagRowDescription, TagDataRow, TagLineageRow,
-		TagCommandComplete, TagTupleValues, TagError, TagReady, TagTerminate,
-		TagStats, TagStatsResult,
-	} {
+	for _, tag := range Tags() {
 		mOutByTag[tag] = obs.GetCounter("wire.out.msgs." + TagName(tag))
 		mInByTag[tag] = obs.GetCounter("wire.in.msgs." + TagName(tag))
 	}

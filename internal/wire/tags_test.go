@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTagCoverage walks wire.go's AST for every exported Tag* constant and
+// asserts each one is enumerated by Tags(), has a human-readable TagName,
+// and has per-kind in/out counters registered. A tag added without updating
+// Tags() fails here instead of silently losing metrics.
+func TestTagCoverage(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "wire.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse wire.go: %v", err)
+	}
+	declared := map[string]byte{}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Tag") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.CHAR {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || len(s) != 1 {
+					t.Fatalf("constant %s: unparseable char literal %s", name.Name, lit.Value)
+				}
+				declared[name.Name] = s[0]
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("AST walk found no Tag* constants")
+	}
+	enumerated := map[byte]bool{}
+	for _, tag := range Tags() {
+		enumerated[tag] = true
+	}
+	if len(enumerated) != len(declared) {
+		t.Errorf("Tags() lists %d tags, wire.go declares %d", len(enumerated), len(declared))
+	}
+	for name, tag := range declared {
+		if !enumerated[tag] {
+			t.Errorf("%s (%q) missing from Tags()", name, tag)
+		}
+		if kind := TagName(tag); kind == "unknown" {
+			t.Errorf("%s (%q) has no TagName", name, tag)
+		}
+		if mOutByTag[tag] == nil || mInByTag[tag] == nil {
+			t.Errorf("%s (%q) has no per-kind wire metrics", name, tag)
+		}
+	}
+	// TagName values must be unique (they name metrics).
+	names := map[string]byte{}
+	for _, tag := range Tags() {
+		n := TagName(tag)
+		if prev, dup := names[n]; dup {
+			t.Errorf("TagName collision: %q used by %q and %q", n, prev, tag)
+		}
+		names[n] = tag
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ldv/internal/obs"
+)
+
+func testSpanContext() obs.SpanContext {
+	var tr obs.TraceID
+	for i := range tr {
+		tr[i] = byte(i + 1)
+	}
+	return obs.SpanContext{Trace: tr, Span: 0x1122334455667788}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	sc := testSpanContext()
+	for _, m := range []Message{
+		Query{SQL: "SELECT 1", Trace: sc},
+		Query{SQL: "SELECT 1", WithLineage: true, Trace: sc},
+		TraceContext{Context: sc},
+		TraceContext{}, // zero context clears the session default
+		Startup{Proc: "p1", Database: "tpch", Options: []string{"trace"}},
+		Startup{Proc: "p1", Database: "tpch", Options: []string{"trace", "x=1"}},
+		Stats{Kind: StatsKindTraces},
+		Stats{Kind: StatsKindMetrics},
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write(%#v): %v", m, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(%#v): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip: got %#v, want %#v", got, m)
+		}
+	}
+}
+
+// TestTraceFieldsBackwardCompatible pins the old-peer story: frames without
+// the trailing trace fields decode to zero values, and frames WITH them are
+// byte-identical to old frames when the new fields are zero/empty.
+func TestTraceFieldsBackwardCompatible(t *testing.T) {
+	// An old peer's Query frame (no trailing trace context).
+	old := encodePayload(Query{SQL: "SELECT 1"})
+	m, err := decodePayload(TagQuery, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := m.(Query); !q.Trace.IsZero() {
+		t.Fatalf("legacy Query decoded with trace %v", q.Trace)
+	}
+	// A new peer sending a zero trace emits the legacy frame byte-for-byte.
+	if got := encodePayload(Query{SQL: "SELECT 1", Trace: obs.SpanContext{}}); !bytes.Equal(got, old) {
+		t.Fatalf("zero-trace Query frame differs from legacy: %x vs %x", got, old)
+	}
+	// Same for Startup without options and Stats kind metrics.
+	oldStartup := encodePayload(Startup{Proc: "p", Database: "db"})
+	if got := encodePayload(Startup{Proc: "p", Database: "db", Options: nil}); !bytes.Equal(got, oldStartup) {
+		t.Fatal("optionless Startup frame differs from legacy")
+	}
+	if got := encodePayload(Stats{Kind: StatsKindMetrics}); len(got) != 0 {
+		t.Fatalf("metrics Stats frame not empty: %x", got)
+	}
+}
+
+func TestTraceContextDecodeErrors(t *testing.T) {
+	// A trailing trace context must be exactly 24 bytes: a partial one is a
+	// decode error, not a silently ignored suffix.
+	b := encodePayload(Query{SQL: "SELECT 1"})
+	b = append(b, 1, 2, 3)
+	if _, err := decodePayload(TagQuery, b); err == nil {
+		t.Fatal("partial trace context must fail")
+	}
+	// Oversized trailing data fails the no-trailing-bytes check.
+	b = encodePayload(Query{SQL: "SELECT 1", Trace: testSpanContext()})
+	b = append(b, 0xEE)
+	if _, err := decodePayload(TagQuery, b); err == nil {
+		t.Fatal("trailing junk after trace context must fail")
+	}
+	// TraceContext with a short payload fails.
+	if _, err := decodePayload(TagTraceContext, []byte{1, 2}); err == nil {
+		t.Fatal("short TraceContext must fail")
+	}
+}
+
+// FuzzTraceContext round-trips arbitrary span contexts and query frames
+// carrying them.
+func FuzzTraceContext(f *testing.F) {
+	sc := testSpanContext()
+	f.Add(sc.Trace[:], sc.Span, "SELECT 1", true)
+	f.Add(make([]byte, 16), uint64(0), "", false)
+	f.Fuzz(func(t *testing.T, trace []byte, span uint64, sql string, lineage bool) {
+		var sc obs.SpanContext
+		copy(sc.Trace[:], trace)
+		sc.Span = span
+		q := Query{SQL: sql, WithLineage: lineage, Trace: sc}
+		var buf bytes.Buffer
+		if err := Write(&buf, q); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		g := got.(Query)
+		// A zero-span-ID context with a non-zero trace still round-trips; a
+		// zero trace ID encodes as absent and decodes to the zero context.
+		want := q
+		if sc.IsZero() {
+			want.Trace = obs.SpanContext{}
+		}
+		if !reflect.DeepEqual(g, want) {
+			t.Fatalf("round trip: got %#v, want %#v", g, want)
+		}
+	})
+}

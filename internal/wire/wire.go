@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"ldv/internal/engine"
+	"ldv/internal/obs"
 	"ldv/internal/sqlval"
 )
 
@@ -28,7 +29,19 @@ const (
 	TagTerminate       = 'X'
 	TagStats           = 'T'
 	TagStatsResult     = 't'
+	TagTraceContext    = 'c'
 )
+
+// Tags lists every message tag the protocol defines, in declaration order.
+// Metric registration and the tag-coverage test iterate this so a new tag
+// cannot ship without a name and per-kind counters.
+func Tags() []byte {
+	return []byte{
+		TagStartup, TagQuery, TagRowDescription, TagDataRow, TagLineageRow,
+		TagCommandComplete, TagTupleValues, TagError, TagReady, TagTerminate,
+		TagStats, TagStatsResult, TagTraceContext,
+	}
+}
 
 // TagName returns the human-readable message kind for a tag byte (used for
 // per-kind metric names); unknown tags map to "unknown".
@@ -58,6 +71,8 @@ func TagName(tag byte) string {
 		return "Stats"
 	case TagStatsResult:
 		return "StatsResult"
+	case TagTraceContext:
+		return "TraceContext"
 	default:
 		return "unknown"
 	}
@@ -71,18 +86,26 @@ const MaxMessageSize = 64 << 20
 type Message interface{ tag() byte }
 
 // Startup opens a session, announcing the client process identity (used as
-// prov_p on the server) and target database name.
+// prov_p on the server) and target database name. Options carries optional
+// capability strings ("trace" requests server-side span recording); encoded
+// as a trailing field, so old peers simply never send any and old servers
+// never see them.
 type Startup struct {
 	Proc     string
 	Database string
+	Options  []string
 }
 
 // Query asks the server to execute one SQL statement. WithLineage requests
 // Lineage computation even without the PROVENANCE keyword — the switch the
-// LDV audit interceptor flips.
+// LDV audit interceptor flips. Trace is the optional trace-context header:
+// when non-zero, server-side spans for this statement join the client's
+// trace. It is encoded as a trailing fixed-size field, absent when zero, so
+// old peers interoperate.
 type Query struct {
 	SQL         string
 	WithLineage bool
+	Trace       obs.SpanContext
 }
 
 // RowDescription announces result columns.
@@ -113,16 +136,32 @@ type CommandComplete struct {
 	WrittenRefs  []engine.TupleRef
 }
 
-// Stats asks the server for a snapshot of its observability registry — a
-// metadata request any wire client can issue (ldvsql's \stats, monitoring
-// probes), analogous to PostgreSQL's pg_stat views but transported as a
-// protocol message rather than a query.
-type Stats struct{}
+// Stats request kinds: which observability document the server should
+// return. The zero kind (metrics) is also what an empty payload means, so
+// pre-kind clients keep working.
+const (
+	StatsKindMetrics byte = 0 // obs.Snapshot JSON
+	StatsKindTraces  byte = 1 // flight-recorder traces JSON (obs.MarshalTraces)
+)
 
-// StatsResult carries the obs.Snapshot serialized as JSON. The payload is
-// opaque to the wire layer so the protocol does not depend on the metric
-// schema.
+// Stats asks the server for an observability document — a metadata request
+// any wire client can issue (ldvsql's \stats, monitoring probes), analogous
+// to PostgreSQL's pg_stat views but transported as a protocol message rather
+// than a query. Kind selects the document (StatsKindMetrics or
+// StatsKindTraces); it is a trailing field, absent meaning metrics.
+type Stats struct{ Kind byte }
+
+// StatsResult carries the requested document serialized as JSON (an
+// obs.Snapshot or a flight-recorder trace list). The payload is opaque to
+// the wire layer so the protocol does not depend on the metric schema.
 type StatsResult struct{ JSON []byte }
+
+// TraceContext sets the session's default trace context: until the next
+// TraceContext message, statements without their own Query.Trace join this
+// context. Fire-and-forget (no response), so a monitoring wrapper can scope
+// a whole session under one trace with a single extra message. A zero
+// context clears the default.
+type TraceContext struct{ Context obs.SpanContext }
 
 // Error reports a failed statement; the session stays usable.
 type Error struct{ Message string }
@@ -138,6 +177,7 @@ type Ready struct {
 type Terminate struct{}
 
 func (Startup) tag() byte         { return TagStartup }
+func (TraceContext) tag() byte    { return TagTraceContext }
 func (Stats) tag() byte           { return TagStats }
 func (StatsResult) tag() byte     { return TagStatsResult }
 func (Query) tag() byte           { return TagQuery }
@@ -194,6 +234,14 @@ func encodePayload(m Message) []byte {
 	case Startup:
 		b = appendString(b, v.Proc)
 		b = appendString(b, v.Database)
+		// Options are a trailing field: omitted entirely when empty so the
+		// frame is byte-identical to the pre-options protocol.
+		if len(v.Options) > 0 {
+			b = binary.AppendUvarint(b, uint64(len(v.Options)))
+			for _, o := range v.Options {
+				b = appendString(b, o)
+			}
+		}
 	case Query:
 		if v.WithLineage {
 			b = append(b, 1)
@@ -201,6 +249,11 @@ func encodePayload(m Message) []byte {
 			b = append(b, 0)
 		}
 		b = appendString(b, v.SQL)
+		// Trace context trails the frame: exactly 24 bytes when present,
+		// absent when zero, so pre-tracing peers parse the frame unchanged.
+		if !v.Trace.IsZero() {
+			b = appendSpanContext(b, v.Trace)
+		}
 	case RowDescription:
 		b = binary.AppendUvarint(b, uint64(len(v.Columns)))
 		for _, c := range v.Columns {
@@ -232,7 +285,15 @@ func encodePayload(m Message) []byte {
 		} else {
 			b = append(b, 0)
 		}
-	case Terminate, Stats:
+	case Stats:
+		// Kind is a trailing field: the metrics kind encodes as the legacy
+		// empty payload.
+		if v.Kind != StatsKindMetrics {
+			b = append(b, v.Kind)
+		}
+	case TraceContext:
+		b = appendSpanContext(b, v.Context)
+	case Terminate:
 	}
 	return b
 }
@@ -242,10 +303,27 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 	var m Message
 	switch tag {
 	case TagStartup:
-		m = Startup{Proc: d.string(), Database: d.string()}
+		s := Startup{Proc: d.string(), Database: d.string()}
+		// Trailing options (absent in pre-options frames).
+		if d.err == nil && len(d.buf) > 0 {
+			n := d.uvarint()
+			if n > uint64(len(d.buf)) {
+				return nil, fmt.Errorf("wire Startup: option count %d exceeds frame", n)
+			}
+			s.Options = make([]string, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				s.Options = append(s.Options, d.string())
+			}
+		}
+		m = s
 	case TagQuery:
 		withLineage := d.byte() == 1
-		m = Query{WithLineage: withLineage, SQL: d.string()}
+		q := Query{WithLineage: withLineage, SQL: d.string()}
+		// Trailing trace context (absent in pre-tracing frames).
+		if d.err == nil && len(d.buf) > 0 {
+			q.Trace = d.spanContext()
+		}
+		m = q
 	case TagRowDescription:
 		n := d.uvarint()
 		if n > uint64(len(d.buf)) {
@@ -289,7 +367,14 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 	case TagError:
 		m = Error{Message: d.string()}
 	case TagStats:
-		m = Stats{}
+		// Tolerate the pre-kind empty payload: absent kind means metrics.
+		if len(d.buf) > 0 {
+			m = Stats{Kind: d.byte()}
+		} else {
+			m = Stats{}
+		}
+	case TagTraceContext:
+		m = TraceContext{Context: d.spanContext()}
 	case TagStatsResult:
 		m = StatsResult{JSON: append([]byte(nil), d.buf...)}
 		d.buf = nil
@@ -390,6 +475,31 @@ func (d *decoder) string() string {
 	s := string(d.buf[:l])
 	d.buf = d.buf[l:]
 	return s
+}
+
+// spanContextSize is the fixed wire size of a trace-context header: 16-byte
+// trace ID plus big-endian 8-byte span ID.
+const spanContextSize = 16 + 8
+
+// appendSpanContext encodes sc in its fixed 24-byte wire form.
+func appendSpanContext(b []byte, sc obs.SpanContext) []byte {
+	b = append(b, sc.Trace[:]...)
+	return binary.BigEndian.AppendUint64(b, sc.Span)
+}
+
+func (d *decoder) spanContext() obs.SpanContext {
+	if d.err != nil {
+		return obs.SpanContext{}
+	}
+	if len(d.buf) < spanContextSize {
+		d.fail("trace context")
+		return obs.SpanContext{}
+	}
+	var sc obs.SpanContext
+	copy(sc.Trace[:], d.buf[:16])
+	sc.Span = binary.BigEndian.Uint64(d.buf[16:spanContextSize])
+	d.buf = d.buf[spanContextSize:]
+	return sc
 }
 
 func (d *decoder) refs() []engine.TupleRef {

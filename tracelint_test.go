@@ -1,0 +1,188 @@
+package ldv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// spanStartNames are the methods/functions that begin a request-trace span.
+// Anything returned by one of them owns a slot in the flight recorder until
+// End is called; a span that is never ended keeps its whole trace open
+// forever and the trace never reaches the recorder.
+var spanStartNames = map[string]bool{
+	"StartSpan":   true,
+	"StartSpanIn": true,
+	"Child":       true,
+}
+
+// tracelintDirs are the packages on the request path whose spans the lint
+// polices. The obs package itself is exempt: it constructs spans internally.
+var tracelintDirs = []string{
+	"internal/engine",
+	"internal/server",
+	"internal/client",
+}
+
+// TestSpanEndDiscipline is the trace lint run by `make check`: in every
+// function of the request-path packages, a variable assigned from
+// StartSpan/StartSpanIn/Child must be ended by a `defer <var>.End()` in the
+// same function, so the span is closed on every return path — including
+// panics and early error returns. Span-start calls whose result is discarded
+// are rejected outright. The check is name-based (no type information), which
+// is exactly the point: adding an unrelated method named Child or End to
+// these packages should make someone look at this lint.
+func TestSpanEndDiscipline(t *testing.T) {
+	for _, dir := range tracelintDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					for _, p := range lintFunc(fset, fd) {
+						t.Errorf("%s: %s", filepath.Base(path), p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpanLintCatchesViolations proves the lint bites: un-ended spans,
+// discarded span starts, and non-deferred Ends are all reported, while the
+// blessed `sp := start; defer sp.End()` shape is not.
+func TestSpanLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"deferred end ok", `sp := obs.StartSpan("q"); defer sp.End(); _ = sp`, 0},
+		{"chained start ok", `sp := obs.StartSpan("q").SetAttr("k", "v"); defer sp.End(); _ = sp`, 0},
+		{"child ok", `sp := parent.Child("stage"); defer sp.End(); _ = sp`, 0},
+		{"no end", `sp := obs.StartSpan("q"); _ = sp`, 1},
+		{"non-deferred end", `sp := obs.StartSpan("q"); sp.End()`, 1},
+		{"discarded start", `parent.Child("stage")`, 1},
+		{"two leaks", `a := obs.StartSpan("q"); b := parent.Child("c"); _, _ = a, b`, 2},
+	}
+	for _, tc := range cases {
+		src := "package p\nfunc f() {\n" + tc.body + "\n}\n"
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := lintFunc(fset, f.Decls[0].(*ast.FuncDecl))
+		if len(got) != tc.want {
+			t.Errorf("%s: %d problems (want %d): %v", tc.name, len(got), tc.want, got)
+		}
+	}
+}
+
+// lintFunc checks one function — every span-start call must be assigned to a
+// variable, and every such variable must have a deferred End — returning one
+// message per violation.
+func lintFunc(fset *token.FileSet, fd *ast.FuncDecl) []string {
+	// Pass 1: span variables — LHS identifiers of assignments whose RHS
+	// contains a span-start call (covers chained calls like
+	// StartSpan(...).SetAttr(...)). Remember the start-call positions so
+	// pass 3 can spot calls outside any assignment.
+	spanVars := map[string]token.Pos{}
+	assigned := map[token.Pos]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			found := false
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isSpanStart(call) {
+					found = true
+					assigned[call.Pos()] = true
+				}
+				return true
+			})
+			if !found {
+				continue
+			}
+			// With one RHS per LHS the positions line up; a multi-value RHS
+			// (function call) taints every LHS conservatively.
+			if len(as.Lhs) == len(as.Rhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					spanVars[id.Name] = as.Pos()
+				}
+			} else {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						spanVars[id.Name] = as.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: deferred ends — defer <ident>.End().
+	ended := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		df, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if sel, ok := df.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				ended[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	var problems []string
+	for name, pos := range spanVars {
+		if !ended[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: span %q started in %s has no `defer %s.End()`",
+				position(fset, pos), name, fd.Name.Name, name))
+		}
+	}
+
+	// Pass 3: span-start calls outside any assignment leak their span.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanStart(call) || assigned[call.Pos()] {
+			return true
+		}
+		problems = append(problems, fmt.Sprintf(
+			"%s: span-start result discarded in %s — assign it and `defer .End()`",
+			position(fset, call.Pos()), fd.Name.Name))
+		return true
+	})
+	return problems
+}
+
+// isSpanStart reports whether a call is StartSpan/StartSpanIn/Child (as a
+// selector, e.g. obs.StartSpan or parent.Child).
+func isSpanStart(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && spanStartNames[sel.Sel.Name]
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%d:%d", p.Line, p.Column)
+}
