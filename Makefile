@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench ops-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench repl-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -13,22 +13,25 @@ vet:
 	$(GO) vet ./...
 
 # The observability registry is all lock-free atomics and the engine/server
-# are concurrent (per-session transactions, MVCC reads); always exercise
-# those three packages under the race detector.
+# are concurrent (per-session transactions, MVCC reads), and replication
+# applies WAL records concurrently with replica reads; always exercise those
+# packages under the race detector.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/server/...
+	$(GO) test -race ./internal/obs/... ./internal/engine/... ./internal/server/... ./internal/repl/...
 
 # Full verification: vet, the docs lint (every package needs a godoc
 # comment), the trace lint (every span started on the request path must be
-# ended via defer), the durability crash matrix under the race detector,
-# then the whole tree under the race detector.
+# ended via defer), the durability and replication crash matrices under the
+# race detector, then the whole tree under the race detector with shuffled
+# test order (to surface order-dependent state).
 check:
 	$(GO) vet ./...
 	$(GO) test -run TestPackageDocComments .
 	$(GO) test -run TestSpanEndDiscipline .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
-	$(GO) test -race ./...
+	$(GO) test -race -run TestReplicaCrashMatrix ./internal/repl
+	$(GO) test -race -shuffle=on ./...
 
 # One testing.B benchmark per paper table/figure plus engine micro-benches.
 bench:
@@ -39,6 +42,7 @@ examples:
 	$(GO) run ./examples/halofinder
 	$(GO) run ./examples/tpch
 	$(GO) run ./examples/partialreplay
+	$(GO) run ./examples/replication
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -49,6 +53,7 @@ fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzTraceContext -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzReplMessages -fuzztime 30s
 	$(GO) test ./internal/sqlval -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/engine -fuzz FuzzWALDecode -fuzztime 30s
 	$(GO) test ./internal/engine -fuzz FuzzWALScan -fuzztime 30s
@@ -61,6 +66,11 @@ recover-bench:
 # Request-tracing overhead on a read-only workload (budget: <5%).
 trace-bench:
 	$(GO) run ./cmd/ldv-bench -exp tracing | tee results/tracing.txt
+
+# Read scaling with streaming WAL replicas + steady-state lag
+# (EXPERIMENTS.md "Replication").
+repl-bench:
+	$(GO) run ./cmd/ldv-bench -exp replication | tee results/replication.txt
 
 # Boot a throwaway ldvdb with the ops endpoint enabled and show /metrics —
 # the 30-second demo of the observability surface. Cleans up after itself.
@@ -77,6 +87,11 @@ ops-demo:
 	echo "== GET /traces =="; curl -sf http://127.0.0.1:18089/traces; echo; \
 	kill $$pid; wait $$pid 2>/dev/null; \
 	rm -rf /tmp/ldv-ops-demo
+
+# Boot a primary and a read replica over TCP in one process, run a routed
+# read-your-writes query, and promote the replica — the replication demo.
+repl-demo:
+	$(GO) run ./examples/replication
 
 clean:
 	rm -f *.ldvpkg test_output.txt bench_output.txt

@@ -4,15 +4,22 @@
 // Usage:
 //
 //	ldvdb -addr 127.0.0.1:5544 -data ./ldvdata [-init schema.sql] [-ops :8089]
+//	ldvdb -addr 127.0.0.1:5545 -replica-of 127.0.0.1:5544 [-replica-id r1]
 //
 // Connect with ldvsql. Commits are written ahead to a WAL in the data
 // directory before they are acknowledged; on startup the server recovers the
 // latest checkpoint and replays the WAL tail, and a background checkpointer
 // truncates the log. On SIGINT the server takes a final checkpoint and exits.
 //
+// With -replica-of the server instead runs as a read replica: it bootstraps
+// a snapshot from the primary, tails its WAL stream, serves read-only
+// queries (gated by Query.MinApplied for read-your-writes), and rejects
+// writes until promoted via POST /replication/promote on the ops endpoint.
+//
 // With -ops the server also exposes an operations HTTP endpoint serving
 // Prometheus metrics (/metrics), the request-trace flight recorder
-// (/traces), and net/http/pprof profiles (/debug/pprof/).
+// (/traces), replication status (/replication), and net/http/pprof profiles
+// (/debug/pprof/).
 package main
 
 import (
@@ -29,84 +36,129 @@ import (
 	"ldv/internal/obs"
 	obslog "ldv/internal/obs/log"
 	"ldv/internal/ops"
+	"ldv/internal/repl"
 	"ldv/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:5544", "listen address")
-		dataDir  = flag.String("data", "./ldvdata", "data directory on disk")
-		initFile = flag.String("init", "", "SQL script to run at startup (e.g. schema + load)")
-		ckpt     = flag.Duration("checkpoint", time.Minute, "background checkpoint interval (0 disables)")
-		quiet    = flag.Bool("quiet", false, "disable session logging")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		opsAddr  = flag.String("ops", "", "operations HTTP endpoint address (e.g. :8089; empty disables)")
-		slow     = flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
+		addr      = flag.String("addr", "127.0.0.1:5544", "listen address")
+		dataDir   = flag.String("data", "./ldvdata", "data directory on disk")
+		initFile  = flag.String("init", "", "SQL script to run at startup (e.g. schema + load)")
+		ckpt      = flag.Duration("checkpoint", time.Minute, "background checkpoint interval (0 disables)")
+		quiet     = flag.Bool("quiet", false, "disable session logging")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		opsAddr   = flag.String("ops", "", "operations HTTP endpoint address (e.g. :8089; empty disables)")
+		slow      = flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
+		replicaOf = flag.String("replica-of", "", "run as a read replica of this primary address")
+		replicaID = flag.String("replica-id", "", "replica identity announced to the primary (default: the listen address)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataDir, *initFile, *opsAddr, *ckpt, *slow, *quiet, *logLevel); err != nil {
+	cfg := config{
+		addr: *addr, dataDir: *dataDir, initFile: *initFile, opsAddr: *opsAddr,
+		ckpt: *ckpt, slow: *slow, quiet: *quiet, logLevel: *logLevel,
+		replicaOf: *replicaOf, replicaID: *replicaID,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ldvdb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, initFile, opsAddr string, ckpt, slow time.Duration, quiet bool, logLevel string) error {
-	fs := diskfs.New(dataDir)
+// config carries the parsed command line.
+type config struct {
+	addr, dataDir, initFile, opsAddr string
+	ckpt, slow                       time.Duration
+	quiet                            bool
+	logLevel                         string
+	replicaOf, replicaID             string
+}
+
+func run(cfg config) error {
 	db := engine.NewDB(nil)
 
 	var logger *obslog.Logger
-	if !quiet {
-		logger = obslog.New(os.Stderr, obslog.ParseLevel(logLevel))
+	if !cfg.quiet {
+		logger = obslog.New(os.Stderr, obslog.ParseLevel(cfg.logLevel))
 	}
 	srv := server.New(db, logger)
-	srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
-	srv.SetSlowQueryThreshold(slow)
+	srv.SetSlowQueryThreshold(cfg.slow)
 
-	stats, err := srv.EnableDurability(fs, "/", ckpt)
-	if err != nil {
-		return fmt.Errorf("recover data dir: %w", err)
-	}
-	logger.Info("recovered", "tables", int64(stats.Tables), "data", dataDir,
-		"replayed_txns", int64(stats.ReplayedTxns))
-
-	if initFile != "" {
-		script, err := os.ReadFile(initFile)
+	var replStatus ops.Replication
+	if cfg.replicaOf != "" {
+		// Replica mode: no local durability — the primary's WAL is the
+		// source of truth and reconnects re-bootstrap from a fresh snapshot.
+		id := cfg.replicaID
+		if id == "" {
+			id = cfg.addr
+		}
+		r := repl.New(db, id, func() (net.Conn, error) {
+			return net.Dial("tcp", cfg.replicaOf)
+		})
+		r.Start()
+		defer r.Stop()
+		srv.SetReadGate(r)
+		replStatus = r
+		logger.Info("replicating", "primary", cfg.replicaOf, "id", id)
+	} else {
+		fs := diskfs.New(cfg.dataDir)
+		srv.SetFS(fs) // enables COPY table FROM/TO 'path' against the data root
+		stats, err := srv.EnableDurability(fs, "/", cfg.ckpt)
 		if err != nil {
-			return err
+			return fmt.Errorf("recover data dir: %w", err)
 		}
-		if _, err := db.ExecScript(string(script), engine.ExecOptions{}); err != nil {
-			return fmt.Errorf("init script: %w", err)
+		logger.Info("recovered", "tables", int64(stats.Tables), "data", cfg.dataDir,
+			"replayed_txns", int64(stats.ReplayedTxns))
+
+		if cfg.initFile != "" {
+			script, err := os.ReadFile(cfg.initFile)
+			if err != nil {
+				return err
+			}
+			if _, err := db.ExecScript(string(script), engine.ExecOptions{}); err != nil {
+				return fmt.Errorf("init script: %w", err)
+			}
+			logger.Info("ran init script", "file", cfg.initFile)
 		}
-		logger.Info("ran init script", "file", initFile)
+
+		// Durability is on, so the WAL exists and the node can serve replicas.
+		p, err := repl.NewPrimary(db)
+		if err != nil {
+			return fmt.Errorf("replication source: %w", err)
+		}
+		srv.SetReplicationSource(p)
+		replStatus = p
 	}
 
-	if opsAddr != "" {
-		ol, err := net.Listen("tcp", opsAddr)
+	if cfg.opsAddr != "" {
+		ol, err := net.Listen("tcp", cfg.opsAddr)
 		if err != nil {
 			return fmt.Errorf("ops listener: %w", err)
 		}
 		go func() {
 			logger.Info("ops endpoint listening", "addr", ol.Addr().String())
-			if err := http.Serve(ol, ops.Handler(obs.Default())); err != nil {
+			if err := http.Serve(ol, ops.Handler(obs.Default(), ops.WithReplication(replStatus))); err != nil {
 				logger.Error("ops endpoint stopped", "err", err)
 			}
 		}()
 		defer ol.Close()
 	}
 
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("listening", "addr", addr, "data", dataDir)
+	logger.Info("listening", "addr", cfg.addr, "data", cfg.dataDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
 		<-sig
-		logger.Info("checkpointing", "data", dataDir)
-		if err := srv.Close(); err != nil {
-			logger.Error("final checkpoint failed", "err", err)
+		if cfg.replicaOf == "" {
+			logger.Info("checkpointing", "data", cfg.dataDir)
+			if err := srv.Close(); err != nil {
+				logger.Error("final checkpoint failed", "err", err)
+			}
 		}
 		l.Close()
 	}()

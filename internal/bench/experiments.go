@@ -327,6 +327,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"tracing":     TracingOverhead,
 		"concurrency": Concurrency,
 		"durability":  Durability,
+		"replication": Replication,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -341,7 +342,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "concurrency", "durability", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "concurrency", "durability", "replication", "ablation"}
 }
 
 // RunAll executes every experiment in order.

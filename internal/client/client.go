@@ -8,14 +8,22 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 
 	"ldv/internal/engine"
 	"ldv/internal/obs"
+	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
 	"ldv/internal/wire"
 )
+
+// ErrClosed is returned by operations on a connection that has been closed,
+// or that poisoned itself after a transport or protocol failure: once a
+// frame fails to decode, the stream position is unknowable and every
+// subsequent exchange would misparse, so the connection refuses further use.
+var ErrClosed = errors.New("client: connection closed")
 
 // Dialer abstracts connection establishment. osim.Process satisfies it, so
 // connecting through a simulated process emits the traced connect syscall;
@@ -67,14 +75,20 @@ func (BaseInterceptor) OnConnect(string, string) {}
 // OnClose implements Interceptor.
 func (BaseInterceptor) OnClose(string) {}
 
-// Conn is one client session.
+// Conn is one client session, optionally holding a second session to a read
+// replica that read-only statements are routed to.
 type Conn struct {
 	nc           net.Conn // nil in fully-replayed sessions
+	rnc          net.Conn // non-nil when a read replica is attached
 	proc         string
 	interceptors []Interceptor
 	closed       bool
+	broken       bool // poisoned by a transport/protocol error
 	inTxn        bool // server-reported transaction state from the last Ready
 	noTrace      bool
+
+	readYourWrites bool
+	lastCommitSeq  uint64 // CommitSeq of the last acknowledged write
 }
 
 // Options configure Dial.
@@ -89,6 +103,14 @@ type Options struct {
 	// header on queries, no "trace" startup option. This is the untraced
 	// baseline the tracing-overhead benchmark measures against.
 	NoTrace bool
+	// ReadReplica, when non-empty, is the address of a read replica. A
+	// second session is dialed there and read-only statements issued
+	// outside a transaction are routed to it.
+	ReadReplica string
+	// ReadYourWrites makes routed reads carry the CommitSeq of this
+	// connection's last write, so the replica's read gate holds the query
+	// until its apply loop has caught up to the client's own writes.
+	ReadYourWrites bool
 }
 
 // TraceOption is the Startup option string announcing that the client
@@ -102,36 +124,58 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{nc: nc, proc: opts.Proc, interceptors: opts.Interceptors, noTrace: opts.NoTrace}
+	c := &Conn{
+		nc: nc, proc: opts.Proc, interceptors: opts.Interceptors,
+		noTrace: opts.NoTrace, readYourWrites: opts.ReadYourWrites,
+	}
 	if nc != nil {
-		st := wire.Startup{Proc: opts.Proc, Database: opts.Database}
-		if !opts.NoTrace {
-			st.Options = []string{TraceOption}
-		}
-		if err := wire.Write(nc, st); err != nil {
-			nc.Close()
-			return nil, err
-		}
-		msg, err := wire.Read(nc)
+		inTxn, err := handshake(nc, opts)
 		if err != nil {
 			nc.Close()
 			return nil, err
 		}
-		if e, ok := msg.(wire.Error); ok {
-			nc.Close()
-			return nil, fmt.Errorf("server rejected session: %s", e.Message)
+		c.inTxn = inTxn
+		if opts.ReadReplica != "" {
+			rnc, err := d.Connect(opts.ReadReplica)
+			if err != nil {
+				nc.Close()
+				return nil, fmt.Errorf("read replica: %w", err)
+			}
+			if _, err := handshake(rnc, opts); err != nil {
+				rnc.Close()
+				nc.Close()
+				return nil, fmt.Errorf("read replica: %w", err)
+			}
+			c.rnc = rnc
 		}
-		r, ok := msg.(wire.Ready)
-		if !ok {
-			nc.Close()
-			return nil, fmt.Errorf("protocol error: expected Ready, got %T", msg)
-		}
-		c.inTxn = r.InTxn
 	}
 	for _, ic := range c.interceptors {
 		ic.OnConnect(opts.Proc, addr)
 	}
 	return c, nil
+}
+
+// handshake performs the startup exchange on one freshly-dialed connection.
+func handshake(nc net.Conn, opts Options) (inTxn bool, err error) {
+	st := wire.Startup{Proc: opts.Proc, Database: opts.Database}
+	if !opts.NoTrace {
+		st.Options = []string{TraceOption}
+	}
+	if err := wire.Write(nc, st); err != nil {
+		return false, err
+	}
+	msg, err := wire.Read(nc)
+	if err != nil {
+		return false, err
+	}
+	if e, ok := msg.(wire.Error); ok {
+		return false, fmt.Errorf("server rejected session: %s", e.Message)
+	}
+	r, ok := msg.(wire.Ready)
+	if !ok {
+		return false, fmt.Errorf("protocol error: expected Ready, got %T", msg)
+	}
+	return r.InTxn, nil
 }
 
 // Proc returns the process identity announced at startup.
@@ -141,10 +185,17 @@ func (c *Conn) Proc() string { return c.proc }
 // the last Ready frame. Replay-only sessions always report false.
 func (c *Conn) InTxn() bool { return c.inTxn }
 
-// Query executes one SQL statement and returns its full result.
+// LastCommitSeq returns the WAL sequence of this connection's most recent
+// acknowledged write, or 0 before any write. This is the position a
+// read-your-writes read waits for on a replica.
+func (c *Conn) LastCommitSeq() uint64 { return c.lastCommitSeq }
+
+// Query executes one SQL statement and returns its full result. On a
+// connection with a read replica attached, read-only statements outside a
+// transaction are routed to the replica.
 func (c *Conn) Query(sql string) (*engine.Result, error) {
-	if c.closed {
-		return nil, fmt.Errorf("connection closed")
+	if c.closed || c.broken {
+		return nil, ErrClosed
 	}
 	info := QueryInfo{SQL: sql}
 	for _, ic := range c.interceptors {
@@ -175,8 +226,8 @@ func (c *Conn) Exec(sql string) (*engine.Result, error) { return c.Query(sql) }
 // request. Fully-replayed sessions have no server to ask and return the
 // local process's snapshot instead (the replayer runs in-process anyway).
 func (c *Conn) Stats() (*obs.Snapshot, error) {
-	if c.closed {
-		return nil, fmt.Errorf("connection closed")
+	if c.closed || c.broken {
+		return nil, ErrClosed
 	}
 	if c.nc == nil {
 		return obs.TakeSnapshot(), nil
@@ -192,8 +243,8 @@ func (c *Conn) Stats() (*obs.Snapshot, error) {
 // traces, newest-first — via the wire Stats extension. Fully-replayed
 // sessions return the local process's flight recorder.
 func (c *Conn) Traces() ([]obs.TraceRecord, error) {
-	if c.closed {
-		return nil, fmt.Errorf("connection closed")
+	if c.closed || c.broken {
+		return nil, ErrClosed
 	}
 	if c.nc == nil {
 		return obs.Traces(), nil
@@ -210,8 +261,8 @@ func (c *Conn) Traces() ([]obs.TraceRecord, error) {
 // until the next call. A zero context clears the default. No-op for
 // replay-only sessions.
 func (c *Conn) SetTraceContext(sc obs.SpanContext) error {
-	if c.closed {
-		return fmt.Errorf("connection closed")
+	if c.closed || c.broken {
+		return ErrClosed
 	}
 	if c.nc == nil {
 		return nil
@@ -223,13 +274,15 @@ func (c *Conn) SetTraceContext(sc obs.SpanContext) error {
 // JSON document from the StatsResult.
 func (c *Conn) statsRoundTrip(kind byte) ([]byte, error) {
 	if err := wire.Write(c.nc, wire.Stats{Kind: kind}); err != nil {
-		return nil, err
+		c.broken = true
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	var data []byte
 	for {
 		msg, err := wire.Read(c.nc)
 		if err != nil {
-			return nil, err
+			c.broken = true
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		switch m := msg.(type) {
 		case wire.StatsResult:
@@ -239,6 +292,7 @@ func (c *Conn) statsRoundTrip(kind byte) ([]byte, error) {
 			if next, rerr := wire.Read(c.nc); rerr == nil {
 				r, ok := next.(wire.Ready)
 				if !ok {
+					c.broken = true
 					return nil, fmt.Errorf("protocol error after server error: %T", next)
 				}
 				c.inTxn = r.InTxn
@@ -251,6 +305,7 @@ func (c *Conn) statsRoundTrip(kind byte) ([]byte, error) {
 			}
 			return data, nil
 		default:
+			c.broken = true
 			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
 		}
 	}
@@ -269,21 +324,26 @@ func (c *Conn) notifyAfter(info QueryInfo, res *engine.Result, err error) {
 // read, i.e. after the server recorded its spans — seals the trace into the
 // flight recorder.
 func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
+	nc, minApplied := c.route(info)
 	var sp *obs.Span
 	if !c.noTrace {
 		sp = obs.StartSpan("client.query").SetAttr("sql", info.SQL)
 	}
 	defer sp.End()
-	q := wire.Query{SQL: info.SQL, WithLineage: info.WithLineage, Trace: sp.Context()}
-	if err := wire.Write(c.nc, q); err != nil {
-		return nil, err
+	q := wire.Query{SQL: info.SQL, WithLineage: info.WithLineage, Trace: sp.Context(), MinApplied: minApplied}
+	if err := wire.Write(nc, q); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	res := &engine.Result{TraceID: traceIDString(sp)}
 	var sawLineage bool
 	for {
-		msg, err := wire.Read(c.nc)
+		msg, err := wire.Read(nc)
 		if err != nil {
-			return nil, err
+			// The stream position is gone; no further frame boundary can be
+			// trusted, so poison the connection.
+			c.broken = true
+			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		switch m := msg.(type) {
 		case wire.RowDescription:
@@ -316,6 +376,10 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			res.End = m.End
 			res.ReadRefs = m.ReadRefs
 			res.WrittenRefs = m.WrittenRefs
+			res.CommitSeq = m.CommitSeq
+			if m.CommitSeq > 0 {
+				c.lastCommitSeq = m.CommitSeq
+			}
 			if sawLineage {
 				for len(res.Lineage) < len(res.Rows) {
 					res.Lineage = append(res.Lineage, nil)
@@ -323,21 +387,52 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			}
 		case wire.Error:
 			// Drain the Ready that follows an error.
-			if next, rerr := wire.Read(c.nc); rerr == nil {
-				r, ok := next.(wire.Ready)
-				if !ok {
-					return nil, fmt.Errorf("protocol error after server error: %T", next)
-				}
+			next, rerr := wire.Read(nc)
+			if rerr != nil {
+				c.broken = true
+				return nil, fmt.Errorf("server error: %s (then %v)", m.Message, rerr)
+			}
+			r, ok := next.(wire.Ready)
+			if !ok {
+				c.broken = true
+				return nil, fmt.Errorf("protocol error after server error: %T", next)
+			}
+			if nc == c.nc {
 				c.inTxn = r.InTxn
 			}
 			return nil, fmt.Errorf("server error: %s", m.Message)
 		case wire.Ready:
-			c.inTxn = m.InTxn
+			if nc == c.nc {
+				c.inTxn = m.InTxn
+			}
 			return res, nil
 		default:
+			c.broken = true
 			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
 		}
 	}
+}
+
+// route picks the connection for one statement: read-only statements outside
+// a transaction go to the read replica when one is attached, carrying the
+// read-your-writes bound if enabled. Everything else — writes, transaction
+// control, unparseable statements — goes to the primary.
+func (c *Conn) route(info QueryInfo) (net.Conn, uint64) {
+	if c.rnc == nil || c.inTxn {
+		return c.nc, 0
+	}
+	stmt, err := sqlparse.Parse(info.SQL)
+	if err != nil {
+		return c.nc, 0
+	}
+	if _, ok := stmt.(*sqlparse.Select); !ok {
+		return c.nc, 0
+	}
+	var min uint64
+	if c.readYourWrites {
+		min = c.lastCommitSeq
+	}
+	return c.rnc, min
 }
 
 // traceIDString renders a span's trace identity for Result stamping (""
@@ -357,6 +452,10 @@ func (c *Conn) Close() error {
 	c.closed = true
 	for _, ic := range c.interceptors {
 		ic.OnClose(c.proc)
+	}
+	if c.rnc != nil {
+		_ = wire.Write(c.rnc, wire.Terminate{})
+		_ = c.rnc.Close()
 	}
 	if c.nc == nil {
 		return nil

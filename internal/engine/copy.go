@@ -25,6 +25,9 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	db := s.db
+	if db.ReadOnly() {
+		return nil, fmt.Errorf("%w: COPY FROM rejected", ErrReadOnly)
+	}
 	t, err := db.lookupTable(table)
 	if err != nil {
 		return nil, err
@@ -82,9 +85,11 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 			db.endTxn(txn.id)
 			return nil, err
 		}
-		if cerr := db.commitTxn(txn, opts.Span); cerr != nil {
+		seq, cerr := db.commitTxn(txn, opts.Span)
+		if cerr != nil {
 			return nil, cerr
 		}
+		res.CommitSeq = seq
 	} else if err != nil {
 		return nil, err
 	}

@@ -29,8 +29,18 @@ type counterClock struct {
 
 func (c *counterClock) Tick() uint64 { return c.t.Add(1) }
 
+// Now reads the clock without advancing it (see ClockReader).
+func (c *counterClock) Now() uint64 { return c.t.Load() }
+
 // NewCounterClock returns a fresh logical clock starting at 1.
 func NewCounterClock() Clock { return &counterClock{} }
+
+// ClockReader is implemented by clocks that can be read without ticking.
+// Replication heartbeats use it to report the primary's current time so a
+// replica can express its lag in ticks.
+type ClockReader interface {
+	Now() uint64
+}
 
 // ExecOptions control one statement execution.
 type ExecOptions struct {
@@ -77,6 +87,12 @@ type Result struct {
 	// span; the auditor stamps it into provenance edges and the session log
 	// so a package answers "which trace wrote this tuple version".
 	TraceID string
+	// CommitSeq is the WAL record sequence this statement's commit occupies
+	// (0 when nothing was logged: reads, WAL-less databases, statements
+	// inside a still-open transaction). A client that later reads from a
+	// replica can demand the replica has applied at least this sequence —
+	// the read-your-writes bound.
+	CommitSeq uint64
 }
 
 // DB is an in-memory relational database with provenance support and MVCC
@@ -107,6 +123,12 @@ type DB struct {
 	activeTxns map[int64]struct{}
 	nextTxn    int64
 
+	// readOnly, when set, rejects every statement that would write (DML,
+	// DDL, COPY FROM) with ErrReadOnly. Replicas run in this mode until
+	// promoted; the replication apply path bypasses sessions and is not
+	// affected.
+	readOnly atomic.Bool
+
 	// defSess serves the DB-level Exec* compatibility API: callers that
 	// never open their own Session share this one (and therefore serialize
 	// with each other, as they did when the DB had a single global mutex).
@@ -125,6 +147,23 @@ func NewDB(clock Clock) *DB {
 		clock:      clock,
 		activeTxns: make(map[int64]struct{}),
 	}
+}
+
+// SetReadOnly toggles read-only mode: while set, write statements fail with
+// ErrReadOnly. A replica database is read-only from construction until
+// promotion.
+func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// ReadOnly reports whether the database currently rejects writes.
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
+
+// ClockNow peeks at the logical clock without advancing it, returning 0
+// when the clock cannot be read passively.
+func (db *DB) ClockNow() uint64 {
+	if r, ok := db.clock.(ClockReader); ok {
+		return r.Now()
+	}
+	return 0
 }
 
 // newStmtID assigns a database-wide unique statement id.
@@ -190,19 +229,19 @@ func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result,
 	return db.defaultSession().ExecStatement(stmt, opts)
 }
 
-func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
+func (db *DB) execCreateTable(s *sqlparse.CreateTable) (uint64, error) {
 	if len(s.Columns) == 0 {
-		return fmt.Errorf("table %q needs at least one column", s.Table)
+		return 0, fmt.Errorf("table %q needs at least one column", s.Table)
 	}
 	schema := Schema{}
 	seen := map[string]bool{}
 	pkCount := 0
 	for _, c := range s.Columns {
 		if seen[c.Name] {
-			return fmt.Errorf("duplicate column %q in table %q", c.Name, s.Table)
+			return 0, fmt.Errorf("duplicate column %q in table %q", c.Name, s.Table)
 		}
 		if IsProvColumn(c.Name) {
-			return fmt.Errorf("column name %q is reserved for provenance", c.Name)
+			return 0, fmt.Errorf("column name %q is reserved for provenance", c.Name)
 		}
 		seen[c.Name] = true
 		if c.PrimaryKey {
@@ -211,7 +250,7 @@ func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
 		schema.Columns = append(schema.Columns, Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey})
 	}
 	if pkCount > 1 {
-		return fmt.Errorf("table %q: at most one PRIMARY KEY column is supported", s.Table)
+		return 0, fmt.Errorf("table %q: at most one PRIMARY KEY column is supported", s.Table)
 	}
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
@@ -219,22 +258,23 @@ func (db *DB) execCreateTable(s *sqlparse.CreateTable) error {
 	if _, exists := db.tables[s.Table]; exists {
 		db.mu.Unlock()
 		if s.IfNotExists {
-			return nil
+			return 0, nil
 		}
-		return fmt.Errorf("table %q already exists", s.Table)
+		return 0, fmt.Errorf("table %q already exists", s.Table)
 	}
 	db.tables[s.Table] = newTable(s.Table, schema)
 	db.mu.Unlock()
-	if err := db.logDDL(redoEntry{kind: walCreate, table: s.Table, schema: schema}); err != nil {
+	seq, err := db.logDDL(redoEntry{kind: walCreate, table: s.Table, schema: schema})
+	if err != nil {
 		db.mu.Lock()
 		delete(db.tables, s.Table)
 		db.mu.Unlock()
-		return err
+		return 0, err
 	}
-	return nil
+	return seq, nil
 }
 
-func (db *DB) execDropTable(s *sqlparse.DropTable) error {
+func (db *DB) execDropTable(s *sqlparse.DropTable) (uint64, error) {
 	db.commitMu.RLock()
 	defer db.commitMu.RUnlock()
 	db.mu.Lock()
@@ -242,27 +282,29 @@ func (db *DB) execDropTable(s *sqlparse.DropTable) error {
 	if !exists {
 		db.mu.Unlock()
 		if s.IfExists {
-			return nil
+			return 0, nil
 		}
-		return fmt.Errorf("table %q does not exist", s.Table)
+		return 0, fmt.Errorf("table %q does not exist", s.Table)
 	}
 	delete(db.tables, s.Table)
 	db.mu.Unlock()
-	if err := db.logDDL(redoEntry{kind: walDrop, table: s.Table}); err != nil {
+	seq, err := db.logDDL(redoEntry{kind: walDrop, table: s.Table})
+	if err != nil {
 		db.mu.Lock()
 		db.tables[s.Table] = t
 		db.mu.Unlock()
-		return err
+		return 0, err
 	}
-	return nil
+	return seq, nil
 }
 
 // logDDL makes a catalog change durable as a single-entry WAL record (DDL
 // runs outside transactions; txn id 0 labels it). Caller holds
 // commitMu.RLock so Checkpoint's cut never splits a DDL's apply-and-log.
-func (db *DB) logDDL(e redoEntry) error {
+// Returns the record's WAL sequence (0 without a WAL).
+func (db *DB) logDDL(e redoEntry) (uint64, error) {
 	if db.wal == nil {
-		return nil
+		return 0, nil
 	}
 	return db.wal.Commit(encodeWALTxn(0, []redoEntry{e}))
 }
@@ -271,30 +313,32 @@ func (db *DB) logDDL(e redoEntry) error {
 // flushed to the WAL (when one is attached) *before* it leaves the active
 // set, so success here — the acknowledgment the caller relays — implies
 // durability. On a flush failure the transaction rolls back instead: the
-// client sees an error and the in-memory state matches the log.
-func (db *DB) commitTxn(x *Txn, parent *obs.Span) error {
+// client sees an error and the in-memory state matches the log. The
+// returned sequence is the WAL position of the commit record (0 when
+// nothing needed logging).
+func (db *DB) commitTxn(x *Txn, parent *obs.Span) (uint64, error) {
 	db.commitMu.RLock()
 	if db.wal == nil || len(x.redo) == 0 {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
-		return nil
+		return 0, nil
 	}
-	err := db.walCommit(x, parent)
+	seq, err := db.walCommit(x, parent)
 	if err == nil {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
-		return nil
+		return seq, nil
 	}
 	db.commitMu.RUnlock()
 	if rerr := x.rollback(); rerr != nil {
-		return fmt.Errorf("commit: %w (rollback: %v)", err, rerr)
+		return 0, fmt.Errorf("commit: %w (rollback: %v)", err, rerr)
 	}
-	return fmt.Errorf("commit: %w", err)
+	return 0, fmt.Errorf("commit: %w", err)
 }
 
 // walCommit flushes the transaction's redo record, under a wal.commit span
 // so a trace attributes group-commit latency to the request that paid it.
-func (db *DB) walCommit(x *Txn, parent *obs.Span) error {
+func (db *DB) walCommit(x *Txn, parent *obs.Span) (uint64, error) {
 	sp := parent.Child("wal.commit")
 	defer sp.End()
 	return db.wal.Commit(encodeWALTxn(x.id, x.redo))

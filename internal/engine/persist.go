@@ -292,7 +292,7 @@ func (db *DB) CreateTableFromSchema(name string, schema Schema) error {
 	}
 	db.tables[name] = newTable(name, schema)
 	db.mu.Unlock()
-	if err := db.logDDL(redoEntry{kind: walCreate, table: name, schema: schema}); err != nil {
+	if _, err := db.logDDL(redoEntry{kind: walCreate, table: name, schema: schema}); err != nil {
 		db.mu.Lock()
 		delete(db.tables, name)
 		db.mu.Unlock()

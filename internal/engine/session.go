@@ -275,7 +275,8 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		if s.txn == nil {
 			return finish(fmt.Errorf("no transaction is open"))
 		}
-		err := db.commitTxn(s.txn, opts.Span)
+		seq, err := db.commitTxn(s.txn, opts.Span)
+		res.CommitSeq = seq
 		s.txn = nil
 		if err == nil {
 			mTxnCommits.Inc()
@@ -299,6 +300,14 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		hSnapshotAge.Record(int64(res.Start - s.txn.snap.ts))
 	}
 
+	if db.ReadOnly() {
+		switch stmt.(type) {
+		case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
+			*sqlparse.CreateTable, *sqlparse.DropTable, *sqlparse.Copy:
+			return finish(fmt.Errorf("%w: statement rejected", ErrReadOnly))
+		}
+	}
+
 	var err error
 	switch st := stmt.(type) {
 	case *sqlparse.Select:
@@ -309,13 +318,13 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		if s.txn != nil {
 			err = fmt.Errorf("DDL is not allowed inside a transaction")
 		} else {
-			err = db.execCreateTable(st)
+			res.CommitSeq, err = db.execCreateTable(st)
 		}
 	case *sqlparse.DropTable:
 		if s.txn != nil {
 			err = fmt.Errorf("DDL is not allowed inside a transaction")
 		} else {
-			err = db.execDropTable(st)
+			res.CommitSeq, err = db.execDropTable(st)
 		}
 	case *sqlparse.Copy:
 		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
@@ -358,7 +367,9 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 			db.endTxn(txn.id) // abort; undo already ran, nothing to log
 			return err
 		}
-		return db.commitTxn(txn, opts.Span) // durability point of auto-commit DML
+		// Durability point of auto-commit DML.
+		res.CommitSeq, err = db.commitTxn(txn, opts.Span)
+		return err
 	}
 	return err
 }

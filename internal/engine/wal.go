@@ -81,14 +81,25 @@ type WAL struct {
 	size        int64  // flushed bytes, including the magic header
 	mirror      []byte // full log contents; maintained only without appender
 	failed      error  // sticky flush failure
+
+	// enqSeq numbers records as they enter a batch: the Nth record accepted
+	// by this WAL instance has sequence N (1-based). Sequences are the
+	// positions replication speaks in — a replica's applied-through point and
+	// a snapshot's cut are both record sequences. They are process-local:
+	// they restart from the scanned record count when the log is re-opened,
+	// which is safe because a replica that reconnects re-bootstraps from a
+	// fresh snapshot rather than resuming a position across primary restarts.
+	enqSeq  uint64
+	shipper func(firstSeq uint64, batch []byte)
 }
 
 // walBatch accumulates the records of one group-commit flush.
 type walBatch struct {
-	buf  []byte
-	nrec int
-	done chan struct{}
-	err  error
+	buf      []byte
+	nrec     int
+	firstSeq uint64 // sequence of the batch's first record
+	done     chan struct{}
+	err      error
 }
 
 // openWAL opens (or creates) the log file at dir/WALFileName, assuming its
@@ -96,6 +107,12 @@ type walBatch struct {
 func openWAL(fs FileSystem, dir string, data []byte) *WAL {
 	w := &WAL{fs: fs, path: path.Join(dir, WALFileName), size: int64(len(data))}
 	w.notFlushing = sync.NewCond(&w.mu)
+	if len(data) > len(walMagic) {
+		// Seed the record sequence past the records already in the log so
+		// sequences keep rising within this process even across EnableWAL
+		// re-opens of a non-empty log.
+		w.enqSeq = uint64(len(SplitWALBatch(data[len(walMagic):])))
+	}
 	if a, ok := fs.(FileAppender); ok {
 		w.appender = a
 	} else {
@@ -111,9 +128,32 @@ func (w *WAL) Size() int64 {
 	return w.size
 }
 
+// Seq returns the sequence number of the last record accepted for flushing.
+// Captured under DB.commitMu held exclusively (when no commit can be between
+// enqueue and acknowledgment), it is also the last *durable* sequence — the
+// property ReplicationSnapshot's cut relies on.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enqSeq
+}
+
+// SetShipper installs a hook invoked after every successful flush with the
+// batch's raw framed bytes and the sequence of its first record. Calls are
+// serialized and arrive in sequence order. The hook runs with the WAL's
+// internal lock held: it must be quick (hand the bytes to a queue) and must
+// never call back into the WAL.
+func (w *WAL) SetShipper(fn func(firstSeq uint64, batch []byte)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shipper = fn
+}
+
 // Commit appends one framed record for the payload and returns once the
-// batch containing it has been flushed — the durability point.
-func (w *WAL) Commit(payload []byte) error {
+// batch containing it has been flushed — the durability point. The returned
+// sequence number is the record's position in the log's logical record
+// stream (replication's coordinate system); it is 0 only on error.
+func (w *WAL) Commit(payload []byte) (uint64, error) {
 	rec := make([]byte, 0, walRecHeader+len(payload))
 	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
@@ -122,10 +162,12 @@ func (w *WAL) Commit(payload []byte) error {
 	w.mu.Lock()
 	if w.failed != nil {
 		w.mu.Unlock()
-		return w.failed
+		return 0, w.failed
 	}
+	w.enqSeq++
+	seq := w.enqSeq
 	if w.cur == nil {
-		w.cur = &walBatch{done: make(chan struct{})}
+		w.cur = &walBatch{done: make(chan struct{}), firstSeq: seq}
 	}
 	b := w.cur
 	b.buf = append(b.buf, rec...)
@@ -138,7 +180,10 @@ func (w *WAL) Commit(payload []byte) error {
 		w.mu.Unlock()
 	}
 	<-b.done
-	return b.err
+	if b.err != nil {
+		return 0, b.err
+	}
+	return seq, nil
 }
 
 // flushLoop drains pending batches. It is entered by the committer that
@@ -161,6 +206,9 @@ func (w *WAL) flushLoop() {
 			w.size += int64(len(b.buf))
 			mWALAppends.Add(int64(b.nrec))
 			mWALBytes.Add(int64(len(b.buf)))
+			if w.shipper != nil {
+				w.shipper(b.firstSeq, b.buf)
+			}
 		} else {
 			w.failed = fmt.Errorf("wal flush: %w", err)
 		}
@@ -374,6 +422,24 @@ func decodeWALTxn(payload []byte) (int64, []redoEntry, error) {
 		return 0, nil, fmt.Errorf("wal record: %d trailing bytes", len(b))
 	}
 	return txnID, entries, nil
+}
+
+// SplitWALBatch splits a flushed group-commit batch (the bytes a shipper
+// hook receives: concatenated framed records, no file magic) into the
+// individual record payloads, one per committed transaction. Malformed
+// framing terminates the walk — on shipper-produced input that never
+// happens, but the decoder stays total for defense in depth.
+func SplitWALBatch(batch []byte) [][]byte {
+	var recs [][]byte
+	for len(batch) >= walRecHeader {
+		l := binary.LittleEndian.Uint32(batch)
+		if l > walMaxRecord || int(l) > len(batch)-walRecHeader {
+			break
+		}
+		recs = append(recs, batch[walRecHeader:walRecHeader+int(l)])
+		batch = batch[walRecHeader+int(l):]
+	}
+	return recs
 }
 
 // scanWAL walks the framed records of a log image, calling fn for each

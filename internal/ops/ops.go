@@ -1,12 +1,15 @@
 // Package ops serves the operations HTTP endpoint of a standalone LDV
 // server: GET /metrics exposes the obs registry in Prometheus text format,
 // GET /traces serves the request-trace flight recorder as JSON (with an
-// optional ASCII waterfall form), and /debug/pprof/ mounts the standard
-// net/http/pprof profiles. The endpoint is read-only and carries no
+// optional ASCII waterfall form), GET /replication reports the node's
+// replication role and positions (with POST /replication/promote for
+// failover), and /debug/pprof/ mounts the standard net/http/pprof profiles.
+// Everything except promote is read-only, and nothing carries
 // authentication — bind it to a loopback or otherwise private address.
 package ops
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -17,8 +20,35 @@ import (
 	"ldv/internal/obs"
 )
 
+// Replication is the node's replication role as seen by the ops endpoint:
+// repl.Primary and repl.Replica both satisfy it (the interface keeps this
+// package free of a repl dependency).
+type Replication interface {
+	// ReplicationStatus reports role, positions, and lag as a JSON-ready map.
+	ReplicationStatus() map[string]any
+	// Promote makes a replica writable; on a primary it fails.
+	Promote() error
+}
+
+// Option customizes the ops handler.
+type Option func(*handlerConfig)
+
+type handlerConfig struct {
+	repl Replication
+}
+
+// WithReplication mounts /replication (status) and /replication/promote
+// (failover) backed by r.
+func WithReplication(r Replication) Option {
+	return func(c *handlerConfig) { c.repl = r }
+}
+
 // Handler returns the ops endpoint for a registry (typically obs.Default()).
-func Handler(reg *obs.Registry) http.Handler {
+func Handler(reg *obs.Registry, opts ...Option) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,6 +57,24 @@ func Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		ServeTraces(w, r, reg)
 	})
+	if cfg.repl != nil {
+		mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(cfg.repl.ReplicationStatus())
+		})
+		mux.HandleFunc("/replication/promote", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "promote requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			if err := cfg.repl.Promote(); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(cfg.repl.ReplicationStatus())
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -172,3 +172,48 @@ func FuzzTracesHandler(f *testing.F) {
 		}
 	})
 }
+
+// fakeRepl is a Replication stub: a replica that records promotion.
+type fakeRepl struct{ promoted bool }
+
+func (f *fakeRepl) ReplicationStatus() map[string]any {
+	role := "replica"
+	if f.promoted {
+		role = "promoted"
+	}
+	return map[string]any{"role": role, "applied_seq": 42}
+}
+
+func (f *fakeRepl) Promote() error { f.promoted = true; return nil }
+
+func TestReplicationEndpoint(t *testing.T) {
+	fr := &fakeRepl{}
+	h := Handler(testRegistry(t), WithReplication(fr))
+	code, body, ctype := get(t, h, "/replication")
+	if code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type = %q", ctype)
+	}
+	if !strings.Contains(body, `"role":"replica"`) || !strings.Contains(body, `"applied_seq":42`) {
+		t.Errorf("status body = %s", body)
+	}
+	// Promote requires POST.
+	if code, _, _ := get(t, h, "/replication/promote"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET promote code = %d", code)
+	}
+	req := httptest.NewRequest("POST", "/replication/promote", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !fr.promoted {
+		t.Fatalf("promote: code=%d promoted=%v", rec.Code, fr.promoted)
+	}
+	if _, body, _ := get(t, h, "/replication"); !strings.Contains(body, `"role":"promoted"`) {
+		t.Errorf("post-promote body = %s", body)
+	}
+	// Without the option the endpoint is absent.
+	if code, _, _ := get(t, Handler(testRegistry(t)), "/replication"); code != http.StatusNotFound {
+		t.Errorf("unmounted /replication code = %d", code)
+	}
+}

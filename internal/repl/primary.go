@@ -1,0 +1,269 @@
+package repl
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ldv/internal/engine"
+	"ldv/internal/wire"
+)
+
+// DefaultHeartbeat is the idle interval between keep-alive segments sent
+// to subscribers when no commits are flowing.
+const DefaultHeartbeat = 500 * time.Millisecond
+
+// Primary ships flushed WAL batches to subscribed replicas. It hooks the
+// WAL's post-flush shipper, so every record it forwards is already durable
+// on the primary, in flush order, with contiguous sequence numbers.
+type Primary struct {
+	db        *engine.DB
+	heartbeat time.Duration
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// segment is one flushed group-commit batch, split into records.
+type segment struct {
+	firstSeq uint64
+	ts       uint64
+	records  [][]byte
+}
+
+// subscriber is the per-replica shipping queue. The WAL flush goroutine
+// enqueues; the subscription's writer loop drains.
+type subscriber struct {
+	id string
+
+	mu      sync.Mutex
+	pending []segment
+	notify  chan struct{} // buffered(1): wakes the writer loop
+	done    chan struct{} // closed once when the subscription ends
+	once    sync.Once
+
+	appliedSeq uint64
+	appliedTS  uint64
+}
+
+func (s *subscriber) enqueue(seg segment) {
+	s.mu.Lock()
+	s.pending = append(s.pending, seg)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *subscriber) take() []segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs := s.pending
+	s.pending = nil
+	return segs
+}
+
+func (s *subscriber) close() { s.once.Do(func() { close(s.done) }) }
+
+// NewPrimary wires a Primary to db's WAL. Call it after durability is
+// enabled; it fails if the database has no WAL to ship from. Reattaching
+// the WAL afterwards (e.g. a second EnableDurability) detaches the shipper,
+// so create the Primary last.
+func NewPrimary(db *engine.DB) (*Primary, error) {
+	w := db.WAL()
+	if w == nil {
+		return nil, fmt.Errorf("replication: primary requires a WAL-enabled database")
+	}
+	p := &Primary{
+		db:        db,
+		heartbeat: DefaultHeartbeat,
+		subs:      make(map[*subscriber]struct{}),
+	}
+	w.SetShipper(p.ship)
+	return p, nil
+}
+
+// SetHeartbeat overrides the idle keep-alive interval (tests use a short one).
+func (p *Primary) SetHeartbeat(d time.Duration) { p.heartbeat = d }
+
+// ship runs on the WAL flush goroutine after each successful batch flush.
+// It must only hand the batch to subscriber queues — no WAL calls, no I/O.
+func (p *Primary) ship(firstSeq uint64, batch []byte) {
+	seg := segment{
+		firstSeq: firstSeq,
+		ts:       p.db.ClockNow(),
+		records:  engine.SplitWALBatch(batch),
+	}
+	p.mu.Lock()
+	for s := range p.subs {
+		s.enqueue(seg)
+	}
+	p.mu.Unlock()
+}
+
+func (p *Primary) addSub(s *subscriber) {
+	p.mu.Lock()
+	p.subs[s] = struct{}{}
+	p.mu.Unlock()
+	gSubscribers.Add(1)
+}
+
+func (p *Primary) removeSub(s *subscriber) {
+	p.mu.Lock()
+	delete(p.subs, s)
+	p.mu.Unlock()
+	gSubscribers.Add(-1)
+}
+
+// ServeSubscription handles one replica connection after the server reads a
+// Subscribe frame. It registers the shipping queue BEFORE cutting the
+// snapshot, so any batch flushed after the cut is already queued; records at
+// or before the cut are trimmed by sequence on the way out, which makes the
+// snapshot + stream hand-off gap-free and duplicate-free. The call owns the
+// connection until the subscription ends.
+func (p *Primary) ServeSubscription(conn net.Conn, proc string, sub wire.Subscribe) error {
+	id := sub.ReplicaID
+	if id == "" {
+		id = proc
+	}
+	s := &subscriber{
+		id:     id,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	p.addSub(s)
+	defer p.removeSub(s)
+	defer s.close()
+
+	snap, err := p.db.ReplicationSnapshot()
+	if err != nil {
+		_ = wire.Write(conn, wire.Error{Message: err.Error()})
+		return err
+	}
+	for _, img := range snap.Tables {
+		if err := wire.Write(conn, wire.SnapshotChunk{Table: img.Name, Data: img.Data}); err != nil {
+			return err
+		}
+		mSnapshotBytes.Add(int64(len(img.Data)))
+	}
+	if err := wire.Write(conn, wire.SnapshotChunk{Done: true, CutSeq: snap.CutSeq}); err != nil {
+		return err
+	}
+
+	// Reader side: consume acknowledgments and detect disconnect. The wire
+	// allows concurrent read/write on one conn, so this runs alongside the
+	// shipping loop below and ends it via s.done.
+	go func() {
+		defer s.close()
+		for {
+			msg, err := wire.Read(conn)
+			if err != nil {
+				return
+			}
+			switch m := msg.(type) {
+			case wire.ReplicaStatus:
+				s.mu.Lock()
+				s.appliedSeq, s.appliedTS = m.AppliedSeq, m.AppliedTS
+				s.mu.Unlock()
+				p.updateLag(m)
+			case wire.Terminate:
+				return
+			default:
+				slog.Warn("replication: unexpected message from replica", "replica", id, "type", fmt.Sprintf("%T", msg))
+			}
+		}
+	}()
+
+	nextSeq := snap.CutSeq + 1
+	ticker := time.NewTicker(p.heartbeat)
+	defer ticker.Stop()
+	for {
+		segs := s.take()
+		if len(segs) == 0 {
+			select {
+			case <-s.notify:
+			case <-s.done:
+				return nil
+			case <-ticker.C:
+				hb := wire.WALSegment{FirstSeq: nextSeq, PrimaryTS: p.db.ClockNow()}
+				if err := wire.Write(conn, hb); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for _, seg := range segs {
+			recs, first := seg.records, seg.firstSeq
+			end := first + uint64(len(recs))
+			if end <= nextSeq {
+				continue // entirely at or before the snapshot cut
+			}
+			if first < nextSeq {
+				recs = recs[nextSeq-first:]
+				first = nextSeq
+			}
+			if first > nextSeq {
+				// Cannot happen while the shipper hook runs under the WAL
+				// lock in flush order; bail rather than ship a gap.
+				return fmt.Errorf("replication: stream gap: batch starts at %d, expected %d", first, nextSeq)
+			}
+			msg := wire.WALSegment{FirstSeq: first, PrimaryTS: seg.ts, Records: recs}
+			if err := wire.Write(conn, msg); err != nil {
+				return err
+			}
+			nextSeq = end
+			mSegmentsOut.Inc()
+			mRecordsOut.Add(int64(len(recs)))
+			for _, r := range recs {
+				mBytesOut.Add(int64(len(r)))
+			}
+		}
+	}
+}
+
+// updateLag refreshes the primary-side lag gauges from one acknowledgment.
+// Read the WAL head before taking any Primary lock: the shipper hook runs
+// under the WAL mutex and takes p.mu, so the reverse order would deadlock.
+func (p *Primary) updateLag(m wire.ReplicaStatus) {
+	head := p.db.WAL().Seq()
+	if lag := int64(head) - int64(m.AppliedSeq); lag >= 0 {
+		gLagRecords.Set(lag)
+	}
+	if lag := int64(p.db.ClockNow()) - int64(m.AppliedTS); lag >= 0 {
+		gLagTicks.Set(lag)
+	}
+}
+
+// ReplicationStatus reports the primary's shipping state for the ops
+// endpoint: WAL head sequence plus per-subscriber applied positions.
+func (p *Primary) ReplicationStatus() map[string]any {
+	head := p.db.WAL().Seq() // before p.mu: see updateLag
+	p.mu.Lock()
+	subs := make([]map[string]any, 0, len(p.subs))
+	for s := range p.subs {
+		s.mu.Lock()
+		subs = append(subs, map[string]any{
+			"id":          s.id,
+			"applied_seq": s.appliedSeq,
+			"applied_ts":  s.appliedTS,
+			"lag_records": int64(head) - int64(s.appliedSeq),
+		})
+		s.mu.Unlock()
+	}
+	p.mu.Unlock()
+	sort.Slice(subs, func(i, j int) bool { return subs[i]["id"].(string) < subs[j]["id"].(string) })
+	return map[string]any{
+		"role":        "primary",
+		"head_seq":    head,
+		"subscribers": subs,
+	}
+}
+
+// Promote on a primary is a no-op failure: it is already writable.
+func (p *Primary) Promote() error {
+	return fmt.Errorf("replication: already a primary")
+}

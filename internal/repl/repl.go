@@ -1,0 +1,42 @@
+// Package repl implements streaming WAL replication: a primary-side
+// log-shipping service (Primary) and a replica-side bootstrap-and-apply
+// loop (Replica), connected over the ordinary wire protocol.
+//
+// A replica bootstraps DBLog-style: the primary cuts a consistent snapshot
+// under the commit barrier and records the WAL record sequence as the cut,
+// so the snapshot and the subsequent record stream partition the commit
+// history exactly — a record is either contained in the snapshot (sequence
+// ≤ cut) or shipped (sequence > cut), never both, never neither. After the
+// snapshot the primary forwards every flushed group-commit batch; the
+// replica applies records through the engine's redo machinery wrapped in
+// apply transactions, so concurrent replica reads are snapshot-consistent:
+// they observe a prefix of the primary's committed transactions and never
+// a torn batch.
+//
+// The applied-through sequence doubles as the read-your-writes coordinate:
+// clients remember the CommitSeq of their last write and send it as
+// Query.MinApplied to a replica, whose read gate holds the query until the
+// apply loop passes that point. Promote turns a replica writable for
+// failover; a promoted replica can itself become a Primary for cascading
+// topologies.
+package repl
+
+import "ldv/internal/obs"
+
+// Replication metrics. The lag gauges are maintained by the primary from
+// ReplicaStatus acknowledgments (worst lag across subscribers); applied_seq
+// and the counters below it are replica-side.
+var (
+	gSubscribers    = obs.GetGauge("repl.subscribers")
+	mSegmentsOut    = obs.GetCounter("repl.segments_shipped")
+	mRecordsOut     = obs.GetCounter("repl.records_shipped")
+	mBytesOut       = obs.GetCounter("repl.bytes_shipped")
+	mSnapshotBytes  = obs.GetCounter("repl.snapshot_bytes_shipped")
+	gLagRecords     = obs.GetGauge("repl.lag_records")
+	gLagTicks       = obs.GetGauge("repl.lag_ticks")
+	gAppliedSeq     = obs.GetGauge("repl.applied_seq")
+	mRecordsApplied = obs.GetCounter("repl.records_applied")
+	mBootstraps     = obs.GetCounter("repl.bootstraps")
+	mReconnects     = obs.GetCounter("repl.reconnects")
+	mPromotions     = obs.GetCounter("repl.promotions")
+)

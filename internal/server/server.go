@@ -52,6 +52,54 @@ type Server struct {
 	mu  sync.Mutex
 	fs  engine.FileSystem
 	dur *durability // non-nil once EnableDurability succeeds
+
+	// repl is the replication source serving Subscribe requests (a primary),
+	// gate the read gate replica servers consult before running queries.
+	repl ReplicationSource
+	gate ReadGate
+}
+
+// ReplicationSource serves replication subscriptions — the primary role.
+// ServeSubscription takes over the connection after the server read a
+// Subscribe message: it streams the bootstrap snapshot and then WAL
+// segments until the peer disconnects. Implemented by repl.Primary; an
+// interface here so the server package does not depend on repl.
+type ReplicationSource interface {
+	ServeSubscription(conn net.Conn, proc string, sub wire.Subscribe) error
+}
+
+// ReadGate delays queries on a replica until the local database has applied
+// at least minSeq (0 = just bootstrapped and live). Implemented by
+// repl.Replica.
+type ReadGate interface {
+	WaitApplied(minSeq uint64) error
+}
+
+// SetReplicationSource makes the server answer Subscribe messages from src
+// (pass nil to refuse them). Safe to call while serving.
+func (s *Server) SetReplicationSource(src ReplicationSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repl = src
+}
+
+// SetReadGate installs the query gate of a replica server (nil = none).
+func (s *Server) SetReadGate(g ReadGate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = g
+}
+
+func (s *Server) replicationSource() ReplicationSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl
+}
+
+func (s *Server) readGate() ReadGate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gate
 }
 
 // New returns a server over db. logger may be nil to disable logging; it
@@ -169,6 +217,24 @@ func (s *Server) HandleConn(conn net.Conn) {
 				slog.Error("stats failed", "err", err)
 				return
 			}
+		case wire.Subscribe:
+			src := s.replicationSource()
+			if src == nil {
+				if err := wire.Write(conn, wire.Error{Message: "this server is not a replication primary"}); err != nil {
+					return
+				}
+				if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
+					return
+				}
+				continue
+			}
+			// The connection becomes a replication subscription: the source
+			// owns it until the replica disconnects, then the session ends.
+			slog.Info("replication subscription", "replica", m.ReplicaID)
+			if err := src.ServeSubscription(conn, startup.Proc, m); err != nil {
+				slog.Error("replication subscription ended", "replica", m.ReplicaID, "err", err)
+			}
+			return
 		default:
 			if err := wire.Write(conn, wire.Error{Message: fmt.Sprintf("protocol error: unexpected %T", msg)}); err != nil {
 				return
@@ -227,6 +293,16 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logg
 		slog = slog.With("trace", sp.TraceID())
 	}
 	defer sp.End()
+	// On a replica, hold the query until the apply loop has caught up to the
+	// client's read-your-writes bound (and, bound or not, until the replica
+	// has bootstrapped at all).
+	if g := s.readGate(); g != nil {
+		if err := g.WaitApplied(q.MinApplied); err != nil {
+			mErrors.Inc()
+			slog.Error("read gate failed", "err", err, "min_applied", q.MinApplied)
+			return wire.Write(conn, wire.Error{Message: err.Error()})
+		}
+	}
 	t0 := time.Now()
 	res, err := s.exec(sess, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp})
 	elapsed := time.Since(t0)
@@ -268,6 +344,7 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logg
 		End:          res.End,
 		ReadRefs:     res.ReadRefs,
 		WrittenRefs:  res.WrittenRefs,
+		CommitSeq:    res.CommitSeq,
 	}
 	return wire.Write(conn, cc)
 }

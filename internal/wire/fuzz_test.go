@@ -25,6 +25,24 @@ func FuzzRead(f *testing.F) {
 	buf.Reset()
 	Write(&buf, Stats{Kind: StatsKindTraces})
 	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Subscribe{ReplicaID: "r1"})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, SnapshotChunk{Table: "t", Data: []byte{1, 2}, Done: true, CutSeq: 9})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, WALSegment{FirstSeq: 3, PrimaryTS: 8, Records: [][]byte{{4, 5}}})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, ReplicaStatus{ID: "r1", AppliedSeq: 2, AppliedTS: 7})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Query{SQL: "SELECT 1", MinApplied: 12})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, CommandComplete{RowsAffected: 1, CommitSeq: 12})
+	f.Add(buf.Bytes())
 	f.Add([]byte{'D', 0, 0, 0, 4, 1, 2, 3, 4})
 	f.Add([]byte{'?', 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{'c', 0, 0, 0, 3, 1, 2, 3})

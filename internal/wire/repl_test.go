@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestReplFieldsBackwardCompatible pins the trailing-field contract of the
+// replication extensions: zero CommitSeq / MinApplied encode byte-identically
+// to the pre-replication frames.
+func TestReplFieldsBackwardCompatible(t *testing.T) {
+	// CommandComplete without a commit sequence is the legacy frame.
+	legacy := encodePayload(CommandComplete{RowsAffected: 2, StmtID: 5, Start: 1, End: 9})
+	withZero := encodePayload(CommandComplete{RowsAffected: 2, StmtID: 5, Start: 1, End: 9, CommitSeq: 0})
+	if !bytes.Equal(legacy, withZero) {
+		t.Fatalf("zero-CommitSeq frame differs from legacy: %x vs %x", withZero, legacy)
+	}
+	m, err := decodePayload(TagCommandComplete, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc := m.(CommandComplete); cc.CommitSeq != 0 {
+		t.Fatalf("legacy CommandComplete decoded CommitSeq %d", cc.CommitSeq)
+	}
+
+	// Query without a bound is the legacy frame; with a bound the trace
+	// context is forced present so the decoder can distinguish extensions.
+	legacyQ := encodePayload(Query{SQL: "SELECT 1"})
+	if got := encodePayload(Query{SQL: "SELECT 1", MinApplied: 0}); !bytes.Equal(got, legacyQ) {
+		t.Fatalf("zero-MinApplied Query frame differs from legacy")
+	}
+	bound := encodePayload(Query{SQL: "SELECT 1", MinApplied: 7})
+	if len(bound) != len(legacyQ)+spanContextSize+1 {
+		t.Fatalf("bounded Query frame length %d, want %d", len(bound), len(legacyQ)+spanContextSize+1)
+	}
+	m, err = decodePayload(TagQuery, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.(Query)
+	if q.MinApplied != 7 || !q.Trace.IsZero() || q.SQL != "SELECT 1" {
+		t.Fatalf("bounded Query decoded as %#v", q)
+	}
+
+	// Both extensions together survive a round trip.
+	full := Query{SQL: "SELECT 2", Trace: testSpanContext(), MinApplied: 42}
+	m, err = decodePayload(TagQuery, encodePayload(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, full) {
+		t.Fatalf("round trip: got %#v, want %#v", m, full)
+	}
+}
+
+// TestReplDecodeErrors exercises the failure paths of the replication
+// message decoders: truncation must produce errors, never panics or
+// silently short values.
+func TestReplDecodeErrors(t *testing.T) {
+	// A WALSegment whose record count promises more than the frame holds.
+	seg := encodePayload(WALSegment{FirstSeq: 1, PrimaryTS: 2, Records: [][]byte{{9, 9, 9}}})
+	if _, err := decodePayload(TagWALSegment, seg[:len(seg)-2]); err == nil {
+		t.Fatal("truncated WALSegment record must fail")
+	}
+	if _, err := decodePayload(TagWALSegment, []byte{1, 2, 0xFF}); err == nil {
+		t.Fatal("bogus WALSegment record count must fail")
+	}
+	// A SnapshotChunk cut before its fixed fields.
+	if _, err := decodePayload(TagSnapshotChunk, []byte{1, 'x'}); err == nil {
+		t.Fatal("truncated SnapshotChunk must fail")
+	}
+	// A ReplicaStatus missing its positions.
+	st := encodePayload(ReplicaStatus{ID: "r", AppliedSeq: 300, AppliedTS: 4})
+	if _, err := decodePayload(TagReplicaStatus, st[:len(st)-1]); err == nil {
+		t.Fatal("truncated ReplicaStatus must fail")
+	}
+	// A Subscribe with a lying string length.
+	if _, err := decodePayload(TagSubscribe, []byte{0xF0}); err == nil {
+		t.Fatal("truncated Subscribe must fail")
+	}
+}
+
+// FuzzReplMessages round-trips the four replication message kinds over
+// arbitrary field values.
+func FuzzReplMessages(f *testing.F) {
+	f.Add("replica-1", uint64(5), uint64(9), []byte{1, 2, 3}, true)
+	f.Add("", uint64(0), uint64(0), []byte(nil), false)
+	f.Fuzz(func(t *testing.T, id string, seq, ts uint64, data []byte, done bool) {
+		norm := data
+		if len(norm) == 0 {
+			norm = nil // empty payloads decode as nil
+		}
+		msgs := []struct{ in, want Message }{
+			{Subscribe{ReplicaID: id}, Subscribe{ReplicaID: id}},
+			{SnapshotChunk{Table: id, Done: done, CutSeq: seq, Data: data},
+				SnapshotChunk{Table: id, Done: done, CutSeq: seq, Data: norm}},
+			{WALSegment{FirstSeq: seq, PrimaryTS: ts, Records: [][]byte{data}},
+				WALSegment{FirstSeq: seq, PrimaryTS: ts, Records: [][]byte{norm}}},
+			{ReplicaStatus{ID: id, AppliedSeq: seq, AppliedTS: ts},
+				ReplicaStatus{ID: id, AppliedSeq: seq, AppliedTS: ts}},
+		}
+		for _, m := range msgs {
+			var buf bytes.Buffer
+			if err := Write(&buf, m.in); err != nil {
+				t.Fatalf("Write(%#v): %v", m.in, err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read(%#v): %v", m.in, err)
+			}
+			if !reflect.DeepEqual(got, m.want) {
+				t.Fatalf("round trip: got %#v, want %#v", got, m.want)
+			}
+		}
+	})
+}

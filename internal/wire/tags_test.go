@@ -76,4 +76,52 @@ func TestTagCoverage(t *testing.T) {
 		}
 		names[n] = tag
 	}
+
+	// Every declared tag must be a decodePayload switch case (a registered
+	// kind nobody can parse is a wire-protocol bug) and must be produced by
+	// some message type's tag() method (otherwise it can never be encoded).
+	decodable := map[string]bool{}
+	produced := map[string]bool{}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		switch {
+		case fd.Name.Name == "decodePayload":
+			ast.Inspect(fd, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Tag") {
+						decodable[id.Name] = true
+					}
+				}
+				return true
+			})
+		case fd.Name.Name == "tag" && fd.Recv != nil:
+			ast.Inspect(fd, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, e := range ret.Results {
+					if id, ok := e.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Tag") {
+						produced[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for name := range declared {
+		if !decodable[name] {
+			t.Errorf("%s has no decodePayload case", name)
+		}
+		if !produced[name] {
+			t.Errorf("%s is not returned by any message tag() method", name)
+		}
+	}
 }

@@ -30,6 +30,10 @@ const (
 	TagStats           = 'T'
 	TagStatsResult     = 't'
 	TagTraceContext    = 'c'
+	TagSubscribe       = 'U'
+	TagSnapshotChunk   = 'K'
+	TagWALSegment      = 'W'
+	TagReplicaStatus   = 's'
 )
 
 // Tags lists every message tag the protocol defines, in declaration order.
@@ -40,6 +44,7 @@ func Tags() []byte {
 		TagStartup, TagQuery, TagRowDescription, TagDataRow, TagLineageRow,
 		TagCommandComplete, TagTupleValues, TagError, TagReady, TagTerminate,
 		TagStats, TagStatsResult, TagTraceContext,
+		TagSubscribe, TagSnapshotChunk, TagWALSegment, TagReplicaStatus,
 	}
 }
 
@@ -73,6 +78,14 @@ func TagName(tag byte) string {
 		return "StatsResult"
 	case TagTraceContext:
 		return "TraceContext"
+	case TagSubscribe:
+		return "Subscribe"
+	case TagSnapshotChunk:
+		return "SnapshotChunk"
+	case TagWALSegment:
+		return "WALSegment"
+	case TagReplicaStatus:
+		return "ReplicaStatus"
 	default:
 		return "unknown"
 	}
@@ -102,10 +115,16 @@ type Startup struct {
 // when non-zero, server-side spans for this statement join the client's
 // trace. It is encoded as a trailing fixed-size field, absent when zero, so
 // old peers interoperate.
+// MinApplied, when non-zero, is the read-your-writes bound for queries sent
+// to a read replica: the server delays execution until its database has
+// applied at least that WAL record sequence. Encoded after the trace
+// context as a trailing uvarint (the trace context is then always present,
+// zero or not, to keep the frame self-describing); absent means no bound.
 type Query struct {
 	SQL         string
 	WithLineage bool
 	Trace       obs.SpanContext
+	MinApplied  uint64
 }
 
 // RowDescription announces result columns.
@@ -128,12 +147,17 @@ type TupleValues struct {
 // CommandComplete ends a successful statement, reporting DML counts,
 // statement identity, its logical-time interval, and the tuple versions the
 // statement read and wrote (reenactment provenance for updates).
+// CommitSeq is the WAL record sequence the statement's commit occupies on
+// the primary (0 when nothing was logged); clients feed it back as
+// Query.MinApplied for read-your-writes on replicas. Trailing field,
+// absent when zero, so legacy frames are byte-identical.
 type CommandComplete struct {
 	RowsAffected int
 	StmtID       int64
 	Start, End   uint64
 	ReadRefs     []engine.TupleRef
 	WrittenRefs  []engine.TupleRef
+	CommitSeq    uint64
 }
 
 // Stats request kinds: which observability document the server should
@@ -176,6 +200,44 @@ type Ready struct {
 // Terminate closes the session.
 type Terminate struct{}
 
+// Subscribe converts the session into a replication subscription: the
+// server responds with a snapshot (SnapshotChunk stream) followed by an
+// endless WALSegment stream, and reads only ReplicaStatus (and Terminate)
+// from then on. ReplicaID names the replica for status pages and metrics.
+type Subscribe struct{ ReplicaID string }
+
+// SnapshotChunk carries one table of the bootstrap snapshot in the
+// checkpoint table-file format. The final chunk of a snapshot has Done set
+// and no table payload; its CutSeq is the WAL record sequence the snapshot
+// cuts the log at — the subscription's WALSegment stream continues from
+// CutSeq+1 and every earlier record is already contained in the snapshot.
+type SnapshotChunk struct {
+	Table  string
+	Done   bool
+	CutSeq uint64
+	Data   []byte
+}
+
+// WALSegment ships one flushed group-commit batch: Records holds the raw
+// WAL record payloads of consecutive sequences starting at FirstSeq.
+// PrimaryTS is the primary's logical clock at ship time, letting the
+// replica compute its lag in ticks. An empty Records slice is a heartbeat
+// (FirstSeq is then the next sequence the primary would ship).
+type WALSegment struct {
+	FirstSeq  uint64
+	PrimaryTS uint64
+	Records   [][]byte
+}
+
+// ReplicaStatus flows replica→primary on the subscription connection,
+// acknowledging the applied-through position; the primary turns it into
+// repl.lag_records / repl.lag_ticks gauges.
+type ReplicaStatus struct {
+	ID         string
+	AppliedSeq uint64
+	AppliedTS  uint64
+}
+
 func (Startup) tag() byte         { return TagStartup }
 func (TraceContext) tag() byte    { return TagTraceContext }
 func (Stats) tag() byte           { return TagStats }
@@ -189,6 +251,10 @@ func (CommandComplete) tag() byte { return TagCommandComplete }
 func (Error) tag() byte           { return TagError }
 func (Ready) tag() byte           { return TagReady }
 func (Terminate) tag() byte       { return TagTerminate }
+func (Subscribe) tag() byte       { return TagSubscribe }
+func (SnapshotChunk) tag() byte   { return TagSnapshotChunk }
+func (WALSegment) tag() byte      { return TagWALSegment }
+func (ReplicaStatus) tag() byte   { return TagReplicaStatus }
 
 // Write sends one message.
 func Write(w io.Writer, m Message) error {
@@ -251,7 +317,13 @@ func encodePayload(m Message) []byte {
 		b = appendString(b, v.SQL)
 		// Trace context trails the frame: exactly 24 bytes when present,
 		// absent when zero, so pre-tracing peers parse the frame unchanged.
-		if !v.Trace.IsZero() {
+		// A MinApplied bound trails the trace context, which is then encoded
+		// even when zero so the decoder can tell the two extensions apart.
+		switch {
+		case v.MinApplied > 0:
+			b = appendSpanContext(b, v.Trace)
+			b = binary.AppendUvarint(b, v.MinApplied)
+		case !v.Trace.IsZero():
 			b = appendSpanContext(b, v.Trace)
 		}
 	case RowDescription:
@@ -275,6 +347,11 @@ func encodePayload(m Message) []byte {
 		b = binary.AppendUvarint(b, v.End)
 		b = appendRefs(b, v.ReadRefs)
 		b = appendRefs(b, v.WrittenRefs)
+		// Trailing commit sequence, absent when nothing was logged, so the
+		// frame is byte-identical to the pre-replication protocol.
+		if v.CommitSeq > 0 {
+			b = binary.AppendUvarint(b, v.CommitSeq)
+		}
 	case Error:
 		b = appendString(b, v.Message)
 	case StatsResult:
@@ -293,6 +370,29 @@ func encodePayload(m Message) []byte {
 		}
 	case TraceContext:
 		b = appendSpanContext(b, v.Context)
+	case Subscribe:
+		b = appendString(b, v.ReplicaID)
+	case SnapshotChunk:
+		b = appendString(b, v.Table)
+		if v.Done {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, v.CutSeq)
+		b = append(b, v.Data...) // raw to frame end; length implied
+	case WALSegment:
+		b = binary.AppendUvarint(b, v.FirstSeq)
+		b = binary.AppendUvarint(b, v.PrimaryTS)
+		b = binary.AppendUvarint(b, uint64(len(v.Records)))
+		for _, rec := range v.Records {
+			b = binary.AppendUvarint(b, uint64(len(rec)))
+			b = append(b, rec...)
+		}
+	case ReplicaStatus:
+		b = appendString(b, v.ID)
+		b = binary.AppendUvarint(b, v.AppliedSeq)
+		b = binary.AppendUvarint(b, v.AppliedTS)
 	case Terminate:
 	}
 	return b
@@ -319,9 +419,13 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 	case TagQuery:
 		withLineage := d.byte() == 1
 		q := Query{WithLineage: withLineage, SQL: d.string()}
-		// Trailing trace context (absent in pre-tracing frames).
+		// Trailing trace context (absent in pre-tracing frames), then the
+		// optional MinApplied bound after it.
 		if d.err == nil && len(d.buf) > 0 {
 			q.Trace = d.spanContext()
+			if d.err == nil && len(d.buf) > 0 {
+				q.MinApplied = d.uvarint()
+			}
 		}
 		m = q
 	case TagRowDescription:
@@ -356,7 +460,7 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		}
 		m = TupleValues{Refs: refs, Rows: rows}
 	case TagCommandComplete:
-		m = CommandComplete{
+		cc := CommandComplete{
 			RowsAffected: int(d.varint()),
 			StmtID:       d.varint(),
 			Start:        d.uvarint(),
@@ -364,6 +468,11 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 			ReadRefs:     d.refs(),
 			WrittenRefs:  d.refs(),
 		}
+		// Trailing commit sequence (absent in pre-replication frames).
+		if d.err == nil && len(d.buf) > 0 {
+			cc.CommitSeq = d.uvarint()
+		}
+		m = cc
 	case TagError:
 		m = Error{Message: d.string()}
 	case TagStats:
@@ -386,6 +495,30 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		} else {
 			m = Ready{}
 		}
+	case TagSubscribe:
+		m = Subscribe{ReplicaID: d.string()}
+	case TagSnapshotChunk:
+		c := SnapshotChunk{Table: d.string(), Done: d.byte() == 1, CutSeq: d.uvarint()}
+		if d.err == nil {
+			c.Data = append([]byte(nil), d.buf...)
+			d.buf = nil
+		}
+		m = c
+	case TagWALSegment:
+		seg := WALSegment{FirstSeq: d.uvarint(), PrimaryTS: d.uvarint()}
+		n := d.uvarint()
+		if n > uint64(len(d.buf)) {
+			return nil, fmt.Errorf("wire WALSegment: record count %d exceeds frame", n)
+		}
+		if n > 0 {
+			seg.Records = make([][]byte, 0, n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			seg.Records = append(seg.Records, d.bytes())
+		}
+		m = seg
+	case TagReplicaStatus:
+		m = ReplicaStatus{ID: d.string(), AppliedSeq: d.uvarint(), AppliedTS: d.uvarint()}
 	case TagTerminate:
 		m = Terminate{}
 	default:
@@ -460,6 +593,21 @@ func (d *decoder) varint() int64 {
 		return 0
 	}
 	d.buf = d.buf[n:]
+	return v
+}
+
+// bytes reads a uvarint-length-prefixed byte slice (a copy).
+func (d *decoder) bytes() []byte {
+	l := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < l {
+		d.fail("bytes")
+		return nil
+	}
+	v := append([]byte(nil), d.buf[:l]...)
+	d.buf = d.buf[l:]
 	return v
 }
 

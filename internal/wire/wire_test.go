@@ -50,6 +50,15 @@ func TestRoundTripAllMessages(t *testing.T) {
 		Terminate{},
 		Stats{},
 		StatsResult{JSON: []byte(`{"counters":{"engine.stmts":7}}`)},
+		Subscribe{ReplicaID: "replica-1"},
+		Subscribe{},
+		SnapshotChunk{Table: "orders", Data: []byte{1, 2, 3}},
+		SnapshotChunk{Done: true, CutSeq: 99},
+		WALSegment{FirstSeq: 7, PrimaryTS: 123, Records: [][]byte{{0xAA}, {0xBB, 0xCC}, {0xDD}}},
+		WALSegment{FirstSeq: 8, PrimaryTS: 124},
+		ReplicaStatus{ID: "replica-1", AppliedSeq: 41, AppliedTS: 120},
+		CommandComplete{RowsAffected: 1, StmtID: 3, CommitSeq: 17},
+		Query{SQL: "SELECT 3", MinApplied: 55},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
