@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench repl-bench ops-demo repl-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench stat-demo repl-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -22,13 +22,15 @@ test:
 
 # Full verification: vet, the docs lint (every package needs a godoc
 # comment), the trace lint (every span started on the request path must be
-# ended via defer), the durability and replication crash matrices under the
-# race detector, then the whole tree under the race detector with shuffled
-# test order (to surface order-dependent state).
+# ended via defer), the metric lint (every registered metric needs a help
+# string and a conforming name), the durability and replication crash
+# matrices under the race detector, then the whole tree under the race
+# detector with shuffled test order (to surface order-dependent state).
 check:
 	$(GO) vet ./...
 	$(GO) test -run TestPackageDocComments .
 	$(GO) test -run TestSpanEndDiscipline .
+	$(GO) test -run TestMetricDescriptions .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
 	$(GO) test -race -run TestReplicaCrashMatrix ./internal/repl
 	$(GO) test -race -shuffle=on ./...
@@ -66,6 +68,11 @@ recover-bench:
 # Request-tracing overhead on a read-only workload (budget: <5%).
 trace-bench:
 	$(GO) run ./cmd/ldv-bench -exp tracing | tee results/tracing.txt
+
+# Statement-statistics overhead plus the ldv_stat_statements surface itself
+# (budget: <2%).
+stat-demo:
+	$(GO) run ./cmd/ldv-bench -exp introspection | tee results/introspection.txt
 
 # Read scaling with streaming WAL replicas + steady-state lag
 # (EXPERIMENTS.md "Replication").

@@ -315,19 +315,20 @@ func VMIComparison(cfg Config, w io.Writer) error {
 // runners.
 func Experiments() map[string]func(Config, io.Writer) error {
 	return map[string]func(Config, io.Writer) error{
-		"table2": Table2,
-		"table3": Table3,
-		"fig7a":  Fig7a,
-		"fig7b":  Fig7b,
-		"fig8a":  Fig8a,
-		"fig8b":  Fig8b,
-		"fig9":        Fig9,
-		"vmi":         VMIComparison,
-		"overhead":    Overhead,
-		"tracing":     TracingOverhead,
-		"concurrency": Concurrency,
-		"durability":  Durability,
-		"replication": Replication,
+		"table2":        Table2,
+		"table3":        Table3,
+		"fig7a":         Fig7a,
+		"fig7b":         Fig7b,
+		"fig8a":         Fig8a,
+		"fig8b":         Fig8b,
+		"fig9":          Fig9,
+		"vmi":           VMIComparison,
+		"overhead":      Overhead,
+		"tracing":       TracingOverhead,
+		"introspection": IntrospectionOverhead,
+		"concurrency":   Concurrency,
+		"durability":    Durability,
+		"replication":   Replication,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -342,7 +343,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "concurrency", "durability", "replication", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "durability", "replication", "ablation"}
 }
 
 // RunAll executes every experiment in order.

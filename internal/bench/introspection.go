@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+	"ldv/internal/server"
+	"ldv/internal/tpch"
+)
+
+// IntrospectionOverhead measures what always-on statement statistics cost:
+// the same TPC-H point and aggregate SELECTs run through client.Conn against
+// an in-process server once with the per-fingerprint statement store
+// collecting (the default) and once with it disabled, both dialed NoTrace so
+// span costs don't pollute the comparison. Rounds alternate between the
+// modes and each is scored by its fastest round, as in TracingOverhead. The
+// budget for the feature is <2% on this workload — fingerprinting rides the
+// lexer the parser already runs, and recording is atomics on a pre-existing
+// entry. The report closes with the introspection surface itself: the top
+// ldv_stat_statements rows queried back through SQL.
+func IntrospectionOverhead(cfg Config, w io.Writer) error {
+	const (
+		opsPerRound = 400
+		rounds      = 5
+	)
+
+	obs.Reset()
+	db := engine.NewDB(nil)
+	if _, err := tpch.Load(db, cfg.TPCH()); err != nil {
+		return err
+	}
+	srv := server.New(db, nil)
+	dialer := pipeDialer{srv}
+
+	reads := []string{
+		"SELECT COUNT(*) FROM supplier",
+		"SELECT SUM(s_acctbal) FROM supplier",
+		"SELECT n_name FROM nation WHERE n_nationkey = 7",
+		"SELECT c_name FROM customer WHERE c_custkey = 13",
+	}
+	runRound := func(collect bool, ops int) (time.Duration, error) {
+		obs.Statements().SetEnabled(collect)
+		conn, err := client.Dial(dialer, "pipe", client.Options{Proc: "stat-bench", NoTrace: true})
+		if err != nil {
+			return 0, err
+		}
+		defer conn.Close()
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := conn.Query(reads[i%len(reads)]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both paths: parser and catalog caches, pipe plumbing, and the
+	// statement store's per-fingerprint entries.
+	for _, collect := range []bool{false, true} {
+		if _, err := runRound(collect, opsPerRound/4); err != nil {
+			return err
+		}
+	}
+
+	best := map[bool]time.Duration{}
+	for r := 0; r < rounds; r++ {
+		for _, collect := range []bool{false, true} {
+			elapsed, err := runRound(collect, opsPerRound)
+			if err != nil {
+				return err
+			}
+			if cur, ok := best[collect]; !ok || elapsed < cur {
+				best[collect] = elapsed
+			}
+		}
+	}
+	obs.Statements().SetEnabled(true)
+
+	baseline, collected := best[false], best[true]
+	overhead := float64(collected-baseline) / float64(baseline) * 100
+
+	fmt.Fprintf(w, "Statement-stats overhead (read-only): SF %g, %d SELECTs/round, best of %d alternating rounds\n",
+		cfg.SF, opsPerRound, rounds)
+	fmt.Fprintf(w, "%-28s %12s %14s\n", "Mode", "Round ms", "Per query us")
+	perQuery := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(opsPerRound)
+	}
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "Stats disabled baseline", ms(baseline), perQuery(baseline))
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "Stats collected", ms(collected), perQuery(collected))
+	fmt.Fprintf(w, "Overhead: %.2f%% (budget: <2%%)\n\n", overhead)
+
+	// The surface itself, eating its own dog food: the hottest statements
+	// read back over the same wire protocol with a plain SELECT.
+	conn, err := client.Dial(dialer, "pipe", client.Options{Proc: "stat-bench", NoTrace: true})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	res, err := conn.Query(
+		"SELECT calls, p95_exec_ns, query FROM ldv_stat_statements ORDER BY calls DESC LIMIT 5")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SELECT calls, p95_exec_ns, query FROM ldv_stat_statements ORDER BY calls DESC LIMIT 5:\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%8d %12d  %s\n", row[0].Int(), row[1].Int(), row[2].Str())
+	}
+	return nil
+}

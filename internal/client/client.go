@@ -377,6 +377,7 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			res.ReadRefs = m.ReadRefs
 			res.WrittenRefs = m.WrittenRefs
 			res.CommitSeq = m.CommitSeq
+			res.Fingerprint = m.Fingerprint
 			if m.CommitSeq > 0 {
 				c.lastCommitSeq = m.CommitSeq
 			}

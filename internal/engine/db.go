@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -93,6 +94,13 @@ type Result struct {
 	// replica can demand the replica has applied at least this sequence —
 	// the read-your-writes bound.
 	CommitSeq uint64
+	// Fingerprint is the hex hash of the statement's normalized text — the
+	// join key against ldv_stat_statements ("" when unknown).
+	Fingerprint string
+
+	// planNS is the plan-phase (lock acquisition) duration, used to split
+	// exec time out of the statement total for per-fingerprint stats.
+	planNS int64
 }
 
 // DB is an in-memory relational database with provenance support and MVCC
@@ -129,6 +137,10 @@ type DB struct {
 	// affected.
 	readOnly atomic.Bool
 
+	// vtMu guards the system-view registry (see virtual.go).
+	vtMu    sync.RWMutex
+	virtual map[string]*VirtualTable
+
 	// defSess serves the DB-level Exec* compatibility API: callers that
 	// never open their own Session share this one (and therefore serialize
 	// with each other, as they did when the DB had a single global mutex).
@@ -142,11 +154,14 @@ func NewDB(clock Clock) *DB {
 	if clock == nil {
 		clock = NewCounterClock()
 	}
-	return &DB{
+	db := &DB{
 		tables:     make(map[string]*Table),
 		clock:      clock,
 		activeTxns: make(map[int64]struct{}),
+		virtual:    make(map[string]*VirtualTable),
 	}
+	db.registerBuiltinVirtualTables()
+	return db
 }
 
 // SetReadOnly toggles read-only mode: while set, write statements fail with
@@ -230,6 +245,9 @@ func (db *DB) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result,
 }
 
 func (db *DB) execCreateTable(s *sqlparse.CreateTable) (uint64, error) {
+	if strings.HasPrefix(s.Table, "ldv_stat_") || db.virtualTable(s.Table) != nil {
+		return 0, fmt.Errorf("table name %q is reserved for system views", s.Table)
+	}
 	if len(s.Columns) == 0 {
 		return 0, fmt.Errorf("table %q needs at least one column", s.Table)
 	}

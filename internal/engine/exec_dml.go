@@ -210,7 +210,10 @@ func (ec *stmtCtx) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result)
 		}
 		r.end = nv.version
 		r.endTxn = ec.txn.id
+		t.liveRows.Add(-1)
 		t.rows = append(t.rows, nv)
+		t.versions.Add(1)
+		t.liveRows.Add(1)
 		ec.txn.logUndo(t, undoUpdate(t, r, nv))
 		ec.txn.logRedo(redoEntry{kind: walEnd, table: s.Table, id: r.id, version: r.version, end: r.end})
 		ec.txn.logRedo(redoInsertEntry(s.Table, nv))
@@ -246,6 +249,7 @@ func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result)
 		}
 		r.end = ec.db.clock.Tick()
 		r.endTxn = ec.txn.id
+		t.liveRows.Add(-1)
 		if pk >= 0 {
 			key := r.vals[pk].GroupKey()
 			if t.pkIndex[key] == r {

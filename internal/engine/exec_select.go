@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,8 +44,14 @@ func (ec *stmtCtx) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result)
 	if err != nil {
 		return err
 	}
-	cols, rows, lineage, err := project(s, rel, withLineage)
-	if err != nil {
+	var cols []string
+	var rows [][]sqlval.Value
+	var lineage [][]TupleRef
+	if err := ec.ops.exec("project", "", func() (int, error) {
+		var perr error
+		cols, rows, lineage, perr = project(s, rel, withLineage, ec.ops)
+		return len(rows), perr
+	}); err != nil {
 		return err
 	}
 	res.Columns = cols
@@ -108,18 +115,26 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 	}
 
 	used := make([]bool, len(conjuncts))
-	cur, err := ec.scanTable(refs[0], withLineage, stmtID, collect)
-	if err != nil {
+	var cur relation
+	if err := ec.ops.exec("scan", refs[0].EffectiveName(), func() (int, error) {
+		var serr error
+		cur, serr = ec.scanTable(refs[0], withLineage, stmtID, collect)
+		return len(cur.tuples), serr
+	}); err != nil {
 		return nil, err
 	}
-	cur = applyResolvedFilters(cur, conjuncts, used)
+	cur = ec.applyFilters(cur, conjuncts, used)
 
 	for _, ref := range refs[1:] {
-		right, err := ec.scanTable(ref, withLineage, stmtID, collect)
-		if err != nil {
+		var right relation
+		if err := ec.ops.exec("scan", ref.EffectiveName(), func() (int, error) {
+			var serr error
+			right, serr = ec.scanTable(ref, withLineage, stmtID, collect)
+			return len(right.tuples), serr
+		}); err != nil {
 			return nil, err
 		}
-		right = applyResolvedFilters(right, conjuncts, used)
+		right = ec.applyFilters(right, conjuncts, used)
 		// Find equi-join keys between cur and right.
 		var leftKeys, rightKeys []sqlparse.Expr
 		for i, c := range conjuncts {
@@ -134,11 +149,14 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 			rightKeys = append(rightKeys, r)
 			used[i] = true
 		}
-		cur, err = hashJoin(cur, right, leftKeys, rightKeys)
-		if err != nil {
+		if err := ec.ops.exec("hash_join", ref.EffectiveName(), func() (int, error) {
+			var jerr error
+			cur, jerr = hashJoin(cur, right, leftKeys, rightKeys)
+			return len(cur.tuples), jerr
+		}); err != nil {
 			return nil, err
 		}
-		cur = applyResolvedFilters(cur, conjuncts, used)
+		cur = ec.applyFilters(cur, conjuncts, used)
 	}
 	for i, c := range conjuncts {
 		if !used[i] {
@@ -156,12 +174,31 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 					return nil, err
 				}
 			}
-			cur = filter(cur, []sqlparse.Expr{c})
+			cc := c
+			_ = ec.ops.exec("filter", cc.String(), func() (int, error) {
+				cur = filter(cur, []sqlparse.Expr{cc})
+				return len(cur.tuples), nil
+			})
 			used[i] = true
 		}
 	}
 
-	return aggregate(s, cur)
+	var ar *aggRelation
+	if err := ec.ops.exec("aggregate", exprListText(s.GroupBy), func() (int, error) {
+		var aerr error
+		ar, aerr = aggregate(s, cur)
+		if aerr != nil {
+			return 0, aerr
+		}
+		return len(ar.rel.tuples), nil
+	}); err != nil {
+		return nil, err
+	}
+	if !ar.aggregate {
+		// Plain query: the aggregate stage was a pass-through, not an operator.
+		ec.ops.dropLast()
+	}
+	return ar, nil
 }
 
 // splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
@@ -206,9 +243,9 @@ func equiJoinSides(c sqlparse.Expr, left, right *env) (l, r sqlparse.Expr, ok bo
 	return nil, nil, false
 }
 
-// applyResolvedFilters applies every not-yet-used conjunct that fully
+// applicableFilters collects every not-yet-used conjunct that fully
 // resolves in rel's env, marking them used.
-func applyResolvedFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) relation {
+func applicableFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) []sqlparse.Expr {
 	var applicable []sqlparse.Expr
 	for i, c := range conjuncts {
 		if used[i] || !resolvesIn(c, &rel.env) {
@@ -223,10 +260,22 @@ func applyResolvedFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) 
 		applicable = append(applicable, c)
 		used[i] = true
 	}
+	return applicable
+}
+
+// applyFilters applies the applicable conjuncts, recording a filter operator
+// when a collector is attached and any conjunct actually applied.
+func (ec *stmtCtx) applyFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) relation {
+	applicable := applicableFilters(rel, conjuncts, used)
 	if len(applicable) == 0 {
 		return rel
 	}
-	return filter(rel, applicable)
+	out := rel
+	_ = ec.ops.exec("filter", exprListText(applicable), func() (int, error) {
+		out = filter(rel, applicable)
+		return len(out.tuples), nil
+	})
+	return out
 }
 
 func filter(rel relation, conjuncts []sqlparse.Expr) relation {
@@ -258,6 +307,12 @@ func filter(rel relation, conjuncts []sqlparse.Expr) relation {
 func (ec *stmtCtx) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
 	t, err := ec.table(ref.Name)
 	if err != nil {
+		// Unknown names fall back to the system-view registry: virtual
+		// tables never appear in the lock footprint (lockTables skips
+		// unresolved names) and take no locks of their own.
+		if vt := ec.db.virtualTable(ref.Name); vt != nil {
+			return ec.scanVirtual(vt, ref), nil
+		}
 		return relation{}, err
 	}
 	name := ref.EffectiveName()
@@ -579,8 +634,9 @@ func (a *aggAcc) result() sqlval.Value {
 }
 
 // project evaluates the select list (star expansion excludes the hidden
-// provenance attributes), then applies DISTINCT, ORDER BY, and LIMIT.
-func project(s *sqlparse.Select, ar *aggRelation, withLineage bool) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
+// provenance attributes), then applies DISTINCT, ORDER BY, and LIMIT —
+// each recorded as its own operator when EXPLAIN ANALYZE is collecting.
+func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollector) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
 	rel := ar.rel
 
 	// Resolve output columns.
@@ -700,58 +756,71 @@ func project(s *sqlparse.Select, ar *aggRelation, withLineage bool) (cols []stri
 	}
 
 	if s.Distinct {
-		seen := map[string]int{}
-		dedup := outRows[:0:0]
-		var linSeen []map[TupleRef]bool // parallel to dedup, lazily built
-		for _, r := range outRows {
-			var sb strings.Builder
-			for _, v := range r.vals {
-				sb.WriteString(v.GroupKey())
-				sb.WriteByte(0)
-			}
-			k := sb.String()
-			if i, dup := seen[k]; dup {
-				// Union lineage through a per-row set; pairwise merging would
-				// be quadratic in the duplicate count.
-				if linSeen[i] == nil {
-					linSeen[i] = map[TupleRef]bool{}
-					for _, ref := range dedup[i].lineage {
-						linSeen[i][ref] = true
-					}
+		_ = oc.exec("distinct", "", func() (int, error) {
+			seen := map[string]int{}
+			dedup := outRows[:0:0]
+			var linSeen []map[TupleRef]bool // parallel to dedup, lazily built
+			for _, r := range outRows {
+				var sb strings.Builder
+				for _, v := range r.vals {
+					sb.WriteString(v.GroupKey())
+					sb.WriteByte(0)
 				}
-				for _, ref := range r.lineage {
-					if !linSeen[i][ref] {
-						linSeen[i][ref] = true
-						dedup[i].lineage = append(dedup[i].lineage, ref)
+				k := sb.String()
+				if i, dup := seen[k]; dup {
+					// Union lineage through a per-row set; pairwise merging would
+					// be quadratic in the duplicate count.
+					if linSeen[i] == nil {
+						linSeen[i] = map[TupleRef]bool{}
+						for _, ref := range dedup[i].lineage {
+							linSeen[i][ref] = true
+						}
 					}
+					for _, ref := range r.lineage {
+						if !linSeen[i][ref] {
+							linSeen[i][ref] = true
+							dedup[i].lineage = append(dedup[i].lineage, ref)
+						}
+					}
+					continue
 				}
-				continue
+				seen[k] = len(dedup)
+				dedup = append(dedup, r)
+				linSeen = append(linSeen, nil)
 			}
-			seen[k] = len(dedup)
-			dedup = append(dedup, r)
-			linSeen = append(linSeen, nil)
-		}
-		outRows = dedup
+			outRows = dedup
+			return len(outRows), nil
+		})
 	}
 
 	if len(s.OrderBy) > 0 {
-		sort.SliceStable(outRows, func(i, j int) bool {
-			for k, ob := range s.OrderBy {
-				a, b := outRows[i].keys[k], outRows[j].keys[k]
-				if a.Equal(b) {
-					continue
+		keys := make([]sqlparse.Expr, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.Expr
+		}
+		_ = oc.exec("sort", exprListText(keys), func() (int, error) {
+			sort.SliceStable(outRows, func(i, j int) bool {
+				for k, ob := range s.OrderBy {
+					a, b := outRows[i].keys[k], outRows[j].keys[k]
+					if a.Equal(b) {
+						continue
+					}
+					less := sqlval.SortLess(a, b)
+					if ob.Desc {
+						return !less
+					}
+					return less
 				}
-				less := sqlval.SortLess(a, b)
-				if ob.Desc {
-					return !less
-				}
-				return less
-			}
-			return false
+				return false
+			})
+			return len(outRows), nil
 		})
 	}
 	if s.Limit >= 0 && len(outRows) > s.Limit {
-		outRows = outRows[:s.Limit]
+		_ = oc.exec("limit", strconv.Itoa(s.Limit), func() (int, error) {
+			outRows = outRows[:s.Limit]
+			return len(outRows), nil
+		})
 	}
 
 	rows = make([][]sqlval.Value, len(outRows))

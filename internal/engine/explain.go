@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"ldv/internal/obs"
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// EXPLAIN [ANALYZE]: the execution tree comes back as ordinary result rows
+// (op, detail, rows, time_ns), so any client that can run a SELECT can read
+// a plan. Plain EXPLAIN renders the planned pipeline without executing or
+// locking anything; ANALYZE runs the inner statement with an opCollector
+// attached and reports the rows and wall time each operator actually
+// produced, discarding the inner statement's own result rows.
+
+// stmtWrites reports whether executing stmt would modify the database — the
+// read-only (replica) gate.
+func stmtWrites(stmt sqlparse.Statement) bool {
+	switch s := stmt.(type) {
+	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
+		*sqlparse.CreateTable, *sqlparse.DropTable:
+		return true
+	case *sqlparse.Copy:
+		return !s.To // COPY ... TO only reads
+	case *sqlparse.Explain:
+		// Plain EXPLAIN never executes; ANALYZE runs the inner statement.
+		return s.Analyze && stmtWrites(s.Stmt)
+	}
+	return false
+}
+
+// opCollector accumulates per-operator execution records for EXPLAIN
+// ANALYZE. The nil collector is the common (non-EXPLAIN) case: exec then
+// runs the operator with no timing, span, or allocation overhead.
+type opCollector struct {
+	parent *obs.Span
+	recs   []opRecord
+}
+
+// opRecord is one executed operator: what it did, the rows it produced, and
+// the wall time it took (child operators' time included — records appear in
+// completion order, children before parents).
+type opRecord struct {
+	op     string
+	detail string
+	rows   int
+	ns     int64
+}
+
+// exec runs one operator through the collector. f returns the operator's
+// output row count; the record is appended after f completes so nested
+// operators (e.g. the SELECT feeding an INSERT) list before their parent.
+func (oc *opCollector) exec(op, detail string, f func() (int, error)) error {
+	if oc == nil {
+		_, err := f()
+		return err
+	}
+	t0 := time.Now()
+	sp := oc.parent.Child("engine.op." + op)
+	defer sp.End()
+	n, err := f()
+	oc.recs = append(oc.recs, opRecord{op: op, detail: detail, rows: n, ns: int64(time.Since(t0))})
+	return err
+}
+
+// dropLast discards the most recent record (used when a stage turns out to
+// be a no-op, like aggregate over a plain query).
+func (oc *opCollector) dropLast() {
+	if oc != nil && len(oc.recs) > 0 {
+		oc.recs = oc.recs[:len(oc.recs)-1]
+	}
+}
+
+// execExplainStmt serves EXPLAIN and EXPLAIN ANALYZE.
+func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *Result) error {
+	res.Columns = []string{"op", "detail", "rows", "time_ns"}
+	if !ex.Analyze {
+		res.Rows = explainOutline(ex.Stmt)
+		return nil
+	}
+
+	oc := &opCollector{parent: opts.Span}
+	inner := &Result{StmtID: res.StmtID, Start: res.Start, TraceID: res.TraceID}
+	t0 := time.Now()
+	var err error
+	switch st := ex.Stmt.(type) {
+	case *sqlparse.Select:
+		err = s.execSelectOps(st, opts, inner, oc)
+	default:
+		err = s.execDMLOps(ex.Stmt, opts, inner, oc)
+	}
+	total := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	res.planNS = inner.planNS
+	res.RowsAffected = inner.RowsAffected
+	res.CommitSeq = inner.CommitSeq
+
+	rows := make([][]sqlval.Value, 0, len(oc.recs)+1)
+	for _, r := range oc.recs {
+		rows = append(rows, []sqlval.Value{
+			sqlval.NewString(r.op),
+			sqlval.NewString(r.detail),
+			sqlval.NewInt(int64(r.rows)),
+			sqlval.NewInt(r.ns),
+		})
+	}
+	resultRows := len(inner.Rows) + inner.RowsAffected
+	rows = append(rows, []sqlval.Value{
+		sqlval.NewString("result"),
+		sqlval.NewString(""),
+		sqlval.NewInt(int64(resultRows)),
+		sqlval.NewInt(int64(total)),
+	})
+	res.Rows = rows
+	return nil
+}
+
+// explainOutline renders the planned operator pipeline of a statement
+// without executing it: rows and time_ns are NULL. The order mirrors the
+// executor (exec_select.go's runSelect/project, exec_dml.go).
+func explainOutline(stmt sqlparse.Statement) [][]sqlval.Value {
+	var rows [][]sqlval.Value
+	add := func(op, detail string) {
+		rows = append(rows, []sqlval.Value{
+			sqlval.NewString(op), sqlval.NewString(detail), sqlval.Null, sqlval.Null,
+		})
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.Select:
+		outlineSelect(st, add)
+	case *sqlparse.Insert:
+		if st.Query != nil {
+			outlineSelect(st.Query, add)
+		}
+		add("insert", st.Table)
+	case *sqlparse.Update:
+		add("scan", st.Table)
+		if st.Where != nil {
+			add("filter", st.Where.String())
+		}
+		add("update", st.Table)
+	case *sqlparse.Delete:
+		add("scan", st.Table)
+		if st.Where != nil {
+			add("filter", st.Where.String())
+		}
+		add("delete", st.Table)
+	}
+	return rows
+}
+
+func outlineSelect(s *sqlparse.Select, add func(op, detail string)) {
+	if len(s.From) == 0 {
+		add("values", "")
+	} else {
+		add("scan", s.From[0].EffectiveName())
+		for _, r := range s.From[1:] {
+			add("scan", r.EffectiveName())
+			add("hash_join", r.EffectiveName())
+		}
+		for _, j := range s.Joins {
+			add("scan", j.Table.EffectiveName())
+			add("hash_join", j.Table.EffectiveName())
+		}
+	}
+	if s.Where != nil {
+		add("filter", s.Where.String())
+	}
+	var aggs []*sqlparse.FuncExpr
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			collectAggregates(it.Expr, &aggs)
+		}
+	}
+	if s.Having != nil {
+		collectAggregates(s.Having, &aggs)
+	}
+	if len(s.GroupBy) > 0 || len(aggs) > 0 {
+		add("aggregate", exprListText(s.GroupBy))
+	}
+	if s.Distinct {
+		add("distinct", "")
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]sqlparse.Expr, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.Expr
+		}
+		add("sort", exprListText(keys))
+	}
+	if s.Limit >= 0 {
+		add("limit", strconv.Itoa(s.Limit))
+	}
+	add("project", "")
+}
+
+// exprListText renders expressions as a comma-separated detail string.
+func exprListText(exprs []sqlparse.Expr) string {
+	if len(exprs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

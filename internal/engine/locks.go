@@ -133,11 +133,14 @@ func (ec *stmtCtx) lockTables(ls lockSet) func() {
 
 	t0 := time.Now()
 	for i, t := range locked {
+		w0 := time.Now()
 		if writeMode[i] {
 			t.mu.Lock()
 		} else {
 			t.mu.RLock()
 		}
+		t.lockWaits.Add(1)
+		t.lockWaitNS.Add(int64(time.Since(w0)))
 	}
 	hLockWait.Observe(time.Since(t0))
 

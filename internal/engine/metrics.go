@@ -8,38 +8,39 @@ import (
 )
 
 // Observability handles for the statement execution hot path. Updates are
-// single atomic operations; handle creation happens once at init.
+// single atomic operations; handle creation (and description registration)
+// happens once at init.
 var (
-	mStmts        = obs.GetCounter("engine.stmts")
-	mStmtErrors   = obs.GetCounter("engine.stmt_errors")
-	mRowsReturned = obs.GetCounter("engine.rows_returned")
-	mRowsAffected = obs.GetCounter("engine.rows_affected")
-	mRowsScanned  = obs.GetCounter("engine.rows_scanned")
-	mTxnCommits   = obs.GetCounter("engine.txn_commits")
-	mTxnRollbacks = obs.GetCounter("engine.txn_rollbacks")
+	mStmts        = obs.NewCounter("engine.stmts", "SQL statements executed")
+	mStmtErrors   = obs.NewCounter("engine.stmt_errors", "SQL statements that returned an error")
+	mRowsReturned = obs.NewCounter("engine.rows_returned", "Result rows returned by queries")
+	mRowsAffected = obs.NewCounter("engine.rows_affected", "Rows written by DML statements")
+	mRowsScanned  = obs.NewCounter("engine.rows_scanned", "Tuple versions examined by table scans")
+	mTxnCommits   = obs.NewCounter("engine.txn_commits", "Transactions committed")
+	mTxnRollbacks = obs.NewCounter("engine.txn_rollbacks", "Transactions rolled back")
 
 	// Concurrency health: how many transactions are open, how long statements
 	// wait for their table locks, and how far (in logical ticks) transaction
 	// snapshots trail the current clock when statements run against them.
-	gTxnsActive  = obs.GetGauge("engine.txns_active")
-	hLockWait    = obs.GetHistogram("engine.lock_wait_ns")
-	hSnapshotAge = obs.GetHistogram("engine.snapshot_age_ticks")
+	gTxnsActive  = obs.NewGauge("engine.txns_active", "Transactions currently open")
+	hLockWait    = obs.NewHistogram("engine.lock_wait_ns", "Time statements spend acquiring their table locks")
+	hSnapshotAge = obs.NewHistogram("engine.snapshot_age_ticks", "Logical-clock age of transaction snapshots at statement start")
 
-	hParse   = obs.GetHistogram("engine.parse_ns")
-	hLineage = obs.GetHistogram(obs.MetricLineageNS)
+	hParse   = obs.NewHistogram("engine.parse_ns", "SQL parse latency")
+	hLineage = obs.NewHistogram(obs.MetricLineageNS, "Lineage computation latency per statement")
 
 	// Durability: WAL traffic (records, bytes, group-commit flushes and
 	// their latency) and what the last recovery replayed.
-	mWALAppends     = obs.GetCounter("wal.appends")
-	mWALBytes       = obs.GetCounter("wal.bytes")
-	mWALFlushes     = obs.GetCounter("wal.flushes")
-	mWALTruncations = obs.GetCounter("wal.truncations")
-	hWALFlush       = obs.GetHistogram("wal.flush_ns")
-	mRecoveredTxns  = obs.GetCounter("recovery.replayed_txns")
-	hRecoveryNS     = obs.GetHistogram("recovery.ns")
+	mWALAppends     = obs.NewCounter("wal.appends", "Records appended to the write-ahead log")
+	mWALBytes       = obs.NewCounter("wal.bytes", "Bytes appended to the write-ahead log")
+	mWALFlushes     = obs.NewCounter("wal.flushes", "Group-commit flushes of the write-ahead log")
+	mWALTruncations = obs.NewCounter("wal.truncations", "WAL truncations after checkpoints")
+	hWALFlush       = obs.NewHistogram("wal.flush_ns", "WAL group-commit flush latency")
+	mRecoveredTxns  = obs.NewCounter("recovery.replayed_txns", "Transactions replayed by crash recovery")
+	hRecoveryNS     = obs.NewHistogram("recovery.ns", "Crash recovery duration")
 
 	// Per-kind statement latency. Unknown statement types fall back to
-	// hExecOther.
+	// hExecOther. The family prefix carries the shared description (see init).
 	hExecSelect = obs.GetHistogram("engine.exec_ns.select")
 	hExecInsert = obs.GetHistogram("engine.exec_ns.insert")
 	hExecUpdate = obs.GetHistogram("engine.exec_ns.update")
@@ -49,9 +50,13 @@ var (
 	hExecOther  = obs.GetHistogram("engine.exec_ns.other")
 )
 
+func init() {
+	obs.DescribePrefix("engine.exec_ns.", "Statement latency by statement kind")
+}
+
 // execHistogram picks the latency histogram for a parsed statement.
 func execHistogram(stmt sqlparse.Statement) *obs.Histogram {
-	switch stmt.(type) {
+	switch s := stmt.(type) {
 	case *sqlparse.Select:
 		return hExecSelect
 	case *sqlparse.Insert:
@@ -64,6 +69,8 @@ func execHistogram(stmt sqlparse.Statement) *obs.Histogram {
 		return hExecDDL
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
 		return hExecTxn
+	case *sqlparse.Explain:
+		return execHistogram(s.Stmt)
 	default:
 		return hExecOther
 	}
@@ -81,9 +88,43 @@ func observeStatement(stmt sqlparse.Statement, res *Result, err error, d time.Du
 	mRowsAffected.Add(int64(res.RowsAffected))
 }
 
-// timedParse wraps sqlparse.Parse with latency accounting (shared by the
-// engine's Exec and the server's COPY-intercepting exec path through
-// ParseTimed).
+// recordStatementStats folds one execution into the per-fingerprint store
+// behind ldv_stat_statements. Exec time is the total minus the plan phase
+// (lock acquisition), so contention shows up under plan, not exec.
+func recordStatementStats(p Parsed, res *Result, err error, total time.Duration) {
+	st := obs.Statements()
+	if !st.Enabled() {
+		return
+	}
+	execNS := int64(total) - res.planNS
+	if execNS < 0 {
+		execNS = 0
+	}
+	rows := int64(len(res.Rows)) + int64(res.RowsAffected)
+	st.Record(p.Fingerprint.Hash, p.Fingerprint.Text, p.ParseNS, res.planNS, execNS, rows, err != nil, res.TraceID)
+}
+
+// Parsed is one statement ready for execution: the AST, its fingerprint, and
+// how long the parse took (charged to the statement's stats entry).
+type Parsed struct {
+	Stmt        sqlparse.Statement
+	Fingerprint sqlparse.Fingerprint
+	ParseNS     int64
+}
+
+// ParseStatement parses one statement and computes its fingerprint in a
+// single lex pass, recording the engine.parse_ns latency metric — the parse
+// entry point for Session.Exec and the server.
+func ParseStatement(sql string) (Parsed, error) {
+	t0 := time.Now()
+	stmt, fp, err := sqlparse.ParseFingerprinted(sql)
+	d := time.Since(t0)
+	hParse.Observe(d)
+	return Parsed{Stmt: stmt, Fingerprint: fp, ParseNS: int64(d)}, err
+}
+
+// timedParse wraps sqlparse.Parse with latency accounting, for callers that
+// do not need a fingerprint.
 func timedParse(sql string) (sqlparse.Statement, error) {
 	t0 := time.Now()
 	stmt, err := sqlparse.Parse(sql)

@@ -202,6 +202,8 @@ func (db *DB) applyRedo(ix *replayIndex, e redoEntry) error {
 		}
 		r := &storedRow{id: e.id, vals: e.vals, version: e.version, proc: e.proc, stmt: e.stmt}
 		t.rows = append(t.rows, r)
+		t.versions.Add(1)
+		t.liveRows.Add(1)
 		m[key] = r
 		return nil
 	case walEnd:
@@ -211,6 +213,7 @@ func (db *DB) applyRedo(ix *replayIndex, e redoEntry) error {
 		}
 		if r, ok := ix.forTable(t)[TupleRef{Row: e.id, Version: e.version}]; ok && r.end == 0 {
 			r.end = e.end
+			t.liveRows.Add(-1)
 		}
 		// A missing version is fine: the checkpoint may already exclude it
 		// (superseded versions are not checkpointed).

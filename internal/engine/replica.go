@@ -225,6 +225,7 @@ func (db *DB) applyLive(ix *replayIndex, applyTxn int64, e redoEntry, maxTS *uin
 		if r, ok := ix.forTable(t)[TupleRef{Row: e.id, Version: e.version}]; ok && r.end == 0 {
 			r.end = e.end
 			r.endTxn = applyTxn
+			t.liveRows.Add(-1)
 			if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
 				if key := r.vals[pk].GroupKey(); t.pkIndex[key] == r {
 					delete(t.pkIndex, key)

@@ -218,11 +218,11 @@ func (s *Session) Close() error {
 
 // Exec parses and executes a single SQL statement on this session.
 func (s *Session) Exec(sql string, opts ExecOptions) (*Result, error) {
-	stmt, err := timedParse(sql)
+	p, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStatement(stmt, opts)
+	return s.ExecParsed(p, opts)
 }
 
 // ExecScript parses and executes a semicolon-separated script, stopping at
@@ -245,19 +245,36 @@ func (s *Session) ExecScript(sql string, opts ExecOptions) ([]*Result, error) {
 	return results, nil
 }
 
-// ExecStatement executes a parsed statement on this session.
+// ExecStatement executes a parsed statement on this session. The statement's
+// fingerprint is recovered from its normalized rendering; callers that parsed
+// with ParseStatement should prefer ExecParsed, which reuses the fingerprint
+// computed during the parse.
 func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Result, error) {
+	return s.ExecParsed(Parsed{Stmt: stmt}, opts)
+}
+
+// ExecParsed executes one parsed, fingerprinted statement on this session —
+// the core execution entry point. A zero fingerprint is filled in from the
+// statement's normalized rendering so Result.Fingerprint and the
+// ldv_stat_statements store see every execution path.
+func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	stmt := p.Stmt
+	if p.Fingerprint.IsZero() && stmt != nil {
+		p.Fingerprint = sqlparse.ComputeFingerprint(stmt.String())
+	}
 	db := s.db
 	t0 := time.Now()
-	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick()}
+	res := &Result{StmtID: db.newStmtID(), Start: db.clock.Tick(), Fingerprint: p.Fingerprint.String()}
 	if opts.Span != nil {
 		res.TraceID = opts.Span.TraceID().String()
 	}
 	finish := func(err error) (*Result, error) {
 		res.End = db.clock.Tick()
-		observeStatement(stmt, res, err, time.Since(t0))
+		total := time.Since(t0)
+		observeStatement(stmt, res, err, total)
+		recordStatementStats(p, res, err, total)
 		if err != nil {
 			return nil, err
 		}
@@ -300,12 +317,8 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		hSnapshotAge.Record(int64(res.Start - s.txn.snap.ts))
 	}
 
-	if db.ReadOnly() {
-		switch stmt.(type) {
-		case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
-			*sqlparse.CreateTable, *sqlparse.DropTable, *sqlparse.Copy:
-			return finish(fmt.Errorf("%w: statement rejected", ErrReadOnly))
-		}
+	if db.ReadOnly() && stmtWrites(stmt) {
+		return finish(fmt.Errorf("%w: statement rejected", ErrReadOnly))
 	}
 
 	var err error
@@ -314,6 +327,8 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 		err = s.execSelectStmt(st, opts, res)
 	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
 		err = s.execDMLStmt(stmt, opts, res)
+	case *sqlparse.Explain:
+		err = s.execExplainStmt(st, opts, res)
 	case *sqlparse.CreateTable:
 		if s.txn != nil {
 			err = fmt.Errorf("DDL is not allowed inside a transaction")
@@ -337,7 +352,13 @@ func (s *Session) ExecStatement(stmt sqlparse.Statement, opts ExecOptions) (*Res
 // execSelectStmt runs a query against the session's snapshot: the open
 // transaction's (repeatable) snapshot, or a fresh cut per statement.
 func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Result) error {
-	ec := &stmtCtx{db: s.db, txn: s.txn}
+	return s.execSelectOps(sel, opts, res, nil)
+}
+
+// execSelectOps is execSelectStmt with an optional per-operator collector
+// attached (EXPLAIN ANALYZE).
+func (s *Session) execSelectOps(sel *sqlparse.Select, opts ExecOptions, res *Result, oc *opCollector) error {
+	ec := &stmtCtx{db: s.db, txn: s.txn, ops: oc}
 	if s.txn != nil {
 		ec.snap = s.txn.snap
 	} else {
@@ -345,6 +366,7 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 	}
 	unlock := ec.plan(sel, opts.Span)
 	defer unlock()
+	res.planNS = ec.planNS
 	sp := opts.Span.Child("engine.exec")
 	defer sp.End()
 	return ec.execSelect(sel, opts, res)
@@ -355,13 +377,19 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 // atomicity (a mid-statement error rolls back its partial writes) and keeps
 // its in-flight writes invisible to concurrent snapshots until it finishes.
 func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Result) error {
+	return s.execDMLOps(stmt, opts, res, nil)
+}
+
+// execDMLOps is execDMLStmt with an optional per-operator collector attached
+// (EXPLAIN ANALYZE).
+func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Result, oc *opCollector) error {
 	db := s.db
 	txn := s.txn
 	implicit := txn == nil
 	if implicit {
 		txn = db.beginTxn()
 	}
-	err := s.applyDML(stmt, opts, res, txn)
+	err := s.applyDML(stmt, opts, res, txn, oc)
 	if implicit {
 		if err != nil {
 			db.endTxn(txn.id) // abort; undo already ran, nothing to log
@@ -378,22 +406,35 @@ func (s *Session) execDMLStmt(stmt sqlparse.Statement, opts ExecOptions, res *Re
 // statement-level atomicity. Split from execDMLStmt so the engine.exec span
 // closes when the locks release, before any commit work (wal.commit gets its
 // own span).
-func (s *Session) applyDML(stmt sqlparse.Statement, opts ExecOptions, res *Result, txn *Txn) error {
-	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn}
+func (s *Session) applyDML(stmt sqlparse.Statement, opts ExecOptions, res *Result, txn *Txn, oc *opCollector) error {
+	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn, ops: oc}
 	mark := len(txn.undo)
 	rmark := len(txn.redo)
 	unlock := ec.plan(stmt, opts.Span)
 	defer unlock()
+	res.planNS = ec.planNS
 	sp := opts.Span.Child("engine.exec")
 	defer sp.End()
 	var err error
 	switch st := stmt.(type) {
 	case *sqlparse.Insert:
-		err = ec.execInsert(st, opts, res)
+		err = ec.ops.exec("insert", st.Table, func() (int, error) {
+			before := res.RowsAffected
+			e := ec.execInsert(st, opts, res)
+			return res.RowsAffected - before, e
+		})
 	case *sqlparse.Update:
-		err = ec.execUpdate(st, opts, res)
+		err = ec.ops.exec("update", st.Table, func() (int, error) {
+			before := res.RowsAffected
+			e := ec.execUpdate(st, opts, res)
+			return res.RowsAffected - before, e
+		})
 	case *sqlparse.Delete:
-		err = ec.execDelete(st, opts, res)
+		err = ec.ops.exec("delete", st.Table, func() (int, error) {
+			before := res.RowsAffected
+			e := ec.execDelete(st, opts, res)
+			return res.RowsAffected - before, e
+		})
 	}
 	if err != nil {
 		// Statement-level atomicity: undo this statement's writes while its
@@ -415,21 +456,32 @@ type stmtCtx struct {
 	snap   snapshot
 	txn    *Txn
 	tables map[string]*Table
+
+	// ops, when non-nil, collects per-operator rows and timings for
+	// EXPLAIN ANALYZE; planNS is the plan-phase duration recorded by plan().
+	ops    *opCollector
+	planNS int64
 }
 
 // plan resolves and locks the statement's table footprint under an
 // engine.plan span — lock acquisition is the dominant plan-phase cost, so
 // the span makes lock contention visible in a request's waterfall.
 func (ec *stmtCtx) plan(stmt sqlparse.Statement, parent *obs.Span) func() {
+	t0 := time.Now()
 	sp := parent.Child("engine.plan")
 	defer sp.End()
-	return ec.lockTables(stmtTables(stmt))
+	unlock := ec.lockTables(stmtTables(stmt))
+	ec.planNS = int64(time.Since(t0))
+	return unlock
 }
 
 // table resolves a name against the statement's locked footprint.
 func (ec *stmtCtx) table(name string) (*Table, error) {
 	if t, ok := ec.tables[name]; ok {
 		return t, nil
+	}
+	if ec.db.virtualTable(name) != nil {
+		return nil, fmt.Errorf("table %q is a read-only system view", name)
 	}
 	return nil, fmt.Errorf("table %q does not exist", name)
 }

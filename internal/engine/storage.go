@@ -56,6 +56,16 @@ type Table struct {
 	mu      sync.RWMutex
 	rows    []*storedRow
 	pkIndex map[string]*storedRow // GroupKey of pk value -> live latest version; nil if no pk
+
+	// Introspection counters, maintained at every insert/remove/end-mark
+	// site. They are atomics — not derived under t.mu — so the
+	// ldv_stat_tables virtual table can report row counts and lock
+	// contention without taking table locks inside a statement that already
+	// holds some (which could deadlock against sorted-order writers).
+	liveRows   atomic.Int64 // versions with no end mark
+	versions   atomic.Int64 // total stored tuple versions
+	lockWaits  atomic.Int64 // statements that locked this table
+	lockWaitNS atomic.Int64 // cumulative time spent acquiring its lock
 }
 
 func newTable(name string, schema Schema) *Table {
@@ -101,6 +111,8 @@ func (t *Table) insertRow(r *storedRow) error {
 		t.pkIndex[key] = r
 	}
 	t.rows = append(t.rows, r)
+	t.versions.Add(1)
+	t.liveRows.Add(1)
 	return nil
 }
 
@@ -120,6 +132,10 @@ func (t *Table) removeRow(r *storedRow) error {
 		last := len(t.rows) - 1
 		t.rows[i] = t.rows[last]
 		t.rows = t.rows[:last]
+		t.versions.Add(-1)
+		if r.end == 0 {
+			t.liveRows.Add(-1)
+		}
 		return nil
 	}
 	return fmt.Errorf("table %s: row %d not found", t.Name, r.id)

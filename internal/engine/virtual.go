@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"sort"
+
+	"ldv/internal/obs"
+	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
+)
+
+// Virtual tables are read-only system views served from live engine state
+// rather than stored tuples. A SELECT whose FROM names an unknown table
+// falls back to this registry, so the views are reachable over the plain
+// wire protocol with no new message kinds: `SELECT * FROM
+// ldv_stat_statements` behaves like any other query — filters, joins,
+// aggregates and ORDER BY all apply.
+//
+// Providers materialize a fresh snapshot per scan and MUST NOT take table
+// or catalog locks: the scanning statement may already hold part of its
+// footprint, and a provider blocking on a table lock could deadlock against
+// a writer acquiring its footprint in sorted order. The per-table stats the
+// views report are therefore plain atomics maintained at the mutation sites
+// (see Table's counter fields).
+
+// VirtualTable is one registered system view.
+type VirtualTable struct {
+	Name   string
+	Schema Schema
+	// Rows materializes the view's current contents. Called once per scan,
+	// with no engine locks held.
+	Rows func() [][]sqlval.Value
+}
+
+// RegisterVirtualTable installs (or replaces) a system view. The server and
+// replication layers use it to swap the placeholder activity and
+// replication views for live providers.
+func (db *DB) RegisterVirtualTable(vt *VirtualTable) {
+	db.vtMu.Lock()
+	db.virtual[vt.Name] = vt
+	db.vtMu.Unlock()
+}
+
+// virtualTable resolves a system-view name, returning nil when it is not
+// registered.
+func (db *DB) virtualTable(name string) *VirtualTable {
+	db.vtMu.RLock()
+	vt := db.virtual[name]
+	db.vtMu.RUnlock()
+	return vt
+}
+
+// scanVirtual materializes a system view as a relation with the same layout
+// contract as scanTable: the view's columns followed by the four hidden
+// provenance attributes (synthetic here — row ids number the snapshot rows,
+// versions and usedby are zero).
+func (ec *stmtCtx) scanVirtual(vt *VirtualTable, ref sqlparse.TableRef) relation {
+	name := ref.EffectiveName()
+	var rel relation
+	for _, c := range vt.Schema.Columns {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
+	}
+	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: pc})
+	}
+	ncols := len(vt.Schema.Columns)
+	rows := vt.Rows()
+	rel.tuples = make([]tuple, 0, len(rows))
+	for i, vals := range rows {
+		tv := make([]sqlval.Value, ncols+4)
+		copy(tv, vals)
+		tv[ncols] = sqlval.NewInt(int64(i + 1))
+		tv[ncols+1] = sqlval.NewInt(0)
+		tv[ncols+2] = sqlval.NewString("")
+		tv[ncols+3] = sqlval.NewInt(0)
+		rel.tuples = append(rel.tuples, tuple{vals: tv})
+	}
+	return rel
+}
+
+// cols builds a schema from (name, kind) pairs.
+func viewSchema(cols ...Column) Schema { return Schema{Columns: cols} }
+
+func intCol(name string) Column   { return Column{Name: name, Type: sqlval.KindInt} }
+func textCol(name string) Column  { return Column{Name: name, Type: sqlval.KindString} }
+func floatCol(name string) Column { return Column{Name: name, Type: sqlval.KindFloat} }
+
+// registerBuiltinVirtualTables installs the ldv_stat_* views every database
+// serves. ldv_stat_activity and ldv_stat_replication start as empty shells;
+// the server and replication layers replace them with live providers.
+func (db *DB) registerBuiltinVirtualTables() {
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_statements",
+		Schema: viewSchema(
+			textCol("fingerprint"), textCol("query"),
+			intCol("calls"), intCol("errors"), intCol("rows"),
+			intCol("parse_ns"), intCol("plan_ns"), intCol("exec_ns"),
+			floatCol("mean_exec_ns"),
+			intCol("p50_exec_ns"), intCol("p95_exec_ns"), intCol("p99_exec_ns"),
+			textCol("last_trace"),
+		),
+		Rows: func() [][]sqlval.Value {
+			stats := obs.Statements().Snapshot()
+			rows := make([][]sqlval.Value, 0, len(stats))
+			for _, s := range stats {
+				fp := sqlparse.Fingerprint{Hash: s.Hash, Text: s.Text}
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewString(fp.String()),
+					sqlval.NewString(s.Text),
+					sqlval.NewInt(s.Calls),
+					sqlval.NewInt(s.Errors),
+					sqlval.NewInt(s.Rows),
+					sqlval.NewInt(s.Parse.Sum),
+					sqlval.NewInt(s.Plan.Sum),
+					sqlval.NewInt(s.Exec.Sum),
+					sqlval.NewFloat(s.Exec.Mean()),
+					sqlval.NewInt(s.Exec.Quantile(0.50)),
+					sqlval.NewInt(s.Exec.Quantile(0.95)),
+					sqlval.NewInt(s.Exec.Quantile(0.99)),
+					sqlval.NewString(s.LastTraceID),
+				})
+			}
+			return rows
+		},
+	})
+
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_tables",
+		Schema: viewSchema(
+			textCol("name"), intCol("live_rows"), intCol("versions"),
+			intCol("lock_waits"), intCol("lock_wait_ns"),
+		),
+		Rows: func() [][]sqlval.Value {
+			db.mu.RLock()
+			tables := make([]*Table, 0, len(db.tables))
+			for _, t := range db.tables {
+				tables = append(tables, t)
+			}
+			db.mu.RUnlock()
+			sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+			rows := make([][]sqlval.Value, 0, len(tables))
+			for _, t := range tables {
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewString(t.Name),
+					sqlval.NewInt(t.liveRows.Load()),
+					sqlval.NewInt(t.versions.Load()),
+					sqlval.NewInt(t.lockWaits.Load()),
+					sqlval.NewInt(t.lockWaitNS.Load()),
+				})
+			}
+			return rows
+		},
+	})
+
+	db.RegisterVirtualTable(&VirtualTable{
+		Name:   "ldv_stat_wal",
+		Schema: viewSchema(intCol("seq"), intCol("size_bytes")),
+		Rows: func() [][]sqlval.Value {
+			w := db.WAL()
+			if w == nil {
+				return nil
+			}
+			return [][]sqlval.Value{{
+				sqlval.NewInt(int64(w.Seq())),
+				sqlval.NewInt(w.Size()),
+			}}
+		},
+	})
+
+	// Placeholders: populated by the layers that own the state. The schema
+	// is fixed here so queries against an unserved view still resolve.
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_activity",
+		Schema: viewSchema(
+			intCol("session"), textCol("proc"), textCol("state"),
+			textCol("fingerprint"), textCol("query"), intCol("elapsed_ns"),
+		),
+		Rows: func() [][]sqlval.Value { return nil },
+	})
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_replication",
+		Schema: viewSchema(
+			textCol("role"), textCol("peer"), textCol("state"),
+			intCol("applied_seq"), intCol("head_seq"), intCol("lag_records"),
+		),
+		Rows: func() [][]sqlval.Value { return nil },
+	})
+}

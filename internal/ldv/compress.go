@@ -14,8 +14,8 @@ import (
 // Compression accounting: the ratio out/in over these two counters is the
 // package-metadata compression ratio reported by the obs snapshot.
 var (
-	mCompressIn  = obs.GetCounter("pack.compress.in_bytes")
-	mCompressOut = obs.GetCounter("pack.compress.out_bytes")
+	mCompressIn  = obs.NewCounter("pack.compress.in_bytes", "Bytes fed to package metadata compression")
+	mCompressOut = obs.NewCounter("pack.compress.out_bytes", "Bytes produced by package metadata compression")
 )
 
 // Trace and DB-log metadata is highly repetitive (node IDs, SQL text,

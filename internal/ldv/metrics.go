@@ -10,18 +10,18 @@ import (
 // breakdown (§IX-B): trace construction, duplicate suppression, and
 // spool/log writes — see obs.BuildOverheadReport.
 var (
-	mAudStmts      = obs.GetCounter("auditor.stmts")
-	mAudLogEntries = obs.GetCounter("auditor.log_entries")
-	mTuplesFetched = obs.GetCounter("auditor.tuples.fetched")
-	mTuplesStored  = obs.GetCounter("auditor.tuples.stored")
-	mTuplesDeduped = obs.GetCounter("auditor.tuples.deduped")
+	mAudStmts      = obs.NewCounter("auditor.stmts", "Statements observed by the audit monitor")
+	mAudLogEntries = obs.NewCounter("auditor.log_entries", "DB-log entries written by the audit monitor")
+	mTuplesFetched = obs.NewCounter("auditor.tuples.fetched", "Tuples fetched during audited statements")
+	mTuplesStored  = obs.NewCounter("auditor.tuples.stored", "Tuples spooled to the provenance store")
+	mTuplesDeduped = obs.NewCounter("auditor.tuples.deduped", "Tuples suppressed as already-spooled duplicates")
 
-	hTraceNS = obs.GetHistogram(obs.MetricTraceNS)
-	hDedupNS = obs.GetHistogram(obs.MetricDedupNS)
-	hSpoolNS = obs.GetHistogram(obs.MetricSpoolNS)
+	hTraceNS = obs.NewHistogram(obs.MetricTraceNS, "Auditor time building trace nodes and edges")
+	hDedupNS = obs.NewHistogram(obs.MetricDedupNS, "Auditor time in duplicate suppression")
+	hSpoolNS = obs.NewHistogram(obs.MetricSpoolNS, "Auditor time spooling tuples and log entries")
 
 	// mAudEvents counts intercepted syscall events by kind, indexed by
-	// osim.EventKind.
+	// osim.EventKind. The family is described by prefix below.
 	mAudEvents = [...]*obs.Counter{
 		osim.EvSpawn:   obs.GetCounter("auditor.syscalls.spawn"),
 		osim.EvExit:    obs.GetCounter("auditor.syscalls.exit"),
@@ -30,6 +30,10 @@ var (
 		osim.EvConnect: obs.GetCounter("auditor.syscalls.connect"),
 	}
 )
+
+func init() {
+	obs.DescribePrefix("auditor.syscalls.", "Intercepted syscall events by kind")
+}
 
 func countEvent(kind osim.EventKind) {
 	if int(kind) >= 0 && int(kind) < len(mAudEvents) && mAudEvents[kind] != nil {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metric descriptions are registration-time metadata, kept separate from the
+// measurement maps: Reset zeroes values but never forgets what a metric
+// means. The ops /metrics endpoint renders them as Prometheus # HELP lines,
+// and the repo-root metric lint fails any registered metric without one.
+var (
+	descMu       sync.RWMutex
+	descs        = map[string]string{}
+	descPrefixes []prefixDesc
+)
+
+type prefixDesc struct {
+	prefix string
+	help   string
+}
+
+// Describe registers a help string for the named metric. Last write wins,
+// so re-registration (tests, Reset-heavy benchmarks) is harmless.
+func Describe(name, help string) {
+	descMu.Lock()
+	defer descMu.Unlock()
+	descs[name] = help
+}
+
+// DescribePrefix registers a help string for a dynamically-named metric
+// family — e.g. span.<name> or wire.out.msgs.<Tag> — whose members cannot be
+// enumerated at init time. Longest matching prefix wins at lookup.
+func DescribePrefix(prefix, help string) {
+	descMu.Lock()
+	defer descMu.Unlock()
+	for i := range descPrefixes {
+		if descPrefixes[i].prefix == prefix {
+			descPrefixes[i].help = help
+			return
+		}
+	}
+	descPrefixes = append(descPrefixes, prefixDesc{prefix, help})
+	sort.Slice(descPrefixes, func(i, j int) bool {
+		return len(descPrefixes[i].prefix) > len(descPrefixes[j].prefix)
+	})
+}
+
+// Description returns the help string for a metric name: an exact
+// registration if one exists, otherwise the longest registered family
+// prefix. The second result reports whether anything matched.
+func Description(name string) (string, bool) {
+	descMu.RLock()
+	defer descMu.RUnlock()
+	if h, ok := descs[name]; ok {
+		return h, true
+	}
+	for _, p := range descPrefixes {
+		if strings.HasPrefix(name, p.prefix) {
+			return p.help, true
+		}
+	}
+	return "", false
+}
+
+// NewCounter returns the named counter in the default registry and records
+// its description — the preferred registration form for package-level metric
+// handles: `var mStmts = obs.NewCounter("engine.stmts", "…")`.
+func NewCounter(name, help string) *Counter {
+	Describe(name, help)
+	return GetCounter(name)
+}
+
+// NewGauge returns the named gauge in the default registry and records its
+// description.
+func NewGauge(name, help string) *Gauge {
+	Describe(name, help)
+	return GetGauge(name)
+}
+
+// NewHistogram returns the named histogram in the default registry and
+// records its description.
+func NewHistogram(name, help string) *Histogram {
+	Describe(name, help)
+	return GetHistogram(name)
+}

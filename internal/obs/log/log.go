@@ -60,11 +60,16 @@ func ParseLevel(s string) Level {
 }
 
 // Line counters per level, so the ops endpoint exposes logging volume.
+// The family is described once by prefix.
 var mLines = [4]*obs.Counter{
 	obs.GetCounter("log.lines.debug"),
 	obs.GetCounter("log.lines.info"),
 	obs.GetCounter("log.lines.warn"),
 	obs.GetCounter("log.lines.error"),
+}
+
+func init() {
+	obs.DescribePrefix("log.lines.", "Log lines emitted by level")
 }
 
 // Logger writes key=value event lines. Derived loggers from With share the

@@ -73,6 +73,7 @@ type Registry struct {
 
 	spans  *spanRing
 	flight *flightRecorder
+	stmts  *StatementStats
 
 	// nextSpanID allocates span identities; logicalClock, when set, stamps
 	// spans with the osim logical clock in addition to wall time.
@@ -95,6 +96,7 @@ func NewRegistry(spanCapacity int) *Registry {
 		hists:    map[string]*Histogram{},
 		spans:    newSpanRing(spanCapacity),
 		flight:   newFlightRecorder(DefaultTraceCapacity),
+		stmts:    newStatementStats(),
 	}
 }
 
@@ -174,6 +176,7 @@ func (r *Registry) Reset() {
 	}
 	r.spans.reset()
 	r.flight.reset()
+	r.stmts.reset()
 }
 
 // GetCounter returns a named counter in the default registry (handle

@@ -5,6 +5,10 @@ import (
 	"time"
 )
 
+func init() {
+	DescribePrefix("span.", "Span duration by span name")
+}
+
 // Attr is one key/value annotation on a span.
 type Attr struct {
 	Key   string `json:"k"`

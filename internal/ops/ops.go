@@ -57,6 +57,10 @@ func Handler(reg *obs.Registry, opts ...Option) http.Handler {
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		ServeTraces(w, r, reg)
 	})
+	mux.HandleFunc("/statements", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Statements().Snapshot())
+	})
 	if cfg.repl != nil {
 		mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -117,19 +121,24 @@ func ServeTraces(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
 
 // writeMetrics renders a snapshot in the Prometheus text exposition format:
 // counters and gauges one sample each, histograms as cumulative _bucket
-// series (power-of-two le bounds) plus _sum and _count.
+// series (power-of-two le bounds) plus _sum and _count. Metrics with a
+// registered description (obs.Describe / obs.DescribePrefix) get a # HELP
+// line before their # TYPE line.
 func writeMetrics(w http.ResponseWriter, s *obs.Snapshot) {
 	for _, name := range sortedKeys(s.Counters) {
 		m := promName(name)
+		writeHelp(w, name, m)
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		m := promName(name)
+		writeHelp(w, name, m)
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		m := promName(name)
+		writeHelp(w, name, m)
 		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
 		idxs := make([]int, 0, len(h.Buckets))
 		for i := range h.Buckets {
@@ -147,6 +156,19 @@ func writeMetrics(w http.ResponseWriter, s *obs.Snapshot) {
 		fmt.Fprintf(w, "%s_sum %d\n", m, h.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
 	}
+}
+
+// writeHelp emits the # HELP line for a metric when the obs registry has a
+// description for it. Prometheus help text must not contain raw newlines or
+// backslashes; descriptions are plain one-liners, escaped defensively.
+func writeHelp(w http.ResponseWriter, obsName, prom string) {
+	d, ok := obs.Description(obsName)
+	if !ok {
+		return
+	}
+	d = strings.ReplaceAll(d, `\`, `\\`)
+	d = strings.ReplaceAll(d, "\n", `\n`)
+	fmt.Fprintf(w, "# HELP %s %s\n", prom, d)
 }
 
 // promName mangles a dotted obs metric name into a valid Prometheus metric

@@ -16,6 +16,9 @@ import (
 func testRegistry(t *testing.T) *obs.Registry {
 	t.Helper()
 	reg := obs.NewRegistry(64)
+	obs.Describe("server.sessions_open", "Sessions currently open")
+	obs.DescribePrefix("wire.msgs_out.", "Messages sent by kind")
+	obs.DescribePrefix("engine.exec_ns.", "Statement latency by statement kind")
 	reg.Counter("wire.msgs_out.Query").Add(7)
 	reg.Gauge("server.sessions_open").Set(3)
 	h := reg.Histogram("engine.exec_ns.select")
@@ -52,10 +55,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("content type = %q", ctype)
 	}
 	for _, want := range []string{
+		"# HELP ldv_wire_msgs_out_Query Messages sent by kind",
 		"# TYPE ldv_wire_msgs_out_Query counter",
 		"ldv_wire_msgs_out_Query 7",
+		"# HELP ldv_server_sessions_open Sessions currently open",
 		"# TYPE ldv_server_sessions_open gauge",
 		"ldv_server_sessions_open 3",
+		"# HELP ldv_engine_exec_ns_select Statement latency by statement kind",
 		"# TYPE ldv_engine_exec_ns_select histogram",
 		"ldv_engine_exec_ns_select_count 2",
 		"ldv_engine_exec_ns_select_sum 2100",
@@ -64,6 +70,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, body)
 		}
+	}
+	// A HELP line must precede its metric's TYPE line.
+	if strings.Index(body, "# HELP ldv_server_sessions_open") > strings.Index(body, "# TYPE ldv_server_sessions_open") {
+		t.Error("HELP line does not precede TYPE line")
 	}
 	// Bucket counts must be cumulative: each sample's value is >= the
 	// previous bucket's on the same metric.
@@ -85,6 +95,31 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if prev < 0 {
 		t.Fatal("no bucket lines found")
+	}
+}
+
+func TestStatementsEndpoint(t *testing.T) {
+	reg := testRegistry(t)
+	reg.Statements().Record(0xabc, "SELECT a FROM t WHERE b = ?", 100, 50, 1000, 3, false, "deadbeef")
+	reg.Statements().Record(0xabc, "SELECT a FROM t WHERE b = ?", 110, 40, 1100, 2, true, "")
+	h := Handler(reg)
+	code, body, ctype := get(t, h, "/statements")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("content type = %q", ctype)
+	}
+	for _, want := range []string{
+		`"text":"SELECT a FROM t WHERE b = ?"`,
+		`"calls":2`,
+		`"errors":1`,
+		`"rows":5`,
+		`"last_trace_id":"deadbeef"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statements output missing %q:\n%s", want, body)
+		}
 	}
 }
 

@@ -18,11 +18,11 @@ import (
 // Packaging accounting: member adds, serialized archive bytes, and
 // extraction volume — the inputs to the paper's package-size figures.
 var (
-	mFilesAdded     = obs.GetCounter("pack.files_added")
-	mBytesAdded     = obs.GetCounter("pack.bytes_added")
-	mBytesMarshaled = obs.GetCounter("pack.bytes_marshaled")
-	mFilesExtracted = obs.GetCounter("pack.files_extracted")
-	mBytesExtracted = obs.GetCounter("pack.bytes_extracted")
+	mFilesAdded     = obs.NewCounter("pack.files_added", "Members added to package archives")
+	mBytesAdded     = obs.NewCounter("pack.bytes_added", "Bytes of member content added to package archives")
+	mBytesMarshaled = obs.NewCounter("pack.bytes_marshaled", "Bytes of serialized package archives")
+	mFilesExtracted = obs.NewCounter("pack.files_extracted", "Members extracted from package archives")
+	mBytesExtracted = obs.NewCounter("pack.bytes_extracted", "Bytes extracted from package archives")
 )
 
 // Archive is a self-contained package: a mapping from slash paths to file

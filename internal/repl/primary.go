@@ -84,6 +84,7 @@ func NewPrimary(db *engine.DB) (*Primary, error) {
 		subs:      make(map[*subscriber]struct{}),
 	}
 	w.SetShipper(p.ship)
+	p.registerView()
 	return p, nil
 }
 

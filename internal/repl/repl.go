@@ -27,16 +27,16 @@ import "ldv/internal/obs"
 // ReplicaStatus acknowledgments (worst lag across subscribers); applied_seq
 // and the counters below it are replica-side.
 var (
-	gSubscribers    = obs.GetGauge("repl.subscribers")
-	mSegmentsOut    = obs.GetCounter("repl.segments_shipped")
-	mRecordsOut     = obs.GetCounter("repl.records_shipped")
-	mBytesOut       = obs.GetCounter("repl.bytes_shipped")
-	mSnapshotBytes  = obs.GetCounter("repl.snapshot_bytes_shipped")
-	gLagRecords     = obs.GetGauge("repl.lag_records")
-	gLagTicks       = obs.GetGauge("repl.lag_ticks")
-	gAppliedSeq     = obs.GetGauge("repl.applied_seq")
-	mRecordsApplied = obs.GetCounter("repl.records_applied")
-	mBootstraps     = obs.GetCounter("repl.bootstraps")
-	mReconnects     = obs.GetCounter("repl.reconnects")
-	mPromotions     = obs.GetCounter("repl.promotions")
+	gSubscribers    = obs.NewGauge("repl.subscribers", "Replication subscriptions currently connected to this primary")
+	mSegmentsOut    = obs.NewCounter("repl.segments_shipped", "WAL segments shipped to replicas")
+	mRecordsOut     = obs.NewCounter("repl.records_shipped", "WAL records shipped to replicas")
+	mBytesOut       = obs.NewCounter("repl.bytes_shipped", "WAL bytes shipped to replicas")
+	mSnapshotBytes  = obs.NewCounter("repl.snapshot_bytes_shipped", "Bootstrap snapshot bytes shipped to replicas")
+	gLagRecords     = obs.NewGauge("repl.lag_records", "Worst replica lag in WAL records, from acknowledgments")
+	gLagTicks       = obs.NewGauge("repl.lag_ticks", "Worst replica lag in logical clock ticks, from acknowledgments")
+	gAppliedSeq     = obs.NewGauge("repl.applied_seq", "Last WAL record sequence this replica applied")
+	mRecordsApplied = obs.NewCounter("repl.records_applied", "WAL records applied by this replica")
+	mBootstraps     = obs.NewCounter("repl.bootstraps", "Snapshot bootstraps this replica performed")
+	mReconnects     = obs.NewCounter("repl.reconnects", "Reconnection attempts by this replica")
+	mPromotions     = obs.NewCounter("repl.promotions", "Replica promotions to writable")
 )

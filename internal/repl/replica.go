@@ -58,6 +58,7 @@ func New(db *engine.DB, id string, dial func() (net.Conn, error)) *Replica {
 	}
 	r.cond = sync.NewCond(&r.mu)
 	db.SetReadOnly(true)
+	r.registerView()
 	return r
 }
 

@@ -1,0 +1,100 @@
+package repl
+
+import (
+	"sort"
+
+	"ldv/internal/engine"
+	"ldv/internal/sqlval"
+)
+
+// ldv_stat_replication providers: NewPrimary and New replace the engine's
+// empty placeholder view with a live one, so `SELECT * FROM
+// ldv_stat_replication` works on both ends of a subscription. The schema
+// matches the placeholder in engine/virtual.go.
+
+func replicationViewSchema() engine.Schema {
+	return engine.Schema{Columns: []engine.Column{
+		{Name: "role", Type: sqlval.KindString},
+		{Name: "peer", Type: sqlval.KindString},
+		{Name: "state", Type: sqlval.KindString},
+		{Name: "applied_seq", Type: sqlval.KindInt},
+		{Name: "head_seq", Type: sqlval.KindInt},
+		{Name: "lag_records", Type: sqlval.KindInt},
+	}}
+}
+
+// registerView installs the primary's ldv_stat_replication provider: one
+// row per subscriber, or a single idle row when none are connected.
+func (p *Primary) registerView() {
+	p.db.RegisterVirtualTable(&engine.VirtualTable{
+		Name:   "ldv_stat_replication",
+		Schema: replicationViewSchema(),
+		Rows: func() [][]sqlval.Value {
+			head := p.db.WAL().Seq() // before p.mu: see updateLag
+			type subState struct {
+				id         string
+				appliedSeq uint64
+			}
+			p.mu.Lock()
+			subs := make([]subState, 0, len(p.subs))
+			for s := range p.subs {
+				s.mu.Lock()
+				subs = append(subs, subState{id: s.id, appliedSeq: s.appliedSeq})
+				s.mu.Unlock()
+			}
+			p.mu.Unlock()
+			sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+			if len(subs) == 0 {
+				return [][]sqlval.Value{{
+					sqlval.NewString("primary"), sqlval.NewString(""),
+					sqlval.NewString("idle"), sqlval.NewInt(0),
+					sqlval.NewInt(int64(head)), sqlval.NewInt(0),
+				}}
+			}
+			rows := make([][]sqlval.Value, 0, len(subs))
+			for _, s := range subs {
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewString("primary"),
+					sqlval.NewString(s.id),
+					sqlval.NewString("streaming"),
+					sqlval.NewInt(int64(s.appliedSeq)),
+					sqlval.NewInt(int64(head)),
+					sqlval.NewInt(int64(head) - int64(s.appliedSeq)),
+				})
+			}
+			return rows
+		},
+	})
+}
+
+// registerView installs the replica's ldv_stat_replication provider: its
+// own apply position against the primary's announced head.
+func (r *Replica) registerView() {
+	r.db.RegisterVirtualTable(&engine.VirtualTable{
+		Name:   "ldv_stat_replication",
+		Schema: replicationViewSchema(),
+		Rows: func() [][]sqlval.Value {
+			r.mu.Lock()
+			role, state := "replica", "streaming"
+			switch {
+			case r.promoted:
+				role, state = "promoted", "promoted"
+			case r.stopped:
+				state = "stopped"
+			case !r.ready:
+				state = "bootstrapping"
+			}
+			applied, head := r.appliedSeq, r.headSeq
+			id := r.id
+			r.mu.Unlock()
+			return [][]sqlval.Value{{
+				sqlval.NewString(role),
+				sqlval.NewString(id),
+				sqlval.NewString(state),
+				sqlval.NewInt(int64(applied)),
+				sqlval.NewInt(int64(head)),
+				sqlval.NewInt(int64(head) - int64(applied)),
+			}}
+		},
+	})
+}

@@ -11,7 +11,7 @@ import (
 
 // Checkpoints taken by the server (periodic background ones and explicit
 // Checkpoint calls), for the Stats endpoint.
-var mCheckpoints = obs.GetCounter("server.checkpoints")
+var mCheckpoints = obs.NewCounter("server.checkpoints", "Checkpoints taken by the server")
 
 // durability is the server's background checkpointer state, created by
 // EnableDurability and torn down by Close.

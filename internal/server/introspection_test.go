@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+	"ldv/internal/tpch"
+)
+
+// TestIntrospectionOverTCP is the end-to-end proof of the SQL-queryable
+// introspection surface: a real TCP client runs TPC-H queries, then reads
+// the system views with plain SELECTs over the same connection —
+// ldv_stat_statements shows the collapsed fingerprints with call counts and
+// latency quantiles, ldv_stat_activity shows the querying session itself,
+// and EXPLAIN ANALYZE returns per-operator rows with actual counts and
+// timings. Run under -race by `make check`.
+func TestIntrospectionOverTCP(t *testing.T) {
+	obs.Reset()
+	db := engine.NewDB(nil)
+	cfg := tpch.Config{SF: 0.002, Seed: 42}
+	if _, err := tpch.Load(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer l.Close()
+	go s.Serve(netAcceptor{l})
+
+	conn, err := client.Dial(client.NetDialer{}, l.Addr().String(), client.Options{Proc: "introspect-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Two executions differing only in literals must collapse to one
+	// fingerprint; the fingerprint rides back on the wire with each result.
+	q1 := "SELECT l_quantity FROM lineitem WHERE l_suppkey BETWEEN 1 AND 2"
+	q2 := "SELECT l_quantity FROM lineitem WHERE l_suppkey BETWEEN 1 AND 3"
+	res1, err := conn.Query(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := conn.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Fingerprint) != 16 {
+		t.Fatalf("wire fingerprint = %q, want 16 hex digits", res1.Fingerprint)
+	}
+	if res1.Fingerprint != res2.Fingerprint {
+		t.Fatalf("literal variants did not collapse: %q vs %q", res1.Fingerprint, res2.Fingerprint)
+	}
+
+	// ldv_stat_statements: the collapsed entry has both calls, normalized
+	// text, and populated latency quantiles — all through plain SQL
+	// (filter + projection apply like any table).
+	res, err := conn.Query(
+		"SELECT query, calls, exec_ns, p95_exec_ns FROM ldv_stat_statements WHERE fingerprint = '" +
+			res1.Fingerprint + "'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("ldv_stat_statements rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if got := row[0].Str(); !strings.Contains(got, "BETWEEN ? AND ?") {
+		t.Errorf("normalized text = %q, want literals collapsed to ?", got)
+	}
+	if row[1].Int() != 2 {
+		t.Errorf("calls = %d, want 2", row[1].Int())
+	}
+	if row[2].Int() <= 0 || row[3].Int() <= 0 {
+		t.Errorf("exec_ns = %d, p95_exec_ns = %d, want > 0", row[2].Int(), row[3].Int())
+	}
+
+	// ldv_stat_activity: the session reading the view sees itself, active,
+	// running this very statement.
+	actSQL := "SELECT proc, state, query FROM ldv_stat_activity"
+	res, err = conn.Query(actSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("ldv_stat_activity rows = %d, want 1", len(res.Rows))
+	}
+	row = res.Rows[0]
+	if row[0].Str() != "introspect-test" || row[1].Str() != "active" || row[2].Str() != actSQL {
+		t.Errorf("activity row = %v", row)
+	}
+
+	// EXPLAIN without ANALYZE: the static plan outline, with NULL actuals.
+	res, err = conn.Query("EXPLAIN " + q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 4 || res.Columns[0] != "op" {
+		t.Fatalf("EXPLAIN columns = %v", res.Columns)
+	}
+	if len(res.Rows) == 0 || !res.Rows[0][2].IsNull() {
+		t.Fatalf("EXPLAIN rows = %v, want static outline with NULL actuals", res.Rows)
+	}
+
+	// EXPLAIN ANALYZE on a TPC-H join: per-operator rows with actual row
+	// counts and timings, plus the trailing result summary.
+	joinQ, err := tpch.QueryByID(cfg, "Q2-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = conn.Query("EXPLAIN ANALYZE " + joinQ.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]bool{}
+	for _, r := range res.Rows {
+		ops[r[0].Str()] = true
+	}
+	for _, want := range []string{"scan", "hash_join", "project", "result"} {
+		if !ops[want] {
+			t.Errorf("EXPLAIN ANALYZE missing operator %q in %v", want, res.Rows)
+		}
+	}
+	var sawActuals bool
+	for _, r := range res.Rows {
+		if r[0].Str() == "scan" && r[2].Int() > 0 && r[3].Int() > 0 {
+			sawActuals = true
+		}
+	}
+	if !sawActuals {
+		t.Errorf("no scan operator with actual rows and time: %v", res.Rows)
+	}
+
+	// ldv_stat_tables: per-table counters, live over the wire.
+	res, err = conn.Query("SELECT live_rows FROM ldv_stat_tables WHERE name = 'lineitem'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() <= 0 {
+		t.Fatalf("ldv_stat_tables lineitem = %v", res.Rows)
+	}
+
+	// ldv_stat_wal: empty without durability, but the view still resolves.
+	res, err = conn.Query("SELECT seq FROM ldv_stat_wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("ldv_stat_wal rows = %v, want none without a WAL", res.Rows)
+	}
+
+	// The system-view namespace is reserved and the views are read-only.
+	if _, err := conn.Exec("CREATE TABLE ldv_stat_custom (a INT)"); err == nil {
+		t.Error("CREATE TABLE in the ldv_stat_ namespace should fail")
+	}
+	if _, err := conn.Exec("INSERT INTO ldv_stat_statements VALUES (1)"); err == nil {
+		t.Error("INSERT into a system view should fail")
+	}
+}

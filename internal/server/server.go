@@ -25,10 +25,10 @@ import (
 
 // Session and statement accounting for the Stats endpoint.
 var (
-	mSessions       = obs.GetCounter("server.sessions")
-	gActiveSessions = obs.GetGauge("server.active_sessions")
-	mStatements     = obs.GetCounter("server.stmts")
-	mErrors         = obs.GetCounter("server.errors")
+	mSessions       = obs.NewCounter("server.sessions", "Client sessions accepted")
+	gActiveSessions = obs.NewGauge("server.active_sessions", "Client sessions currently connected")
+	mStatements     = obs.NewCounter("server.stmts", "Statements received over the wire")
+	mErrors         = obs.NewCounter("server.errors", "Statements that failed on the server")
 )
 
 // Acceptor abstracts the listeners the server can serve on: both
@@ -57,6 +57,11 @@ type Server struct {
 	// gate the read gate replica servers consult before running queries.
 	repl ReplicationSource
 	gate ReadGate
+
+	// activity tracks live connections for the ldv_stat_activity system
+	// view, keyed by session id.
+	actMu    sync.Mutex
+	activity map[int64]*sessionActivity
 }
 
 // ReplicationSource serves replication subscriptions — the primary role.
@@ -105,7 +110,9 @@ func (s *Server) readGate() ReadGate {
 // New returns a server over db. logger may be nil to disable logging; it
 // must not be changed after New (sessions read it concurrently, unlocked).
 func New(db *engine.DB, logger *obslog.Logger) *Server {
-	return &Server{db: db, logger: logger}
+	s := &Server{db: db, logger: logger, activity: map[int64]*sessionActivity{}}
+	s.registerActivityView()
+	return s
 }
 
 // SetSlowQueryThreshold enables the slow-query log: statements taking d or
@@ -183,6 +190,9 @@ func (s *Server) HandleConn(conn net.Conn) {
 	sess := s.db.NewSession()
 	defer sess.Close()
 
+	act := s.registerActivity(sid, startup.Proc)
+	defer s.deregisterActivity(sid)
+
 	if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 		return
 	}
@@ -208,7 +218,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 			if !traceAware {
 				sc = obs.SpanContext{}
 			}
-			if err := s.handleQuery(conn, sess, slog, startup.Proc, m, sc); err != nil {
+			if err := s.handleQuery(conn, sess, act, slog, startup.Proc, m, sc); err != nil {
 				slog.Error("query connection failed", "err", err)
 				return
 			}
@@ -276,8 +286,8 @@ func (s *Server) handleStats(conn net.Conn, sess *engine.Session, req wire.Stats
 // per-request span; the final Ready goes out only after runQuery returns —
 // i.e. after the span has ended — because the client seals the trace when it
 // reads Ready, and the server's spans must be in the flight recorder by then.
-func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
-	if err := s.runQuery(conn, sess, slog, proc, q, sc); err != nil {
+func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+	if err := s.runQuery(conn, sess, act, slog, proc, q, sc); err != nil {
 		return err
 	}
 	return wire.Write(conn, wire.Ready{InTxn: sess.InTxn()})
@@ -286,7 +296,7 @@ func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, slog *obslog.L
 // runQuery executes the statement under a server.query span joining the
 // request's trace context (when one is present) and writes everything up to
 // but not including the final Ready.
-func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+func (s *Server) runQuery(conn net.Conn, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
 	var sp *obs.Span
 	if !sc.IsZero() {
 		sp = obs.StartSpanIn("server.query", sc)
@@ -304,10 +314,19 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logg
 		}
 	}
 	t0 := time.Now()
-	res, err := s.exec(sess, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp})
+	res, err := s.exec(sess, act, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp})
 	elapsed := time.Since(t0)
 	if thr := s.slowQueryNS.Load(); thr > 0 && elapsed >= time.Duration(thr) {
-		slog.Warn("slow query", "elapsed", elapsed, "sql", q.SQL)
+		// The fingerprint makes a slow-query entry joinable against
+		// ldv_stat_statements (falling back to a fresh computation when the
+		// statement failed before producing a Result).
+		fp := ""
+		if res != nil {
+			fp = res.Fingerprint
+		} else {
+			fp = sqlparse.ComputeFingerprint(q.SQL).String()
+		}
+		slog.Warn("slow query", "elapsed", elapsed, "fingerprint", fp, "sql", q.SQL)
 	}
 	if err != nil {
 		mErrors.Inc()
@@ -345,28 +364,32 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, slog *obslog.Logg
 		ReadRefs:     res.ReadRefs,
 		WrittenRefs:  res.WrittenRefs,
 		CommitSeq:    res.CommitSeq,
+		Fingerprint:  res.Fingerprint,
 	}
 	return wire.Write(conn, cc)
 }
 
 // exec runs one statement on the connection's session, intercepting COPY
-// (which needs file access).
-func (s *Server) exec(sess *engine.Session, sql string, opts engine.ExecOptions) (*engine.Result, error) {
-	stmt, err := parseTraced(sql, opts.Span)
+// (which needs file access). The activity entry covers execution only — a
+// session burning in parse shows idle, which is fine at parse latencies.
+func (s *Server) exec(sess *engine.Session, act *sessionActivity, sql string, opts engine.ExecOptions) (*engine.Result, error) {
+	p, err := parseTraced(sql, opts.Span)
 	if err != nil {
 		return nil, err
 	}
-	if c, ok := stmt.(*sqlparse.Copy); ok {
+	act.begin(p.Fingerprint.String(), sql)
+	defer func() { act.finish(sess.InTxn()) }()
+	if c, ok := p.Stmt.(*sqlparse.Copy); ok {
 		return s.execCopy(sess, c, opts)
 	}
-	return sess.ExecStatement(stmt, opts)
+	return sess.ExecParsed(p, opts)
 }
 
 // parseTraced parses one statement under an engine.parse span.
-func parseTraced(sql string, parent *obs.Span) (sqlparse.Statement, error) {
+func parseTraced(sql string, parent *obs.Span) (engine.Parsed, error) {
 	sp := parent.Child("engine.parse")
 	defer sp.End()
-	return engine.ParseTimed(sql)
+	return engine.ParseStatement(sql)
 }
 
 // execCopy performs COPY table FROM/TO 'path' using the server's

@@ -460,6 +460,24 @@ func (*Commit) String() string { return "COMMIT" }
 // String renders the statement.
 func (*Rollback) String() string { return "ROLLBACK" }
 
+// Explain is EXPLAIN [ANALYZE] <stmt>. Plain EXPLAIN renders the planned
+// operator tree without executing; ANALYZE executes the inner statement and
+// attaches actual per-operator row counts and timings.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*Explain) stmtNode() {}
+
+// String renders the statement.
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}
+
 // DropTable is DROP TABLE [IF EXISTS] name.
 type DropTable struct {
 	Table    string

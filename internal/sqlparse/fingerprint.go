@@ -1,0 +1,122 @@
+package sqlparse
+
+import "strings"
+
+// Fingerprint identifies a class of statements that differ only in literal
+// values and formatting: the normalized text replaces every number and
+// string literal with '?', upper-cases keywords, lower-cases identifiers,
+// and collapses whitespace; Hash is the FNV-1a 64-bit hash of that text.
+// Statements with the same fingerprint share one row in ldv_stat_statements.
+type Fingerprint struct {
+	Hash uint64
+	Text string
+}
+
+// IsZero reports whether the fingerprint is unset.
+func (f Fingerprint) IsZero() bool { return f.Hash == 0 && f.Text == "" }
+
+// String renders the hash as the 16-digit hex key shown by
+// ldv_stat_statements ("" for the zero fingerprint).
+func (f Fingerprint) String() string {
+	if f.IsZero() {
+		return ""
+	}
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 0; i < 16; i++ {
+		b[15-i] = hexdigits[(f.Hash>>(4*i))&0xf]
+	}
+	return string(b[:])
+}
+
+// fnv-1a 64-bit constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashText returns the FNV-1a 64-bit hash of a normalized statement text.
+// Exposed so consumers holding only the text (e.g. log readers) can recover
+// the join key against ldv_stat_statements.
+func HashText(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// noSpaceBefore are operator tokens that attach to the preceding token.
+var noSpaceBefore = map[string]bool{",": true, ")": true, ";": true, ".": true}
+
+// noSpaceAfter are operator tokens the following token attaches to.
+var noSpaceAfter = map[string]bool{"(": true, ".": true}
+
+// FingerprintTokens normalizes an already-lexed statement. Literal values
+// (numbers, strings, params) become '?'; the lexer has already upper-cased
+// keywords and lower-cased identifiers; token spacing is canonicalized so
+// formatting differences vanish. A trailing semicolon is dropped.
+func FingerprintTokens(toks []Token) Fingerprint {
+	for len(toks) > 0 {
+		last := toks[len(toks)-1]
+		if last.Type == TokOp && last.Text == ";" {
+			toks = toks[:len(toks)-1]
+			continue
+		}
+		break
+	}
+	var sb strings.Builder
+	prev := ""
+	for i, t := range toks {
+		text := t.Text
+		switch t.Type {
+		case TokNumber, TokString, TokParam:
+			text = "?"
+		}
+		if i > 0 && !noSpaceAfter[prev] && !(t.Type == TokOp && noSpaceBefore[text]) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(text)
+		if t.Type == TokOp {
+			prev = text
+		} else {
+			prev = ""
+		}
+	}
+	text := sb.String()
+	return Fingerprint{Hash: HashText(text), Text: text}
+}
+
+// ComputeFingerprint lexes src and fingerprints it. Unlexable input hashes
+// its trimmed raw text so even malformed statements aggregate stably.
+func ComputeFingerprint(src string) Fingerprint {
+	toks, err := Tokenize(src)
+	if err != nil {
+		text := strings.Join(strings.Fields(src), " ")
+		return Fingerprint{Hash: HashText(text), Text: text}
+	}
+	return FingerprintTokens(toks)
+}
+
+// ParseFingerprinted parses one statement and computes its fingerprint from
+// a single tokenize pass — the entry point the engine uses so the
+// per-statement cost of fingerprinting is one extra walk over the token
+// slice, not a second lex.
+func ParseFingerprinted(src string) (Statement, Fingerprint, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, ComputeFingerprint(src), err
+	}
+	fp := FingerprintTokens(toks)
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, fp, err
+	}
+	p.acceptOp(";")
+	if !p.atEOF() {
+		return nil, fp, p.errorf("unexpected trailing input starting at %q", p.peek().Text)
+	}
+	return stmt, fp, nil
+}

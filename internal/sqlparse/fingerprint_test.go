@@ -1,0 +1,107 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintCollapsesLiterals(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT a FROM t WHERE b = 1",
+			"select a from t where b = 2",
+			"SELECT   a\nFROM t WHERE b =   999;",
+			"SELECT a FROM t WHERE b = 'x'",
+		},
+		{
+			"INSERT INTO t VALUES (1, 'x')",
+			"insert into T values (42, 'y');",
+		},
+		{
+			"SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+			"SELECT a FROM t WHERE b BETWEEN 10 AND 20",
+		},
+	}
+	seen := map[uint64]string{}
+	for _, group := range groups {
+		want := ComputeFingerprint(group[0])
+		if want.IsZero() {
+			t.Fatalf("zero fingerprint for %q", group[0])
+		}
+		for _, sql := range group[1:] {
+			got := ComputeFingerprint(sql)
+			if got.Hash != want.Hash || got.Text != want.Text {
+				t.Errorf("fingerprint(%q) = %q (%x), want same as %q = %q (%x)",
+					sql, got.Text, got.Hash, group[0], want.Text, want.Hash)
+			}
+		}
+		if prev, dup := seen[want.Hash]; dup {
+			t.Errorf("groups %q and %q collide on %x", prev, group[0], want.Hash)
+		}
+		seen[want.Hash] = group[0]
+	}
+}
+
+func TestFingerprintNormalizedText(t *testing.T) {
+	fp := ComputeFingerprint("select  A, b\n from T where A = 10 and B like 'x%';")
+	want := "SELECT a, b FROM t WHERE a = ? AND b LIKE ?"
+	if fp.Text != want {
+		t.Errorf("normalized text = %q, want %q", fp.Text, want)
+	}
+	if fp.Hash != HashText(fp.Text) {
+		t.Error("Hash is not the FNV-1a hash of the normalized text")
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	if s := (Fingerprint{}).String(); s != "" {
+		t.Errorf("zero fingerprint String() = %q, want empty", s)
+	}
+	fp := Fingerprint{Hash: 0xdeadbeef, Text: "x"}
+	if s := fp.String(); s != "00000000deadbeef" {
+		t.Errorf("String() = %q, want 16 zero-padded hex digits", s)
+	}
+	if s := ComputeFingerprint("SELECT 1").String(); len(s) != 16 || strings.ToLower(s) != s {
+		t.Errorf("String() = %q, want 16 lowercase hex digits", s)
+	}
+}
+
+func TestParseFingerprintedMatchesCompute(t *testing.T) {
+	sql := "SELECT a FROM t WHERE b = 7"
+	stmt, fp, err := ParseFingerprinted(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt == nil {
+		t.Fatal("nil statement")
+	}
+	if want := ComputeFingerprint(sql); fp != want {
+		t.Errorf("ParseFingerprinted fp = %+v, want %+v", fp, want)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*Explain)
+	if !ok || ex.Analyze {
+		t.Fatalf("parse = %#v, want plain Explain", stmt)
+	}
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Fatalf("inner statement = %T, want *Select", ex.Stmt)
+	}
+
+	stmt, err = Parse("explain analyze UPDATE t SET a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok = stmt.(*Explain)
+	if !ok || !ex.Analyze {
+		t.Fatalf("parse = %#v, want Explain{Analyze}", stmt)
+	}
+	if got := ex.String(); got != "EXPLAIN ANALYZE UPDATE t SET a = 1" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -48,6 +48,7 @@ var keywords = map[string]bool{
 	"DECIMAL": true, "IF": true, "EXISTS": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 	"COPY": true, "TO": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lexer tokenizes a SQL string.

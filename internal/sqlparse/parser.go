@@ -143,6 +143,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDropTable()
 	case "COPY":
 		return p.parseCopy()
+	case "EXPLAIN":
+		return p.parseExplain()
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")
@@ -547,6 +549,26 @@ func (p *Parser) parseDropTable() (*DropTable, error) {
 	}
 	dt.Table = table
 	return dt, nil
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <stmt>. Only statements with an
+// execution tree may be explained: SELECT, INSERT, UPDATE, DELETE.
+func (p *Parser) parseExplain() (*Explain, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	ex := &Explain{Analyze: p.acceptKeyword("ANALYZE")}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch inner.(type) {
+	case *Select, *Insert, *Update, *Delete:
+		ex.Stmt = inner
+		return ex, nil
+	default:
+		return nil, p.errorf("EXPLAIN supports SELECT, INSERT, UPDATE and DELETE, not %T", inner)
+	}
 }
 
 func (p *Parser) parseCopy() (*Copy, error) {

@@ -7,16 +7,18 @@ import "ldv/internal/obs"
 // simulated connection live in this process, so "out" means frames passed
 // to Write and "in" means frames returned by Read, regardless of role.
 var (
-	mOutMsgs  = obs.GetCounter("wire.out.msgs")
-	mOutBytes = obs.GetCounter("wire.out.bytes")
-	mInMsgs   = obs.GetCounter("wire.in.msgs")
-	mInBytes  = obs.GetCounter("wire.in.bytes")
+	mOutMsgs  = obs.NewCounter("wire.out.msgs", "Frames written to the wire")
+	mOutBytes = obs.NewCounter("wire.out.bytes", "Bytes written to the wire (header + payload)")
+	mInMsgs   = obs.NewCounter("wire.in.msgs", "Frames read from the wire")
+	mInBytes  = obs.NewCounter("wire.in.bytes", "Bytes read from the wire (header + payload)")
 
 	mOutByTag [256]*obs.Counter
 	mInByTag  [256]*obs.Counter
 )
 
 func init() {
+	obs.DescribePrefix("wire.out.msgs.", "Frames written by message kind")
+	obs.DescribePrefix("wire.in.msgs.", "Frames read by message kind")
 	for _, tag := range Tags() {
 		mOutByTag[tag] = obs.GetCounter("wire.out.msgs." + TagName(tag))
 		mInByTag[tag] = obs.GetCounter("wire.in.msgs." + TagName(tag))

@@ -158,6 +158,11 @@ type CommandComplete struct {
 	ReadRefs     []engine.TupleRef
 	WrittenRefs  []engine.TupleRef
 	CommitSeq    uint64
+	// Fingerprint is the statement's normalized-text hash in hex — the join
+	// key against the ldv_stat_statements system view. Trailing field after
+	// CommitSeq (which is force-encoded, zero or not, when a fingerprint is
+	// present, keeping the frame self-describing); absent when "".
+	Fingerprint string
 }
 
 // Stats request kinds: which observability document the server should
@@ -348,9 +353,14 @@ func encodePayload(m Message) []byte {
 		b = appendRefs(b, v.ReadRefs)
 		b = appendRefs(b, v.WrittenRefs)
 		// Trailing commit sequence, absent when nothing was logged, so the
-		// frame is byte-identical to the pre-replication protocol.
-		if v.CommitSeq > 0 {
+		// frame is byte-identical to the pre-replication protocol. A
+		// fingerprint forces it (zero or not): the decoder tells the two
+		// trailing fields apart by position, not content.
+		if v.CommitSeq > 0 || v.Fingerprint != "" {
 			b = binary.AppendUvarint(b, v.CommitSeq)
+		}
+		if v.Fingerprint != "" {
+			b = appendString(b, v.Fingerprint)
 		}
 	case Error:
 		b = appendString(b, v.Message)
@@ -468,9 +478,13 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 			ReadRefs:     d.refs(),
 			WrittenRefs:  d.refs(),
 		}
-		// Trailing commit sequence (absent in pre-replication frames).
+		// Trailing commit sequence (absent in pre-replication frames), then
+		// the statement fingerprint (absent in pre-introspection frames).
 		if d.err == nil && len(d.buf) > 0 {
 			cc.CommitSeq = d.uvarint()
+		}
+		if d.err == nil && len(d.buf) > 0 {
+			cc.Fingerprint = d.string()
 		}
 		m = cc
 	case TagError:

@@ -1,0 +1,132 @@
+package ldv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ldv/internal/obs"
+
+	// Metric handles are package-level vars, so linking a package is what
+	// registers its metrics. Pull in the metric-bearing packages the public
+	// API does not already reach, so the lint below sees the full set.
+	_ "ldv/internal/obs/log"
+	_ "ldv/internal/repl"
+	_ "ldv/internal/server"
+	_ "ldv/internal/wire"
+)
+
+// histogramUnits are the unit tokens a histogram name must carry in one of
+// its dot-segments (engine.exec_ns.select, wal.flush_ns, recovery.ns,
+// engine.snapshot_age_ticks). The span.<name> duration family is exempt:
+// its members are named after the span, and the family carries one
+// prefix-registered description.
+var histogramUnits = []string{"ns", "bytes", "ticks"}
+
+// TestMetricDescriptions is the metric lint run by `make check`: every
+// metric registered at init time must have a help string (obs.Describe,
+// obs.DescribePrefix, or the obs.New* registration forms) — the ops
+// /metrics endpoint renders these as Prometheus # HELP lines — and must
+// follow the naming convention checked by lintMetricName. Dynamically named
+// family members (wire.out.msgs.<Tag>, span.<name>) are covered by their
+// prefix registrations, which this test exercises through the same
+// obs.Description lookup the exporter uses.
+func TestMetricDescriptions(t *testing.T) {
+	s := obs.Default().Snapshot()
+	total := 0
+	check := func(name string, isHistogram bool) {
+		total++
+		for _, p := range lintMetricName(name, isHistogram) {
+			t.Error(p)
+		}
+	}
+	for name := range s.Counters {
+		check(name, false)
+	}
+	for name := range s.Gauges {
+		check(name, false)
+	}
+	for name := range s.Histograms {
+		check(name, true)
+	}
+	// The engine, server, wire, repl, pack, auditor, and logging subsystems
+	// all register metrics; an empty registry means the imports above went
+	// stale and the lint is checking nothing.
+	if total < 30 {
+		t.Fatalf("only %d metrics registered — metric-bearing packages missing from this test's imports?", total)
+	}
+}
+
+// TestMetricLintCatchesViolations proves the lint bites on undescribed and
+// badly named metrics, and accepts the shapes the codebase uses.
+func TestMetricLintCatchesViolations(t *testing.T) {
+	obs.Describe("linttest.good.flush_ns", "described")
+	obs.Describe("linttest.BadCase.x", "described")
+	obs.Describe("linttest.no_unit", "described")
+	obs.DescribePrefix("linttest.family.", "family")
+	cases := []struct {
+		name        string
+		isHistogram bool
+		want        int
+	}{
+		{"linttest.good.flush_ns", true, 0},
+		{"linttest.family.AnyTag", false, 0},  // prefix description, tag-cased leaf
+		{"linttest.undescribed", false, 1},    // no Describe call
+		{"linttest.BadCase.x", false, 1},      // uppercase outside the leaf segment
+		{"linttest.no_unit", true, 1},         // histogram without a unit token
+		{"span.client.query", true, 0},        // span family: unit rule exempt
+		{"Linttest.undescribed", false, 2},    // bad first segment and undescribed
+	}
+	for _, tc := range cases {
+		got := lintMetricName(tc.name, tc.isHistogram)
+		if len(got) != tc.want {
+			t.Errorf("%s: %d problems (want %d): %v", tc.name, len(got), tc.want, got)
+		}
+	}
+}
+
+// lintMetricName checks one registered metric name, returning one message
+// per violation. Convention: dotted lowercase_with_underscores segments,
+// subsystem first ("engine.lock_wait_ns"); an uppercase letter is allowed
+// only in the final segment, for families indexed by an exported identifier
+// (wire.out.msgs.Query). Histograms must carry a unit token — a segment
+// ending in ns, bytes, or ticks — except the span.<name> duration family.
+func lintMetricName(name string, isHistogram bool) []string {
+	var problems []string
+	if _, ok := obs.Description(name); !ok {
+		problems = append(problems, fmt.Sprintf(
+			"metric %q has no description — register it with obs.NewCounter/NewGauge/NewHistogram or obs.Describe/DescribePrefix", name))
+	}
+	segs := strings.Split(name, ".")
+	for i, seg := range segs {
+		if seg == "" {
+			problems = append(problems, fmt.Sprintf("metric %q has an empty name segment", name))
+			continue
+		}
+		allowUpper := i == len(segs)-1 && i > 0
+		for _, c := range seg {
+			ok := c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+				(allowUpper && c >= 'A' && c <= 'Z')
+			if !ok {
+				problems = append(problems, fmt.Sprintf(
+					"metric %q: segment %q violates the naming convention (lowercase_with_underscores; uppercase only in a family's final segment)", name, seg))
+				break
+			}
+		}
+	}
+	if isHistogram && !strings.HasPrefix(name, "span.") {
+		hasUnit := false
+		for _, seg := range segs {
+			for _, u := range histogramUnits {
+				if seg == u || strings.HasSuffix(seg, "_"+u) {
+					hasUnit = true
+				}
+			}
+		}
+		if !hasUnit {
+			problems = append(problems, fmt.Sprintf(
+				"histogram %q has no unit token — name it with a segment ending in one of %v", name, histogramUnits))
+		}
+	}
+	return problems
+}
