@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz recover-bench trace-bench stat-demo repl-bench ops-demo repl-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -23,7 +23,8 @@ test:
 # Full verification: vet, the docs lint (every package needs a godoc
 # comment), the trace lint (every span started on the request path must be
 # ended via defer), the metric lint (every registered metric needs a help
-# string and a conforming name), the durability and replication crash
+# string and a conforming name), the plan lint (every plan operator carries
+# the full explain + lineage surface), the durability and replication crash
 # matrices under the race detector, then the whole tree under the race
 # detector with shuffled test order (to surface order-dependent state).
 check:
@@ -31,6 +32,7 @@ check:
 	$(GO) test -run TestPackageDocComments .
 	$(GO) test -run TestSpanEndDiscipline .
 	$(GO) test -run TestMetricDescriptions .
+	$(GO) test -run TestPlanNodeSurface .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
 	$(GO) test -race -run TestReplicaCrashMatrix ./internal/repl
 	$(GO) test -race -shuffle=on ./...
@@ -60,10 +62,16 @@ fuzz:
 	$(GO) test ./internal/engine -fuzz FuzzWALDecode -fuzztime 30s
 	$(GO) test ./internal/engine -fuzz FuzzWALScan -fuzztime 30s
 	$(GO) test ./internal/ops -fuzz FuzzTracesHandler -fuzztime 30s
+	$(GO) test ./internal/plan -fuzz FuzzPlan -fuzztime 30s
 
 # WAL overhead and recovery-time measurements (EXPERIMENTS.md "Durability").
 recover-bench:
 	$(GO) run ./cmd/ldv-bench -exp durability | tee results/durability.txt
+
+# Secondary-index speedup on selective TPC-H lookups (EXPERIMENTS.md
+# "Planning"; target: >=10x on the point query at SF 0.02).
+plan-bench:
+	$(GO) run ./cmd/ldv-bench -exp planner -sf 0.02 | tee results/planner.txt
 
 # Request-tracing overhead on a read-only workload (budget: <5%).
 trace-bench:

@@ -328,6 +328,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"introspection": IntrospectionOverhead,
 		"concurrency":   Concurrency,
 		"durability":    Durability,
+		"planner":       PlannerBench,
 		"replication":   Replication,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
@@ -343,7 +344,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "durability", "replication", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "planner", "durability", "replication", "ablation"}
 }
 
 // RunAll executes every experiment in order.

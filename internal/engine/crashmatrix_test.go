@@ -25,16 +25,18 @@ type crashOp int
 const (
 	opCreateT crashOp = iota
 	opIns1
+	opCreateIx // CREATE INDEX early so most writes run index-maintained
 	opIns2
 	opIns3
 	opTxnA // BEGIN; INSERT 10; INSERT 11; COMMIT — the atomicity pair
-	opUpd2
+	opUpd2 // index-located UPDATE (WHERE on the indexed column)
 	opDel3
 	opCkpt
 	opIns4
 	opCreateU
 	opInsU
 	opTxnB // BEGIN; INSERT 12; INSERT 13; COMMIT
+	opDropIx2 // create+drop a second index, exercising drop durability
 	opCount
 )
 
@@ -77,16 +79,24 @@ func crashWorkload(fs FileSystem) (acked [opCount]bool, boot bool) {
 	}{
 		{opCreateT, exec("CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")},
 		{opIns1, exec("INSERT INTO t VALUES (1, 'one')")},
+		{opCreateIx, exec("CREATE INDEX ix_v ON t (v)")},
 		{opIns2, exec("INSERT INTO t VALUES (2, 'two')")},
 		{opIns3, exec("INSERT INTO t VALUES (3, 'three')")},
 		{opTxnA, txn("INSERT INTO t VALUES (10, 'a')", "INSERT INTO t VALUES (11, 'a')")},
-		{opUpd2, exec("UPDATE t SET v = 'dos' WHERE k = 2")},
+		{opUpd2, exec("UPDATE t SET v = 'dos' WHERE v = 'two'")},
 		{opDel3, exec("DELETE FROM t WHERE k = 3")},
 		{opCkpt, func() error { return db.Checkpoint(fs, "/data") }},
 		{opIns4, exec("INSERT INTO t VALUES (4, 'four')")},
 		{opCreateU, exec("CREATE TABLE u (x INT)")},
 		{opInsU, exec("INSERT INTO u VALUES (42)")},
 		{opTxnB, txn("INSERT INTO t VALUES (12, 'b')", "INSERT INTO t VALUES (13, 'b')")},
+		{opDropIx2, func() error {
+			if _, err := db.Exec("CREATE INDEX ix_tmp ON t (k) USING ordered", ExecOptions{}); err != nil {
+				return err
+			}
+			_, err := db.Exec("DROP INDEX ix_tmp", ExecOptions{})
+			return err
+		}},
 	}
 	for _, s := range steps {
 		if !step(s.op, s.run) {
@@ -165,6 +175,45 @@ func checkContract(t *testing.T, db *DB, acked [opCount]bool, label string) {
 	}
 	requireRow(1, "one", opIns1, "insert")
 	requireRow(4, "four", opIns4, "insert")
+
+	// Index contract: an acked CREATE INDEX survives recovery, an
+	// unattempted one is absent, and whatever the crash left behind, a query
+	// routed through the planner must agree with the raw table contents.
+	res, err := db.Exec("SELECT name FROM ldv_stat_indexes WHERE name = 'ix_v'", ExecOptions{})
+	if err != nil {
+		t.Fatalf("%s: read ldv_stat_indexes: %v", label, err)
+	}
+	hasIx := len(res.Rows) == 1
+	if acked[opCreateIx] && !hasIx {
+		t.Fatalf("%s: acked CREATE INDEX lost", label)
+	}
+	if !attempted[opCreateIx] && hasIx {
+		t.Fatalf("%s: index exists before CREATE INDEX was attempted", label)
+	}
+	for _, probe := range []string{"one", "dos"} {
+		res, err := db.Exec(fmt.Sprintf("SELECT k FROM t WHERE v = '%s'", probe), ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s: indexed probe %q: %v", label, probe, err)
+		}
+		got := map[int64]bool{}
+		for _, r := range res.Rows {
+			got[r[0].Int()] = true
+		}
+		want := map[int64]bool{}
+		for k, v := range rows {
+			if v == probe {
+				want[k] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: probe %q via planner = %v, table holds %v", label, probe, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("%s: probe %q via planner = %v, table holds %v", label, probe, got, want)
+			}
+		}
+	}
 
 	// The explicit transactions are the atomicity probes: both rows or
 	// neither, regardless of ack state.

@@ -122,6 +122,11 @@ type DB struct {
 	commitMu sync.RWMutex
 	wal      *WAL
 
+	// idxMu serializes index DDL: index names are a global namespace
+	// resolved by scanning every table, so concurrent CREATE/DROP INDEX
+	// must not interleave between the name check and the install.
+	idxMu sync.Mutex
+
 	clock    Clock
 	nextRow  atomic.Uint64
 	nextStmt atomic.Int64

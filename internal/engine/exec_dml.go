@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"ldv/internal/plan"
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
 )
@@ -212,6 +213,7 @@ func (ec *stmtCtx) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result)
 		r.endTxn = ec.txn.id
 		t.liveRows.Add(-1)
 		t.rows = append(t.rows, nv)
+		t.indexInsert(nv)
 		t.versions.Add(1)
 		t.liveRows.Add(1)
 		ec.txn.logUndo(t, undoUpdate(t, r, nv))
@@ -268,6 +270,13 @@ func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result)
 // versions. A matching row end-marked by a concurrent uncommitted
 // transaction is a write-write conflict: first-updater-wins, the later
 // writer errors out.
+//
+// The access path comes from the planner: when an index predicate applies,
+// only the candidate versions in the matching buckets are considered.
+// Because an index holds *every* version carrying a key (end-marked ones
+// included) and the full WHERE clause is still evaluated on each candidate,
+// both the match set and the conflict detection are exactly what a full
+// scan would produce.
 func (ec *stmtCtx) matchRows(t *Table, where sqlparse.Expr) (*env, []*storedRow, error) {
 	en := &env{}
 	for _, c := range t.Schema.Columns {
@@ -276,32 +285,68 @@ func (ec *stmtCtx) matchRows(t *Table, where sqlparse.Expr) (*env, []*storedRow,
 	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
 		en.bindings = append(en.bindings, binding{table: t.Name, name: pc})
 	}
+
+	access, est := plan.PlanAccess(stmtCatalog{ec}, t.Name, where)
+	leaf := access
+	if f, ok := leaf.(*plan.FilterNode); ok {
+		leaf = f.Input
+	}
+	candidates := t.rows
+	if isn, ok := leaf.(*plan.IndexScanNode); ok {
+		if ix := t.findIndex(isn.Index); ix != nil {
+			var cand []*storedRow
+			_ = ec.ops.execEst("index_scan", isn.Detail(), isn.Est, func() (int, error) {
+				cand = indexCandidates(ix, isn)
+				return len(cand), nil
+			})
+			ix.scans.Add(1)
+			candidates = cand
+		}
+	} else if sn, ok := leaf.(*plan.ScanNode); ok {
+		_ = ec.ops.execEst("scan", sn.Detail(), sn.Est, func() (int, error) {
+			return len(t.rows), nil
+		})
+	}
+	mRowsScanned.Add(int64(len(candidates)))
+
 	self := ec.txn.id
 	var matches []*storedRow
-	for _, r := range t.rows {
-		if r.txnID != self && ec.db.txnActive(r.txnID) {
-			continue // uncommitted insert of another transaction
-		}
-		conflict := false
-		if r.end != 0 {
-			if r.endTxn == self || !ec.db.txnActive(r.endTxn) {
-				continue // superseded/deleted by self or by a committed txn
+	match := func() error {
+		for _, r := range candidates {
+			if r.txnID != self && ec.db.txnActive(r.txnID) {
+				continue // uncommitted insert of another transaction
 			}
-			conflict = true // end-marked by a concurrent uncommitted txn
-		}
-		if where != nil {
-			v, err := evalExpr(where, en, rowEnvVals(r, len(t.Schema.Columns)), nil)
-			if err != nil {
-				return nil, nil, err
+			conflict := false
+			if r.end != 0 {
+				if r.endTxn == self || !ec.db.txnActive(r.endTxn) {
+					continue // superseded/deleted by self or by a committed txn
+				}
+				conflict = true // end-marked by a concurrent uncommitted txn
 			}
-			if !isTrue(v) {
-				continue
+			if where != nil {
+				v, err := evalExpr(where, en, rowEnvVals(r, len(t.Schema.Columns)), nil)
+				if err != nil {
+					return err
+				}
+				if !isTrue(v) {
+					continue
+				}
 			}
+			if conflict {
+				return fmt.Errorf("could not serialize access due to concurrent update on table %s", t.Name)
+			}
+			matches = append(matches, r)
 		}
-		if conflict {
-			return nil, nil, fmt.Errorf("could not serialize access due to concurrent update on table %s", t.Name)
+		return nil
+	}
+	if where != nil {
+		if err := ec.ops.execEst("filter", where.String(), est, func() (int, error) {
+			return len(matches), match()
+		}); err != nil {
+			return nil, nil, err
 		}
-		matches = append(matches, r)
+	} else if err := match(); err != nil {
+		return nil, nil, err
 	}
 	return en, matches, nil
 }

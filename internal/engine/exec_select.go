@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"ldv/internal/plan"
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
 )
@@ -47,9 +48,9 @@ func (ec *stmtCtx) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result)
 	var cols []string
 	var rows [][]sqlval.Value
 	var lineage [][]TupleRef
-	if err := ec.ops.exec("project", "", func() (int, error) {
+	if err := ec.ops.execEst("project", "", ec.sel.estProject, func() (int, error) {
 		var perr error
-		cols, rows, lineage, perr = project(s, rel, withLineage, ec.ops)
+		cols, rows, lineage, perr = project(s, rel, withLineage, ec.ops, ec.sel)
 		return len(rows), perr
 	}); err != nil {
 		return err
@@ -88,22 +89,60 @@ func (ec *stmtCtx) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result)
 	return nil
 }
 
-// runSelect executes the FROM/WHERE/GROUP BY portion, returning the
-// pre-projection relation (post-aggregation for aggregate queries, with
-// aggregate values stashed in the aggCtx of each tuple via aggRelation).
+// selPlan carries a SELECT's plan tree through execution: the relational
+// access subtree the executor walks, plus the planner estimates for the
+// projection-side stages (−1 when the plan has no such stage), which
+// EXPLAIN ANALYZE reports next to the actual row counts.
+type selPlan struct {
+	tree   *plan.Tree
+	access plan.Node
+	estAgg, estDistinct, estSort, estLimit, estProject float64
+}
+
+// newSelPlan unwraps the projection chain the planner stacked on top of the
+// relational subtree (project / limit / sort / distinct / aggregate, in
+// that nesting order) and records each stage's estimate.
+func newSelPlan(tree *plan.Tree) *selPlan {
+	sp := &selPlan{tree: tree, estAgg: -1, estDistinct: -1, estSort: -1, estLimit: -1, estProject: -1}
+	n := tree.Root
+	if p, ok := n.(*plan.ProjectNode); ok {
+		sp.estProject = p.Est
+		n = p.Input
+	}
+	if l, ok := n.(*plan.LimitNode); ok {
+		sp.estLimit = l.Est
+		n = l.Input
+	}
+	if s, ok := n.(*plan.SortNode); ok {
+		sp.estSort = s.Est
+		n = s.Input
+	}
+	if d, ok := n.(*plan.DistinctNode); ok {
+		sp.estDistinct = d.Est
+		n = d.Input
+	}
+	if a, ok := n.(*plan.AggregateNode); ok {
+		sp.estAgg = a.Est
+		n = a.Input
+	}
+	sp.access = n
+	return sp
+}
+
+// runSelect plans and executes the FROM/WHERE/GROUP BY portion, returning
+// the pre-projection relation (post-aggregation for aggregate queries, with
+// aggregate values stashed per tuple via aggRelation). The plan is kept on
+// ec.sel so the projection stages can report their estimates.
 func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (*aggRelation, error) {
 	if len(s.From) == 0 {
 		// Table-less SELECT (e.g. SELECT 1+1): a single empty tuple.
+		ec.sel = newSelPlan(plan.PlanSelect(stmtCatalog{ec}, s))
 		return &aggRelation{rel: relation{tuples: []tuple{{}}}}, nil
 	}
 
-	// Gather table refs and conjuncts.
 	refs := append([]sqlparse.TableRef(nil), s.From...)
-	var conjuncts []sqlparse.Expr
-	splitConjuncts(s.Where, &conjuncts)
 	for _, j := range s.Joins {
 		refs = append(refs, j.Table)
-		splitConjuncts(j.On, &conjuncts)
 	}
 	seen := map[string]bool{}
 	for _, r := range refs {
@@ -114,77 +153,20 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 		seen[name] = true
 	}
 
-	used := make([]bool, len(conjuncts))
-	var cur relation
-	if err := ec.ops.exec("scan", refs[0].EffectiveName(), func() (int, error) {
-		var serr error
-		cur, serr = ec.scanTable(refs[0], withLineage, stmtID, collect)
-		return len(cur.tuples), serr
-	}); err != nil {
+	sp := newSelPlan(plan.PlanSelect(stmtCatalog{ec}, s))
+	ec.sel = sp
+	cur, err := ec.execAccess(sp.access, withLineage, stmtID, collect)
+	if err != nil {
 		return nil, err
 	}
-	cur = ec.applyFilters(cur, conjuncts, used)
-
-	for _, ref := range refs[1:] {
-		var right relation
-		if err := ec.ops.exec("scan", ref.EffectiveName(), func() (int, error) {
-			var serr error
-			right, serr = ec.scanTable(ref, withLineage, stmtID, collect)
-			return len(right.tuples), serr
-		}); err != nil {
-			return nil, err
-		}
-		right = ec.applyFilters(right, conjuncts, used)
-		// Find equi-join keys between cur and right.
-		var leftKeys, rightKeys []sqlparse.Expr
-		for i, c := range conjuncts {
-			if used[i] {
-				continue
-			}
-			l, r, ok := equiJoinSides(c, &cur.env, &right.env)
-			if !ok {
-				continue
-			}
-			leftKeys = append(leftKeys, l)
-			rightKeys = append(rightKeys, r)
-			used[i] = true
-		}
-		if err := ec.ops.exec("hash_join", ref.EffectiveName(), func() (int, error) {
-			var jerr error
-			cur, jerr = hashJoin(cur, right, leftKeys, rightKeys)
-			return len(cur.tuples), jerr
-		}); err != nil {
-			return nil, err
-		}
-		cur = ec.applyFilters(cur, conjuncts, used)
-	}
-	for i, c := range conjuncts {
-		if !used[i] {
-			// Not yet applied anywhere: it must resolve now, or the query is
-			// invalid.
-			var aggs []*sqlparse.FuncExpr
-			collectAggregates(c, &aggs)
-			if len(aggs) > 0 {
-				return nil, fmt.Errorf("aggregates are not allowed in WHERE")
-			}
-			var refs []*sqlparse.ColumnRef
-			columnRefs(c, &refs)
-			for _, r := range refs {
-				if _, err := cur.env.resolve(r); err != nil {
-					return nil, err
-				}
-			}
-			cc := c
-			_ = ec.ops.exec("filter", cc.String(), func() (int, error) {
-				cur = filter(cur, []sqlparse.Expr{cc})
-				return len(cur.tuples), nil
-			})
-			used[i] = true
-		}
+	if sp.tree.Reordered {
+		// The greedy join order built the tuple layout in cost order;
+		// restore the syntactic FROM order so SELECT * stays stable.
+		cur = reorderRelation(cur, refs)
 	}
 
 	var ar *aggRelation
-	if err := ec.ops.exec("aggregate", exprListText(s.GroupBy), func() (int, error) {
+	if err := ec.ops.execEst("aggregate", exprListText(s.GroupBy), sp.estAgg, func() (int, error) {
 		var aerr error
 		ar, aerr = aggregate(s, cur)
 		if aerr != nil {
@@ -201,80 +183,124 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 	return ar, nil
 }
 
-// splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
-func splitConjuncts(e sqlparse.Expr, out *[]sqlparse.Expr) {
-	if e == nil {
-		return
+// execAccess executes a relational plan subtree (scans, index scans,
+// filters, hash joins), materializing its relation.
+func (ec *stmtCtx) execAccess(n plan.Node, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
+	switch node := n.(type) {
+	case *plan.ScanNode:
+		var rel relation
+		err := ec.ops.execEst("scan", node.Detail(), node.Est, func() (int, error) {
+			var serr error
+			rel, serr = ec.scanTable(planTableRef(node.Table, node.As), withLineage, stmtID, collect)
+			return len(rel.tuples), serr
+		})
+		return rel, err
+	case *plan.IndexScanNode:
+		var rel relation
+		err := ec.ops.execEst("index_scan", node.Detail(), node.Est, func() (int, error) {
+			var serr error
+			rel, serr = ec.scanIndex(node, withLineage, stmtID, collect)
+			return len(rel.tuples), serr
+		})
+		return rel, err
+	case *plan.FilterNode:
+		rel, err := ec.execAccess(node.Input, withLineage, stmtID, collect)
+		if err != nil {
+			return relation{}, err
+		}
+		if !node.Resolved {
+			// The planner could not prove these conjuncts bind; validate
+			// them now so semantic errors surface even on empty inputs.
+			for _, c := range node.Conjuncts {
+				var aggs []*sqlparse.FuncExpr
+				collectAggregates(c, &aggs)
+				if len(aggs) > 0 {
+					return relation{}, fmt.Errorf("aggregates are not allowed in WHERE")
+				}
+				var crs []*sqlparse.ColumnRef
+				columnRefs(c, &crs)
+				for _, r := range crs {
+					if _, err := rel.env.resolve(r); err != nil {
+						return relation{}, err
+					}
+				}
+			}
+		}
+		out := rel
+		_ = ec.ops.execEst("filter", node.Detail(), node.Est, func() (int, error) {
+			out = filter(rel, node.Conjuncts)
+			return len(out.tuples), nil
+		})
+		return out, nil
+	case *plan.HashJoinNode:
+		left, err := ec.execAccess(node.Left, withLineage, stmtID, collect)
+		if err != nil {
+			return relation{}, err
+		}
+		right, err := ec.execAccess(node.Right, withLineage, stmtID, collect)
+		if err != nil {
+			return relation{}, err
+		}
+		var out relation
+		err = ec.ops.execEst("hash_join", node.Detail(), node.Est, func() (int, error) {
+			var jerr error
+			out, jerr = hashJoin(left, right, node.LeftKeys, node.RightKeys)
+			return len(out.tuples), jerr
+		})
+		return out, err
 	}
-	if be, ok := e.(*sqlparse.BinaryExpr); ok && be.Op == "AND" {
-		splitConjuncts(be.Left, out)
-		splitConjuncts(be.Right, out)
-		return
-	}
-	*out = append(*out, e)
+	return relation{}, fmt.Errorf("unsupported plan node %T", n)
 }
 
-// resolvesIn reports whether every column of e binds in en.
-func resolvesIn(e sqlparse.Expr, en *env) bool {
-	var refs []*sqlparse.ColumnRef
-	columnRefs(e, &refs)
+// planTableRef reconstructs the parser-level table reference a plan leaf
+// was built from.
+func planTableRef(table, as string) sqlparse.TableRef {
+	ref := sqlparse.TableRef{Name: table}
+	if as != table {
+		ref.Alias = as
+	}
+	return ref
+}
+
+// reorderRelation permutes a joined relation's per-leaf binding blocks back
+// to the syntactic FROM order. Each leaf contributed one contiguous block
+// of bindings qualified by its effective name, so the permutation moves
+// whole blocks.
+func reorderRelation(rel relation, refs []sqlparse.TableRef) relation {
+	type block struct{ start, end int }
+	blocks := map[string]block{}
+	for i := 0; i < len(rel.env.bindings); {
+		j := i
+		name := rel.env.bindings[i].table
+		for j < len(rel.env.bindings) && rel.env.bindings[j].table == name {
+			j++
+		}
+		blocks[name] = block{start: i, end: j}
+		i = j
+	}
+	perm := make([]int, 0, len(rel.env.bindings))
+	bindings := make([]binding, 0, len(rel.env.bindings))
 	for _, r := range refs {
-		if _, err := en.resolve(r); err != nil {
-			return false
+		b, ok := blocks[r.EffectiveName()]
+		if !ok {
+			return rel
+		}
+		for i := b.start; i < b.end; i++ {
+			perm = append(perm, i)
+			bindings = append(bindings, rel.env.bindings[i])
 		}
 	}
-	return true
-}
-
-// equiJoinSides checks whether c has the shape exprL = exprR with exprL
-// resolving only on one side and exprR only on the other, returning the
-// left-aligned and right-aligned key expressions.
-func equiJoinSides(c sqlparse.Expr, left, right *env) (l, r sqlparse.Expr, ok bool) {
-	be, isBin := c.(*sqlparse.BinaryExpr)
-	if !isBin || be.Op != "=" {
-		return nil, nil, false
-	}
-	switch {
-	case resolvesIn(be.Left, left) && resolvesIn(be.Right, right):
-		return be.Left, be.Right, true
-	case resolvesIn(be.Right, left) && resolvesIn(be.Left, right):
-		return be.Right, be.Left, true
-	}
-	return nil, nil, false
-}
-
-// applicableFilters collects every not-yet-used conjunct that fully
-// resolves in rel's env, marking them used.
-func applicableFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) []sqlparse.Expr {
-	var applicable []sqlparse.Expr
-	for i, c := range conjuncts {
-		if used[i] || !resolvesIn(c, &rel.env) {
-			continue
-		}
-		// Conjuncts containing aggregates cannot be filters.
-		var aggs []*sqlparse.FuncExpr
-		collectAggregates(c, &aggs)
-		if len(aggs) > 0 {
-			continue
-		}
-		applicable = append(applicable, c)
-		used[i] = true
-	}
-	return applicable
-}
-
-// applyFilters applies the applicable conjuncts, recording a filter operator
-// when a collector is attached and any conjunct actually applied.
-func (ec *stmtCtx) applyFilters(rel relation, conjuncts []sqlparse.Expr, used []bool) relation {
-	applicable := applicableFilters(rel, conjuncts, used)
-	if len(applicable) == 0 {
+	if len(perm) != len(rel.env.bindings) {
 		return rel
 	}
-	out := rel
-	_ = ec.ops.exec("filter", exprListText(applicable), func() (int, error) {
-		out = filter(rel, applicable)
-		return len(out.tuples), nil
-	})
+	out := relation{env: env{bindings: bindings}, tuples: make([]tuple, len(rel.tuples))}
+	for ti, t := range rel.tuples {
+		vals := make([]sqlval.Value, len(perm))
+		for i, p := range perm {
+			vals[i] = t.vals[p]
+		}
+		out.tuples[ti] = tuple{vals: vals, lineage: t.lineage}
+	}
 	return out
 }
 
@@ -327,6 +353,61 @@ func (ec *stmtCtx) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int
 	mRowsScanned.Add(int64(len(t.rows)))
 	rel.tuples = make([]tuple, 0, len(t.rows))
 	for _, r := range t.rows {
+		if !ec.snap.visible(r) {
+			continue
+		}
+		vals := make([]sqlval.Value, ncols+4)
+		copy(vals, r.vals)
+		if withLineage {
+			r.usedBy.Store(stmtID)
+			if collect != nil {
+				collect[r.ref(t.Name)] = r
+			}
+		}
+		vals[ncols] = sqlval.NewInt(int64(r.id))
+		vals[ncols+1] = sqlval.NewInt(int64(r.version))
+		vals[ncols+2] = sqlval.NewString(r.proc)
+		vals[ncols+3] = sqlval.NewInt(r.usedBy.Load())
+		tp := tuple{vals: vals}
+		if withLineage {
+			tp.lineage = []TupleRef{r.ref(t.Name)}
+		}
+		rel.tuples = append(rel.tuples, tp)
+	}
+	return rel, nil
+}
+
+// scanIndex materializes the snapshot-visible versions reached through a
+// secondary-index predicate. The tuple layout matches scanTable exactly;
+// only the candidate set differs — the index narrows it to the buckets
+// matching the predicate, and the residual filter above re-checks every
+// pushed conjunct, so the result is a full scan restricted to the matching
+// keys.
+func (ec *stmtCtx) scanIndex(node *plan.IndexScanNode, withLineage bool, stmtID int64, collect map[TupleRef]*storedRow) (relation, error) {
+	t, err := ec.table(node.Table)
+	if err != nil {
+		return relation{}, err
+	}
+	ix := t.findIndex(node.Index)
+	if ix == nil {
+		// The index vanished between planning and execution — impossible
+		// while the statement holds the table lock, but degrade safely.
+		return ec.scanTable(planTableRef(node.Table, node.As), withLineage, stmtID, collect)
+	}
+	name := node.As
+	var rel relation
+	for _, c := range t.Schema.Columns {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
+	}
+	for _, pc := range []string{ColProvRowID, ColProvV, ColProvP, ColProvUsedBy} {
+		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: pc})
+	}
+	ncols := len(t.Schema.Columns)
+	cand := indexCandidates(ix, node)
+	ix.scans.Add(1)
+	mRowsScanned.Add(int64(len(cand)))
+	rel.tuples = make([]tuple, 0, len(cand))
+	for _, r := range cand {
 		if !ec.snap.visible(r) {
 			continue
 		}
@@ -635,8 +716,9 @@ func (a *aggAcc) result() sqlval.Value {
 
 // project evaluates the select list (star expansion excludes the hidden
 // provenance attributes), then applies DISTINCT, ORDER BY, and LIMIT —
-// each recorded as its own operator when EXPLAIN ANALYZE is collecting.
-func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollector) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
+// each recorded as its own operator (with the planner's estimate from sp)
+// when EXPLAIN ANALYZE is collecting.
+func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollector, sp *selPlan) (cols []string, rows [][]sqlval.Value, lineage [][]TupleRef, err error) {
 	rel := ar.rel
 
 	// Resolve output columns.
@@ -756,7 +838,7 @@ func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollec
 	}
 
 	if s.Distinct {
-		_ = oc.exec("distinct", "", func() (int, error) {
+		_ = oc.execEst("distinct", "", sp.estDistinct, func() (int, error) {
 			seen := map[string]int{}
 			dedup := outRows[:0:0]
 			var linSeen []map[TupleRef]bool // parallel to dedup, lazily built
@@ -798,7 +880,7 @@ func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollec
 		for i, o := range s.OrderBy {
 			keys[i] = o.Expr
 		}
-		_ = oc.exec("sort", exprListText(keys), func() (int, error) {
+		_ = oc.execEst("sort", exprListText(keys), sp.estSort, func() (int, error) {
 			sort.SliceStable(outRows, func(i, j int) bool {
 				for k, ob := range s.OrderBy {
 					a, b := outRows[i].keys[k], outRows[j].keys[k]
@@ -817,7 +899,7 @@ func project(s *sqlparse.Select, ar *aggRelation, withLineage bool, oc *opCollec
 		})
 	}
 	if s.Limit >= 0 && len(outRows) > s.Limit {
-		_ = oc.exec("limit", strconv.Itoa(s.Limit), func() (int, error) {
+		_ = oc.execEst("limit", strconv.Itoa(s.Limit), sp.estLimit, func() (int, error) {
 			outRows = outRows[:s.Limit]
 			return len(outRows), nil
 		})

@@ -1,11 +1,11 @@
 package engine
 
 import (
-	"strconv"
 	"strings"
 	"time"
 
 	"ldv/internal/obs"
+	"ldv/internal/plan"
 	"ldv/internal/sqlparse"
 	"ldv/internal/sqlval"
 )
@@ -22,7 +22,8 @@ import (
 func stmtWrites(stmt sqlparse.Statement) bool {
 	switch s := stmt.(type) {
 	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete,
-		*sqlparse.CreateTable, *sqlparse.DropTable:
+		*sqlparse.CreateTable, *sqlparse.DropTable,
+		*sqlparse.CreateIndex, *sqlparse.DropIndex:
 		return true
 	case *sqlparse.Copy:
 		return !s.To // COPY ... TO only reads
@@ -41,20 +42,29 @@ type opCollector struct {
 	recs   []opRecord
 }
 
-// opRecord is one executed operator: what it did, the rows it produced, and
-// the wall time it took (child operators' time included — records appear in
-// completion order, children before parents).
+// opRecord is one executed operator: what it did, the planner's output
+// estimate (negative = none), the rows it produced, and the wall time it
+// took (child operators' time included — records appear in completion
+// order, children before parents).
 type opRecord struct {
 	op     string
 	detail string
+	est    float64
 	rows   int
 	ns     int64
 }
 
-// exec runs one operator through the collector. f returns the operator's
-// output row count; the record is appended after f completes so nested
-// operators (e.g. the SELECT feeding an INSERT) list before their parent.
+// exec runs one operator through the collector with no planner estimate. f
+// returns the operator's output row count; the record is appended after f
+// completes so nested operators (e.g. the SELECT feeding an INSERT) list
+// before their parent.
 func (oc *opCollector) exec(op, detail string, f func() (int, error)) error {
+	return oc.execEst(op, detail, -1, f)
+}
+
+// execEst is exec with the planner's output-cardinality estimate attached
+// to the record (negative renders as NULL).
+func (oc *opCollector) execEst(op, detail string, est float64, f func() (int, error)) error {
 	if oc == nil {
 		_, err := f()
 		return err
@@ -63,7 +73,7 @@ func (oc *opCollector) exec(op, detail string, f func() (int, error)) error {
 	sp := oc.parent.Child("engine.op." + op)
 	defer sp.End()
 	n, err := f()
-	oc.recs = append(oc.recs, opRecord{op: op, detail: detail, rows: n, ns: int64(time.Since(t0))})
+	oc.recs = append(oc.recs, opRecord{op: op, detail: detail, est: est, rows: n, ns: int64(time.Since(t0))})
 	return err
 }
 
@@ -77,9 +87,23 @@ func (oc *opCollector) dropLast() {
 
 // execExplainStmt serves EXPLAIN and EXPLAIN ANALYZE.
 func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *Result) error {
-	res.Columns = []string{"op", "detail", "rows", "time_ns"}
+	res.Columns = []string{"op", "detail", "est_rows", "rows", "time_ns"}
 	if !ex.Analyze {
-		res.Rows = explainOutline(ex.Stmt)
+		// Plain EXPLAIN renders the planner's tree without executing or
+		// locking anything: est_rows from the statistics catalog, rows and
+		// time_ns NULL. What is printed is the tree the executor would walk.
+		tree := plan.PlanStatement(dbCatalog{s.db}, ex.Stmt)
+		var rows [][]sqlval.Value
+		for _, n := range tree.Nodes() {
+			rows = append(rows, []sqlval.Value{
+				sqlval.NewString(n.Op()),
+				sqlval.NewString(n.Detail()),
+				sqlval.NewInt(int64(n.EstRows())),
+				sqlval.Null,
+				sqlval.Null,
+			})
+		}
+		res.Rows = rows
 		return nil
 	}
 
@@ -103,9 +127,14 @@ func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *R
 
 	rows := make([][]sqlval.Value, 0, len(oc.recs)+1)
 	for _, r := range oc.recs {
+		est := sqlval.Null
+		if r.est >= 0 {
+			est = sqlval.NewInt(int64(r.est))
+		}
 		rows = append(rows, []sqlval.Value{
 			sqlval.NewString(r.op),
 			sqlval.NewString(r.detail),
+			est,
 			sqlval.NewInt(int64(r.rows)),
 			sqlval.NewInt(r.ns),
 		})
@@ -114,90 +143,12 @@ func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *R
 	rows = append(rows, []sqlval.Value{
 		sqlval.NewString("result"),
 		sqlval.NewString(""),
+		sqlval.Null,
 		sqlval.NewInt(int64(resultRows)),
 		sqlval.NewInt(int64(total)),
 	})
 	res.Rows = rows
 	return nil
-}
-
-// explainOutline renders the planned operator pipeline of a statement
-// without executing it: rows and time_ns are NULL. The order mirrors the
-// executor (exec_select.go's runSelect/project, exec_dml.go).
-func explainOutline(stmt sqlparse.Statement) [][]sqlval.Value {
-	var rows [][]sqlval.Value
-	add := func(op, detail string) {
-		rows = append(rows, []sqlval.Value{
-			sqlval.NewString(op), sqlval.NewString(detail), sqlval.Null, sqlval.Null,
-		})
-	}
-	switch st := stmt.(type) {
-	case *sqlparse.Select:
-		outlineSelect(st, add)
-	case *sqlparse.Insert:
-		if st.Query != nil {
-			outlineSelect(st.Query, add)
-		}
-		add("insert", st.Table)
-	case *sqlparse.Update:
-		add("scan", st.Table)
-		if st.Where != nil {
-			add("filter", st.Where.String())
-		}
-		add("update", st.Table)
-	case *sqlparse.Delete:
-		add("scan", st.Table)
-		if st.Where != nil {
-			add("filter", st.Where.String())
-		}
-		add("delete", st.Table)
-	}
-	return rows
-}
-
-func outlineSelect(s *sqlparse.Select, add func(op, detail string)) {
-	if len(s.From) == 0 {
-		add("values", "")
-	} else {
-		add("scan", s.From[0].EffectiveName())
-		for _, r := range s.From[1:] {
-			add("scan", r.EffectiveName())
-			add("hash_join", r.EffectiveName())
-		}
-		for _, j := range s.Joins {
-			add("scan", j.Table.EffectiveName())
-			add("hash_join", j.Table.EffectiveName())
-		}
-	}
-	if s.Where != nil {
-		add("filter", s.Where.String())
-	}
-	var aggs []*sqlparse.FuncExpr
-	for _, it := range s.Items {
-		if it.Expr != nil {
-			collectAggregates(it.Expr, &aggs)
-		}
-	}
-	if s.Having != nil {
-		collectAggregates(s.Having, &aggs)
-	}
-	if len(s.GroupBy) > 0 || len(aggs) > 0 {
-		add("aggregate", exprListText(s.GroupBy))
-	}
-	if s.Distinct {
-		add("distinct", "")
-	}
-	if len(s.OrderBy) > 0 {
-		keys := make([]sqlparse.Expr, len(s.OrderBy))
-		for i, o := range s.OrderBy {
-			keys[i] = o.Expr
-		}
-		add("sort", exprListText(keys))
-	}
-	if s.Limit >= 0 {
-		add("limit", strconv.Itoa(s.Limit))
-	}
-	add("project", "")
 }
 
 // exprListText renders expressions as a comma-separated detail string.

@@ -65,7 +65,8 @@ func execHistogram(stmt sqlparse.Statement) *obs.Histogram {
 		return hExecUpdate
 	case *sqlparse.Delete:
 		return hExecDelete
-	case *sqlparse.CreateTable, *sqlparse.DropTable:
+	case *sqlparse.CreateTable, *sqlparse.DropTable,
+		*sqlparse.CreateIndex, *sqlparse.DropIndex:
 		return hExecDDL
 	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
 		return hExecTxn

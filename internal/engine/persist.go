@@ -182,6 +182,15 @@ func encodeTable(t *Table, snap snapshot) []byte {
 		buf = binary.AppendVarint(buf, r.usedBy.Load())
 		buf = sqlval.EncodeRow(buf, r.vals)
 	}
+	// Secondary-index definitions follow the rows. Older table files end
+	// here; decodeTable treats the section as optional.
+	idxs := t.indexList()
+	buf = binary.AppendUvarint(buf, uint64(len(idxs)))
+	for _, ix := range idxs {
+		buf = appendString(buf, ix.name)
+		buf = appendString(buf, ix.column)
+		buf = appendString(buf, ix.kind)
+	}
 	return buf
 }
 
@@ -259,6 +268,34 @@ func decodeTable(data []byte) (*Table, RowID, error) {
 		}
 		if r.id > maxRow {
 			maxRow = r.id
+		}
+	}
+	// Optional trailing section: secondary-index definitions (absent in
+	// table files written before indexes existed).
+	if len(b) > 0 {
+		nidx, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad index count")
+		}
+		b = b[n:]
+		for i := uint64(0); i < nidx; i++ {
+			var iname, icol, ikind string
+			if iname, b, err = readString(b); err != nil {
+				return nil, 0, err
+			}
+			if icol, b, err = readString(b); err != nil {
+				return nil, 0, err
+			}
+			if ikind, b, err = readString(b); err != nil {
+				return nil, 0, err
+			}
+			pos := t.Schema.ColumnIndex(icol)
+			if pos < 0 {
+				return nil, 0, fmt.Errorf("index %q: no column %q", iname, icol)
+			}
+			ix := newTableIndex(iname, icol, pos, ikind)
+			ix.rebuild(t.rows)
+			t.addIndex(ix)
 		}
 	}
 	return t, maxRow, nil

@@ -206,6 +206,29 @@ func (db *DB) applyRedo(ix *replayIndex, e redoEntry) error {
 		t.liveRows.Add(1)
 		m[key] = r
 		return nil
+	case walCreateIndex:
+		t, err := db.lookupTable(e.table)
+		if err != nil {
+			return fmt.Errorf("wal replay: create index on %q: %w", e.table, err)
+		}
+		if t.findIndex(e.idxName) != nil {
+			return nil // already present (newer checkpoint or rerun)
+		}
+		pos := t.Schema.ColumnIndex(e.idxCol)
+		if pos < 0 {
+			return fmt.Errorf("wal replay: index %q: table %q has no column %q", e.idxName, e.table, e.idxCol)
+		}
+		// Register the definition only; finishRecovery builds the contents
+		// once replay has settled the final version set.
+		t.addIndex(newTableIndex(e.idxName, e.idxCol, pos, e.idxKind))
+		return nil
+	case walDropIndex:
+		t, err := db.lookupTable(e.table)
+		if err != nil {
+			return nil // table itself dropped later in the log or before the checkpoint
+		}
+		t.removeIndex(e.idxName)
+		return nil
 	case walEnd:
 		t, err := db.lookupTable(e.table)
 		if err != nil {
@@ -259,6 +282,9 @@ func (db *DB) finishRecovery() {
 				t.pkIndex[r.vals[pk].GroupKey()] = r
 			}
 		}
+		// WAL replay appends raw rows without touching secondary indexes;
+		// rebuild them now that the final version set is known.
+		t.rebuildIndexes()
 	}
 	for {
 		cur := db.nextStmt.Load()

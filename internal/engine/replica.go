@@ -215,6 +215,33 @@ func (db *DB) applyLive(ix *replayIndex, applyTxn int64, e redoEntry, maxTS *uin
 			}
 		}
 		return nil
+	case walCreateIndex:
+		t, err := db.lookupTable(e.table)
+		if err != nil {
+			return fmt.Errorf("replication apply: create index on %q: %w", e.table, err)
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.findIndex(e.idxName) != nil {
+			return nil // already applied (bootstrap snapshot carried the def)
+		}
+		pos := t.Schema.ColumnIndex(e.idxCol)
+		if pos < 0 {
+			return fmt.Errorf("replication apply: index %q: table %q has no column %q", e.idxName, e.table, e.idxCol)
+		}
+		ix2 := newTableIndex(e.idxName, e.idxCol, pos, e.idxKind)
+		ix2.rebuild(t.rows)
+		t.addIndex(ix2)
+		return nil
+	case walDropIndex:
+		t, err := db.lookupTable(e.table)
+		if err != nil {
+			return nil // table dropped by a later record; nothing to undo
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.removeIndex(e.idxName)
+		return nil
 	case walEnd:
 		t, err := db.lookupTable(e.table)
 		if err != nil {

@@ -341,6 +341,18 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 		} else {
 			res.CommitSeq, err = db.execDropTable(st)
 		}
+	case *sqlparse.CreateIndex:
+		if s.txn != nil {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			res.CommitSeq, err = db.execCreateIndex(st)
+		}
+	case *sqlparse.DropIndex:
+		if s.txn != nil {
+			err = fmt.Errorf("DDL is not allowed inside a transaction")
+		} else {
+			res.CommitSeq, err = db.execDropIndex(st)
+		}
 	case *sqlparse.Copy:
 		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
 	default:
@@ -461,6 +473,10 @@ type stmtCtx struct {
 	// EXPLAIN ANALYZE; planNS is the plan-phase duration recorded by plan().
 	ops    *opCollector
 	planNS int64
+
+	// sel is the most recent SELECT plan built by runSelect; the
+	// projection stages read their estimates from it.
+	sel *selPlan
 }
 
 // plan resolves and locks the statement's table footprint under an

@@ -57,6 +57,13 @@ type Table struct {
 	rows    []*storedRow
 	pkIndex map[string]*storedRow // GroupKey of pk value -> live latest version; nil if no pk
 
+	// indexes is the table's secondary-index list, sorted by name. It is
+	// copy-on-write behind an atomic pointer: structure mutations (DDL and
+	// per-index entry maintenance) happen under t.mu's write lock, but the
+	// planner and the ldv_stat_indexes view read the list and its atomic
+	// statistics without any lock.
+	indexes atomic.Pointer[[]*tableIndex]
+
 	// Introspection counters, maintained at every insert/remove/end-mark
 	// site. They are atomics — not derived under t.mu — so the
 	// ldv_stat_tables virtual table can report row counts and lock
@@ -111,6 +118,7 @@ func (t *Table) insertRow(r *storedRow) error {
 		t.pkIndex[key] = r
 	}
 	t.rows = append(t.rows, r)
+	t.indexInsert(r)
 	t.versions.Add(1)
 	t.liveRows.Add(1)
 	return nil
@@ -132,6 +140,7 @@ func (t *Table) removeRow(r *storedRow) error {
 		last := len(t.rows) - 1
 		t.rows[i] = t.rows[last]
 		t.rows = t.rows[:last]
+		t.indexRemove(r)
 		t.versions.Add(-1)
 		if r.end == 0 {
 			t.liveRows.Add(-1)

@@ -152,6 +152,37 @@ func (db *DB) registerBuiltinVirtualTables() {
 	})
 
 	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_indexes",
+		Schema: viewSchema(
+			textCol("name"), textCol("table_name"), textCol("column_name"),
+			textCol("kind"), intCol("entries"), intCol("scans"),
+		),
+		Rows: func() [][]sqlval.Value {
+			db.mu.RLock()
+			tables := make([]*Table, 0, len(db.tables))
+			for _, t := range db.tables {
+				tables = append(tables, t)
+			}
+			db.mu.RUnlock()
+			sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+			var rows [][]sqlval.Value
+			for _, t := range tables {
+				for _, ix := range t.indexList() {
+					rows = append(rows, []sqlval.Value{
+						sqlval.NewString(ix.name),
+						sqlval.NewString(t.Name),
+						sqlval.NewString(ix.column),
+						sqlval.NewString(ix.kind),
+						sqlval.NewInt(ix.entries.Load()),
+						sqlval.NewInt(ix.scans.Load()),
+					})
+				}
+			}
+			return rows
+		},
+	})
+
+	db.RegisterVirtualTable(&VirtualTable{
 		Name:   "ldv_stat_wal",
 		Schema: viewSchema(intCol("seq"), intCol("size_bytes")),
 		Rows: func() [][]sqlval.Value {

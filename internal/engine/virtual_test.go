@@ -103,13 +103,16 @@ func TestResultCarriesFingerprint(t *testing.T) {
 func TestExplainPlain(t *testing.T) {
 	db := newTestDB(t, "CREATE TABLE t (a INT PRIMARY KEY, b TEXT)")
 	res := mustExec(t, db, "EXPLAIN SELECT b FROM t WHERE a > 1 ORDER BY b LIMIT 3", ExecOptions{})
-	if want := []string{"op", "detail", "rows", "time_ns"}; strings.Join(res.Columns, ",") != strings.Join(want, ",") {
+	if want := []string{"op", "detail", "est_rows", "rows", "time_ns"}; strings.Join(res.Columns, ",") != strings.Join(want, ",") {
 		t.Fatalf("columns = %v", res.Columns)
 	}
 	var ops []string
 	for _, r := range res.Rows {
 		ops = append(ops, r[0].Str())
-		if !r[2].IsNull() || !r[3].IsNull() {
+		if r[2].IsNull() {
+			t.Errorf("plain EXPLAIN row missing estimate: %v", rowsToStrings(res))
+		}
+		if !r[3].IsNull() || !r[4].IsNull() {
 			t.Errorf("plain EXPLAIN has actuals: %v", rowsToStrings(res))
 		}
 	}
@@ -133,16 +136,19 @@ func TestExplainAnalyzeSelect(t *testing.T) {
 	if !ok {
 		t.Fatalf("no scan row in %v", rowsToStrings(res))
 	}
-	if scan[2].Int() != 3 || scan[3].Int() <= 0 {
+	if scan[3].Int() != 3 || scan[4].Int() <= 0 {
 		t.Errorf("scan actuals = rows %d time %d, want 3 rows and positive time",
-			scan[2].Int(), scan[3].Int())
+			scan[3].Int(), scan[4].Int())
+	}
+	if scan[2].IsNull() || scan[2].Int() <= 0 {
+		t.Errorf("scan estimate = %v, want positive", scan[2])
 	}
 	result, ok := byOp["result"]
 	if !ok {
 		t.Fatalf("no result row in %v", rowsToStrings(res))
 	}
-	if result[2].Int() != 2 {
-		t.Errorf("result rows = %d, want 2", result[2].Int())
+	if result[3].Int() != 2 {
+		t.Errorf("result rows = %d, want 2", result[3].Int())
 	}
 }
 
@@ -154,7 +160,7 @@ func TestExplainAnalyzeDML(t *testing.T) {
 	}
 	var sawInsert bool
 	for _, r := range res.Rows {
-		if r[0].Str() == "insert" && r[2].Int() == 2 {
+		if r[0].Str() == "insert" && r[3].Int() == 2 {
 			sawInsert = true
 		}
 	}

@@ -46,10 +46,12 @@ const walMaxRecord = 1 << 28
 
 // Redo entry kinds.
 const (
-	walInsert byte = 1 // a produced tuple version
-	walEnd    byte = 2 // an end mark (UPDATE's supersede or DELETE)
-	walCreate byte = 3 // CREATE TABLE
-	walDrop   byte = 4 // DROP TABLE
+	walInsert      byte = 1 // a produced tuple version
+	walEnd         byte = 2 // an end mark (UPDATE's supersede or DELETE)
+	walCreate      byte = 3 // CREATE TABLE
+	walDrop        byte = 4 // DROP TABLE
+	walCreateIndex byte = 5 // CREATE INDEX
+	walDropIndex   byte = 6 // DROP INDEX
 )
 
 // redoEntry is one logical redo action. Insert entries capture the stored
@@ -65,6 +67,9 @@ type redoEntry struct {
 	stmt    int64          // walInsert
 	vals    []sqlval.Value // walInsert
 	schema  Schema         // walCreate
+	idxName string         // walCreateIndex, walDropIndex
+	idxCol  string         // walCreateIndex
+	idxKind string         // walCreateIndex
 }
 
 // WAL is an append-only redo log over a FileSystem. It is safe for
@@ -317,6 +322,12 @@ func encodeWALTxn(txnID int64, redo []redoEntry) []byte {
 				}
 			}
 		case walDrop:
+		case walCreateIndex:
+			buf = appendString(buf, e.idxName)
+			buf = appendString(buf, e.idxCol)
+			buf = appendString(buf, e.idxKind)
+		case walDropIndex:
+			buf = appendString(buf, e.idxName)
 		}
 	}
 	return buf
@@ -413,6 +424,24 @@ func decodeWALTxn(payload []byte) (int64, []redoEntry, error) {
 				b = b[2:]
 			}
 		case walDrop:
+		case walCreateIndex:
+			e.idxName, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.idxCol, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.idxKind, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
+		case walDropIndex:
+			e.idxName, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
 		default:
 			return 0, nil, fmt.Errorf("wal record: unknown entry kind %d", e.kind)
 		}

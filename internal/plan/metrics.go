@@ -1,0 +1,15 @@
+package plan
+
+import "ldv/internal/obs"
+
+// Planner decision counters: how often statements are served by secondary
+// indexes versus full scans, and how often greedy join ordering changed
+// the syntactic order. Incremented at plan time (every execution plans).
+var (
+	mIndexScans = obs.NewCounter("plan.index_scans",
+		"Access paths planned as secondary-index scans.")
+	mFullScans = obs.NewCounter("plan.full_scans",
+		"Base-table access paths planned as full version-chain scans (no usable index).")
+	mReorderApplied = obs.NewCounter("plan.reorder_applied",
+		"SELECT plans whose greedy join order differs from the syntactic FROM order.")
+)

@@ -24,14 +24,21 @@ func TestReplicaCrashMatrix(t *testing.T) {
 	for i := 0; ; i++ {
 		srv, pdb := newPrimary(t)
 		// Half the workload lands in the snapshot, half streams live, so the
-		// matrix crosses both bootstrap and record-apply operations.
+		// matrix crosses both bootstrap and record-apply operations. An index
+		// created before the snapshot rides the bootstrap path; the live half
+		// streams index-maintained writes and index DDL as WAL records.
 		var last uint64
-		for w := 0; w < writes/2; w++ {
-			res, err := pdb.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'pre%d')", w, w), engine.ExecOptions{})
+		step := func(sql string) {
+			t.Helper()
+			res, err := pdb.Exec(sql, engine.ExecOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			last = res.CommitSeq
+		}
+		step("CREATE INDEX ix_v ON kv (v)")
+		for w := 0; w < writes/2; w++ {
+			step(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'pre%d')", w, w))
 		}
 
 		r, rdb := newReplica(t, srv, fmt.Sprintf("crash-%d", i))
@@ -52,12 +59,11 @@ func TestReplicaCrashMatrix(t *testing.T) {
 		}
 
 		for w := writes / 2; w < writes; w++ {
-			res, err := pdb.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'live%d')", w, w), engine.ExecOptions{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			last = res.CommitSeq
+			step(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'live%d')", w, w))
 		}
+		step("UPDATE kv SET v = 'moved' WHERE v = 'pre1'")
+		step("CREATE INDEX ix_k2 ON kv (k) USING ordered")
+		step("DROP INDEX ix_k2")
 		if err := r.WaitApplied(last); err != nil {
 			t.Fatalf("crash at op %d: replica did not converge: %v", i, err)
 		}
@@ -65,6 +71,12 @@ func TestReplicaCrashMatrix(t *testing.T) {
 			t.Fatalf("crash at op %d: %d rows on replica, want %d", i, n, writes)
 		}
 		assertSameRows(t, pdb, rdb, "SELECT k, v FROM kv ORDER BY k")
+		// The replicated index answers queries and matches the primary.
+		assertSameRows(t, pdb, rdb, "SELECT k FROM kv WHERE v = 'moved' ORDER BY k")
+		ixs := rows(t, rdb, "SELECT name FROM ldv_stat_indexes ORDER BY name")
+		if len(ixs) != 1 || ixs[0] != "ix_v|" {
+			t.Fatalf("crash at op %d: replica indexes = %v, want [ix_v]", i, ixs)
+		}
 		r.Stop()
 
 		if !crashed.Load() {

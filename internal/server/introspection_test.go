@@ -101,10 +101,10 @@ func TestIntrospectionOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Columns) != 4 || res.Columns[0] != "op" {
+	if len(res.Columns) != 5 || res.Columns[0] != "op" || res.Columns[2] != "est_rows" {
 		t.Fatalf("EXPLAIN columns = %v", res.Columns)
 	}
-	if len(res.Rows) == 0 || !res.Rows[0][2].IsNull() {
+	if len(res.Rows) == 0 || !res.Rows[0][3].IsNull() {
 		t.Fatalf("EXPLAIN rows = %v, want static outline with NULL actuals", res.Rows)
 	}
 
@@ -129,7 +129,7 @@ func TestIntrospectionOverTCP(t *testing.T) {
 	}
 	var sawActuals bool
 	for _, r := range res.Rows {
-		if r[0].Str() == "scan" && r[2].Int() > 0 && r[3].Int() > 0 {
+		if r[0].Str() == "scan" && r[3].Int() > 0 && r[4].Int() > 0 {
 			sawActuals = true
 		}
 	}

@@ -493,6 +493,52 @@ func (s *DropTable) String() string {
 	return "DROP TABLE " + s.Table
 }
 
+// CreateIndex is CREATE INDEX [IF NOT EXISTS] name ON table (cols)
+// [USING HASH|ORDERED].
+type CreateIndex struct {
+	Name        string
+	Table       string
+	Columns     []string
+	Kind        string // "hash" or "ordered"
+	IfNotExists bool
+}
+
+func (*CreateIndex) stmtNode() {}
+
+func (s *CreateIndex) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE INDEX ")
+	if s.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(s.Name)
+	sb.WriteString(" ON ")
+	sb.WriteString(s.Table)
+	sb.WriteString(" (")
+	sb.WriteString(strings.Join(s.Columns, ", "))
+	sb.WriteString(")")
+	if s.Kind != "" {
+		sb.WriteString(" USING ")
+		sb.WriteString(strings.ToUpper(s.Kind))
+	}
+	return sb.String()
+}
+
+// DropIndex is DROP INDEX [IF EXISTS] name.
+type DropIndex struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropIndex) stmtNode() {}
+
+func (s *DropIndex) String() string {
+	if s.IfExists {
+		return "DROP INDEX IF EXISTS " + s.Name
+	}
+	return "DROP INDEX " + s.Name
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

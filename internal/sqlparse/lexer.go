@@ -46,6 +46,7 @@ var keywords = map[string]bool{
 	"DISTINCT": true, "JOIN": true, "ON": true, "INNER": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"DECIMAL": true, "IF": true, "EXISTS": true,
+	"INDEX": true, "USING": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 	"COPY": true, "TO": true,
 	"EXPLAIN": true, "ANALYZE": true,

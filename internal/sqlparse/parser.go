@@ -138,9 +138,9 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "DELETE":
 		return p.parseDelete()
 	case "CREATE":
-		return p.parseCreateTable()
+		return p.parseCreate()
 	case "DROP":
-		return p.parseDropTable()
+		return p.parseDrop()
 	case "COPY":
 		return p.parseCopy()
 	case "EXPLAIN":
@@ -464,10 +464,110 @@ var typeKeywords = map[string]sqlval.Kind{
 	"DATE": sqlval.KindDate,
 }
 
-func (p *Parser) parseCreateTable() (*CreateTable, error) {
+// parseCreate dispatches CREATE TABLE vs. CREATE INDEX.
+func (p *Parser) parseCreate() (Statement, error) {
 	if err := p.expectKeyword("CREATE"); err != nil {
 		return nil, err
 	}
+	if p.peek().Type == TokKeyword && p.peek().Text == "INDEX" {
+		return p.parseCreateIndex()
+	}
+	return p.parseCreateTable()
+}
+
+// parseDrop dispatches DROP TABLE vs. DROP INDEX.
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if p.peek().Type == TokKeyword && p.peek().Text == "INDEX" {
+		return p.parseDropIndex()
+	}
+	return p.parseDropTable()
+}
+
+// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON table (cols)
+// [USING HASH|ORDERED]; CREATE has already been consumed.
+func (p *Parser) parseCreateIndex() (*CreateIndex, error) {
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		ci.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ci.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = table
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ci.Columns = append(ci.Columns, col)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("USING") {
+		kind, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "hash", "ordered":
+			ci.Kind = kind
+		default:
+			return nil, p.errorf("unknown index kind %q (want HASH or ORDERED)", kind)
+		}
+	}
+	return ci, nil
+}
+
+// parseDropIndex parses DROP INDEX [IF EXISTS] name; DROP has already been
+// consumed.
+func (p *Parser) parseDropIndex() (*DropIndex, error) {
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	di := &DropIndex{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		di.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	di.Name = name
+	return di, nil
+}
+
+func (p *Parser) parseCreateTable() (*CreateTable, error) {
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
@@ -530,9 +630,6 @@ func (p *Parser) parseCreateTable() (*CreateTable, error) {
 }
 
 func (p *Parser) parseDropTable() (*DropTable, error) {
-	if err := p.expectKeyword("DROP"); err != nil {
-		return nil, err
-	}
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
 	}
