@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench ops-demo repl-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench proto-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -24,15 +24,18 @@ test:
 # comment), the trace lint (every span started on the request path must be
 # ended via defer), the metric lint (every registered metric needs a help
 # string and a conforming name), the plan lint (every plan operator carries
-# the full explain + lineage surface), the durability and replication crash
-# matrices under the race detector, then the whole tree under the race
-# detector with shuffled test order (to surface order-dependent state).
+# the full explain + lineage surface), the proto lint (every wire message
+# kind is documented in PROTOCOL.md and vice versa), the durability and
+# replication crash matrices under the race detector, then the whole tree
+# under the race detector with shuffled test order (to surface
+# order-dependent state).
 check:
 	$(GO) vet ./...
 	$(GO) test -run TestPackageDocComments .
 	$(GO) test -run TestSpanEndDiscipline .
 	$(GO) test -run TestMetricDescriptions .
 	$(GO) test -run TestPlanNodeSurface .
+	$(GO) test -run TestProtocolDoc .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
 	$(GO) test -race -run TestReplicaCrashMatrix ./internal/repl
 	$(GO) test -race -shuffle=on ./...
@@ -56,6 +59,7 @@ experiments:
 fuzz:
 	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./internal/wire -fuzz FuzzPrepared -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzTraceContext -fuzztime 30s
 	$(GO) test ./internal/wire -fuzz FuzzReplMessages -fuzztime 30s
 	$(GO) test ./internal/sqlval -fuzz FuzzDecode -fuzztime 30s
@@ -86,6 +90,12 @@ stat-demo:
 # (EXPERIMENTS.md "Replication").
 repl-bench:
 	$(GO) run ./cmd/ldv-bench -exp replication | tee results/replication.txt
+
+# Text vs prepared vs pipelined throughput at 1/4/8 sessions
+# (EXPERIMENTS.md "Prepared statements"; target: pipelined >=2x text at 8
+# sessions with a >90% steady-state plan-cache hit rate).
+proto-bench:
+	$(GO) run ./cmd/ldv-bench -exp prepared | tee results/prepared.txt
 
 # Boot a throwaway ldvdb with the ops endpoint enabled and show /metrics —
 # the 30-second demo of the observability surface. Cleans up after itself.

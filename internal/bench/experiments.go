@@ -327,6 +327,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"tracing":       TracingOverhead,
 		"introspection": IntrospectionOverhead,
 		"concurrency":   Concurrency,
+		"prepared":      Prepared,
 		"durability":    Durability,
 		"planner":       PlannerBench,
 		"replication":   Replication,
@@ -344,7 +345,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "planner", "durability", "replication", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "prepared", "planner", "durability", "replication", "ablation"}
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+	"ldv/internal/server"
+	"ldv/internal/tpch"
+)
+
+// Prepared measures the protocol-v2 win on a plan-heavy point read: the same
+// closed-loop clients issue identical indexed point reads three ways — text
+// Query frames (parse + plan every time), prepared Execute frames (parse
+// once, plan cached), and pipelined batches of Executes (one write and one
+// read per batch instead of per statement). The query is an ORM-style
+// statement: a fat predicate list that is expensive to parse, attribute,
+// and run index selection over, but cheap to execute (an index probe plus a
+// one-row residual filter) — so the text mode's per-statement parse/plan
+// work and per-op round trips are the whole difference.
+//
+// The plan-cache hit rate is read from the plan.cache_hits/misses counters
+// around each run; steady-state prepared executions should hit nearly
+// always (the only misses are the first execution of a shape and
+// DDL-invalidated re-plans, and this workload has no DDL).
+func Prepared(cfg Config, w io.Writer) error {
+	const (
+		opsPerClient = 400
+		batch        = 16
+		keySpace     = 50 // supplier has 50 rows at the bench SF; every probe hits
+		repeats      = 3  // per cell; the fastest run is reported (scheduler noise)
+	)
+	clientCounts := []int{1, 4, 8}
+
+	db := engine.NewDB(nil)
+	if _, err := tpch.Load(db, cfg.TPCH()); err != nil {
+		return err
+	}
+	// Index the probe key so the planner has a real access-path choice to
+	// make: the point predicate becomes an index probe. The DDL happens
+	// before the timed runs — the plan cache is never invalidated
+	// mid-experiment.
+	setup := db.NewSession()
+	if _, err := setup.Exec("CREATE INDEX ix_supp_key ON supplier (s_suppkey)", engine.ExecOptions{}); err != nil {
+		return err
+	}
+	setup.Close()
+	srv := server.New(db, nil)
+	dialer := pipeDialer{srv}
+
+	const (
+		paramSQL = "SELECT s_suppkey, s_name, s_acctbal, s_comment FROM supplier" +
+			" WHERE s_suppkey = ? AND s_acctbal >= ? AND s_name <> ?" +
+			" AND s_nationkey >= ? AND s_nationkey <= ? AND s_comment <> ?"
+		textSQL = "SELECT s_suppkey, s_name, s_acctbal, s_comment FROM supplier" +
+			" WHERE s_suppkey = %d AND s_acctbal >= -9999.0 AND s_name <> 'NONE'" +
+			" AND s_nationkey >= 0 AND s_nationkey <= 24 AND s_comment <> ''"
+	)
+
+	dial := func(id int) (*client.Conn, error) {
+		return client.Dial(dialer, "pipe", client.Options{Proc: fmt.Sprintf("bench:%d", id), NoTrace: true})
+	}
+	textClient := func(id, ops int) error {
+		conn, err := dial(id)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		for i := 0; i < ops; i++ {
+			sql := fmt.Sprintf(textSQL, 1+i%keySpace)
+			if _, err := conn.Query(sql); err != nil {
+				return fmt.Errorf("client %d: %w", id, err)
+			}
+		}
+		return nil
+	}
+	preparedClient := func(id, ops int) error {
+		conn, err := dial(id)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		st, err := conn.Prepare(paramSQL)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			if _, err := st.Exec(1+i%keySpace, -9999.0, "NONE", 0, 24, ""); err != nil {
+				return fmt.Errorf("client %d: %w", id, err)
+			}
+		}
+		return nil
+	}
+	pipelinedClient := func(id, ops int) error {
+		conn, err := dial(id)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		st, err := conn.Prepare(paramSQL)
+		if err != nil {
+			return err
+		}
+		for done := 0; done < ops; done += batch {
+			n := batch
+			if ops-done < n {
+				n = ops - done
+			}
+			p := conn.Pipeline()
+			for j := 0; j < n; j++ {
+				if err := p.Queue(st, 1+(done+j)%keySpace, -9999.0, "NONE", 0, 24, ""); err != nil {
+					return err
+				}
+			}
+			if _, err := p.Flush(); err != nil {
+				return fmt.Errorf("client %d: %w", id, err)
+			}
+		}
+		return nil
+	}
+
+	run := func(fn func(int, int) error, clients int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if err := fn(c, opsPerClient); err != nil {
+					errs <- err
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm up every path (parser, catalog, plan cache) outside the timing.
+	for _, fn := range []func(int, int) error{textClient, preparedClient, pipelinedClient} {
+		if err := fn(0, batch); err != nil {
+			return err
+		}
+	}
+
+	hits := obs.GetCounter("plan.cache_hits")
+	misses := obs.GetCounter("plan.cache_misses")
+
+	fmt.Fprintf(w, "Prepared-statement protocol at SF %g: closed-loop point reads, %d ops/client, pipeline batch %d, best of %d runs\n",
+		cfg.SF, opsPerClient, batch, repeats)
+	fmt.Fprintf(w, "%-10s %-8s %-8s %-12s %-12s %-8s %-9s\n",
+		"Mode", "Clients", "Ops", "Elapsed ms", "Ops/sec", "vs text", "Hit rate")
+
+	modes := []struct {
+		name string
+		fn   func(int, int) error
+	}{
+		{"text", textClient},
+		{"prepared", preparedClient},
+		{"pipelined", pipelinedClient},
+	}
+	for _, n := range clientCounts {
+		var textTput float64
+		for _, m := range modes {
+			h0, m0 := hits.Load(), misses.Load()
+			var elapsed time.Duration
+			for r := 0; r < repeats; r++ {
+				d, err := run(m.fn, n)
+				if err != nil {
+					return fmt.Errorf("%s/%d: %w", m.name, n, err)
+				}
+				if r == 0 || d < elapsed {
+					elapsed = d
+				}
+			}
+			dh, dm := hits.Load()-h0, misses.Load()-m0
+			tput := float64(n*opsPerClient) / elapsed.Seconds()
+			if m.name == "text" {
+				textTput = tput
+			}
+			hitRate := "-"
+			if dh+dm > 0 {
+				hitRate = fmt.Sprintf("%.1f%%", 100*float64(dh)/float64(dh+dm))
+			}
+			fmt.Fprintf(w, "%-10s %-8d %-8d %-12s %-12.1f %-8.2f %-9s\n",
+				m.name, n, n*opsPerClient, ms(elapsed), tput, tput/textTput, hitRate)
+		}
+	}
+	return nil
+}

@@ -89,6 +89,8 @@ type Conn struct {
 
 	readYourWrites bool
 	lastCommitSeq  uint64 // CommitSeq of the last acknowledged write
+
+	stmtSeq int // server-side statement names handed out by Prepare
 }
 
 // Options configure Dial.
@@ -124,6 +126,12 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nc != nil {
+		// Buffer reads so one server write (a whole response group, or a
+		// pipelined burst of them) costs one transport read instead of two
+		// per frame. Writes pass through untouched.
+		nc = wire.NewBufferedConn(nc)
+	}
 	c := &Conn{
 		nc: nc, proc: opts.Proc, interceptors: opts.Interceptors,
 		noTrace: opts.NoTrace, readYourWrites: opts.ReadYourWrites,
@@ -141,6 +149,7 @@ func Dial(d Dialer, addr string, opts Options) (*Conn, error) {
 				nc.Close()
 				return nil, fmt.Errorf("read replica: %w", err)
 			}
+			rnc = wire.NewBufferedConn(rnc)
 			if _, err := handshake(rnc, opts); err != nil {
 				rnc.Close()
 				nc.Close()
@@ -336,6 +345,19 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	res := &engine.Result{TraceID: traceIDString(sp)}
+	if _, err := c.readResponse(nc, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// readResponse collects one statement's response group — everything up to
+// and including the Ready — into res, returning the CommandComplete's
+// pipeline tag (0 for plain queries). Shared by the Query, prepared-Execute,
+// and pipeline paths. Transport and framing failures poison the connection;
+// a server Error (its Ready is drained, keeping the stream synced) does not.
+func (c *Conn) readResponse(nc net.Conn, res *engine.Result) (uint64, error) {
+	var tag uint64
 	var sawLineage bool
 	for {
 		msg, err := wire.Read(nc)
@@ -343,7 +365,7 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			// The stream position is gone; no further frame boundary can be
 			// trusted, so poison the connection.
 			c.broken = true
-			return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+			return 0, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		switch m := msg.(type) {
 		case wire.RowDescription:
@@ -378,6 +400,7 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			res.WrittenRefs = m.WrittenRefs
 			res.CommitSeq = m.CommitSeq
 			res.Fingerprint = m.Fingerprint
+			tag = m.Tag
 			if m.CommitSeq > 0 {
 				c.lastCommitSeq = m.CommitSeq
 			}
@@ -391,25 +414,25 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 			next, rerr := wire.Read(nc)
 			if rerr != nil {
 				c.broken = true
-				return nil, fmt.Errorf("server error: %s (then %v)", m.Message, rerr)
+				return 0, fmt.Errorf("server error: %s (then %v)", m.Message, rerr)
 			}
 			r, ok := next.(wire.Ready)
 			if !ok {
 				c.broken = true
-				return nil, fmt.Errorf("protocol error after server error: %T", next)
+				return 0, fmt.Errorf("protocol error after server error: %T", next)
 			}
 			if nc == c.nc {
 				c.inTxn = r.InTxn
 			}
-			return nil, fmt.Errorf("server error: %s", m.Message)
+			return 0, fmt.Errorf("server error: %s", m.Message)
 		case wire.Ready:
 			if nc == c.nc {
 				c.inTxn = m.InTxn
 			}
-			return res, nil
+			return tag, nil
 		default:
 			c.broken = true
-			return nil, fmt.Errorf("protocol error: unexpected %T", msg)
+			return 0, fmt.Errorf("protocol error: unexpected %T", msg)
 		}
 	}
 }

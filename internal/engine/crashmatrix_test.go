@@ -35,7 +35,7 @@ const (
 	opIns4
 	opCreateU
 	opInsU
-	opTxnB // BEGIN; INSERT 12; INSERT 13; COMMIT
+	opTxnB    // BEGIN; INSERT 12; INSERT 13; COMMIT
 	opDropIx2 // create+drop a second index, exercising drop durability
 	opCount
 )

@@ -56,6 +56,14 @@ type ExecOptions struct {
 	// attach to it and the Result is stamped with its trace ID. Nil disables
 	// engine span recording.
 	Span *obs.Span
+	// Params are the values bound to the statement's positional `?`
+	// placeholders, 1-based in source order. Execution fails if the
+	// statement references a parameter index beyond len(Params).
+	Params []sqlval.Value
+
+	// prep links the execution back to its prepared statement (plan-cache
+	// key and per-statement counters). Set only by Session.ExecPrepared.
+	prep *PreparedStmt
 }
 
 // Result is the outcome of one statement execution.
@@ -146,6 +154,14 @@ type DB struct {
 	vtMu    sync.RWMutex
 	virtual map[string]*VirtualTable
 
+	// Plan cache for prepared SELECTs, keyed by statement fingerprint.
+	// ddlEpoch counts catalog changes (table and index DDL, on the primary
+	// and on the replication/recovery apply paths); an entry built under an
+	// older epoch is discarded on lookup (see prepared.go).
+	pcMu      sync.Mutex
+	planCache map[uint64]planCacheEntry
+	ddlEpoch  atomic.Uint64
+
 	// defSess serves the DB-level Exec* compatibility API: callers that
 	// never open their own Session share this one (and therefore serialize
 	// with each other, as they did when the DB had a single global mutex).
@@ -164,6 +180,7 @@ func NewDB(clock Clock) *DB {
 		clock:      clock,
 		activeTxns: make(map[int64]struct{}),
 		virtual:    make(map[string]*VirtualTable),
+		planCache:  make(map[uint64]planCacheEntry),
 	}
 	db.registerBuiltinVirtualTables()
 	return db
@@ -326,6 +343,11 @@ func (db *DB) execDropTable(s *sqlparse.DropTable) (uint64, error) {
 // commitMu.RLock so Checkpoint's cut never splits a DDL's apply-and-log.
 // Returns the record's WAL sequence (0 without a WAL).
 func (db *DB) logDDL(e redoEntry) (uint64, error) {
+	// Every DDL exec path funnels through here, so this is also the plan
+	// cache's invalidation point: bump the epoch so cached plans built
+	// against the old catalog are discarded on their next lookup. (A bump
+	// for a DDL that subsequently fails to log costs one spurious re-plan.)
+	db.bumpDDLEpoch()
 	if db.wal == nil {
 		return 0, nil
 	}

@@ -73,7 +73,7 @@ func (ec *stmtCtx) execInsert(s *sqlparse.Insert, opts ExecOptions, res *Result)
 				}
 			}
 		}
-		emptyEnv := &env{}
+		emptyEnv := &env{params: ec.params}
 		for _, rowExprs := range s.Rows {
 			row := make([]sqlval.Value, len(rowExprs))
 			for i, e := range rowExprs {
@@ -278,7 +278,7 @@ func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result)
 // both the match set and the conflict detection are exactly what a full
 // scan would produce.
 func (ec *stmtCtx) matchRows(t *Table, where sqlparse.Expr) (*env, []*storedRow, error) {
-	en := &env{}
+	en := &env{params: ec.params}
 	for _, c := range t.Schema.Columns {
 		en.bindings = append(en.bindings, binding{table: t.Name, name: c.Name})
 	}
@@ -296,7 +296,7 @@ func (ec *stmtCtx) matchRows(t *Table, where sqlparse.Expr) (*env, []*storedRow,
 		if ix := t.findIndex(isn.Index); ix != nil {
 			var cand []*storedRow
 			_ = ec.ops.execEst("index_scan", isn.Detail(), isn.Est, func() (int, error) {
-				cand = indexCandidates(ix, isn)
+				cand = indexCandidates(ix, isn, ec.params)
 				return len(cand), nil
 			})
 			ix.scans.Add(1)

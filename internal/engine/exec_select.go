@@ -94,8 +94,8 @@ func (ec *stmtCtx) execSelect(s *sqlparse.Select, opts ExecOptions, res *Result)
 // projection-side stages (−1 when the plan has no such stage), which
 // EXPLAIN ANALYZE reports next to the actual row counts.
 type selPlan struct {
-	tree   *plan.Tree
-	access plan.Node
+	tree                                               *plan.Tree
+	access                                             plan.Node
 	estAgg, estDistinct, estSort, estLimit, estProject float64
 }
 
@@ -137,7 +137,7 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 	if len(s.From) == 0 {
 		// Table-less SELECT (e.g. SELECT 1+1): a single empty tuple.
 		ec.sel = newSelPlan(plan.PlanSelect(stmtCatalog{ec}, s))
-		return &aggRelation{rel: relation{tuples: []tuple{{}}}}, nil
+		return &aggRelation{rel: relation{env: env{params: ec.params}, tuples: []tuple{{}}}}, nil
 	}
 
 	refs := append([]sqlparse.TableRef(nil), s.From...)
@@ -153,7 +153,7 @@ func (ec *stmtCtx) runSelect(s *sqlparse.Select, withLineage bool, stmtID int64,
 		seen[name] = true
 	}
 
-	sp := newSelPlan(plan.PlanSelect(stmtCatalog{ec}, s))
+	sp := newSelPlan(ec.selectPlan(s))
 	ec.sel = sp
 	cur, err := ec.execAccess(sp.access, withLineage, stmtID, collect)
 	if err != nil {
@@ -293,7 +293,7 @@ func reorderRelation(rel relation, refs []sqlparse.TableRef) relation {
 	if len(perm) != len(rel.env.bindings) {
 		return rel
 	}
-	out := relation{env: env{bindings: bindings}, tuples: make([]tuple, len(rel.tuples))}
+	out := relation{env: env{bindings: bindings, params: rel.env.params}, tuples: make([]tuple, len(rel.tuples))}
 	for ti, t := range rel.tuples {
 		vals := make([]sqlval.Value, len(perm))
 		for i, p := range perm {
@@ -342,7 +342,7 @@ func (ec *stmtCtx) scanTable(ref sqlparse.TableRef, withLineage bool, stmtID int
 		return relation{}, err
 	}
 	name := ref.EffectiveName()
-	var rel relation
+	rel := relation{env: env{params: ec.params}}
 	for _, c := range t.Schema.Columns {
 		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
 	}
@@ -395,7 +395,7 @@ func (ec *stmtCtx) scanIndex(node *plan.IndexScanNode, withLineage bool, stmtID 
 		return ec.scanTable(planTableRef(node.Table, node.As), withLineage, stmtID, collect)
 	}
 	name := node.As
-	var rel relation
+	rel := relation{env: env{params: ec.params}}
 	for _, c := range t.Schema.Columns {
 		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
 	}
@@ -403,7 +403,7 @@ func (ec *stmtCtx) scanIndex(node *plan.IndexScanNode, withLineage bool, stmtID 
 		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: pc})
 	}
 	ncols := len(t.Schema.Columns)
-	cand := indexCandidates(ix, node)
+	cand := indexCandidates(ix, node, ec.params)
 	ix.scans.Add(1)
 	mRowsScanned.Add(int64(len(cand)))
 	rel.tuples = make([]tuple, 0, len(cand))
@@ -437,6 +437,7 @@ func (ec *stmtCtx) scanIndex(node *plan.IndexScanNode, withLineage bool, stmtID 
 func hashJoin(left, right relation, leftKeys, rightKeys []sqlparse.Expr) (relation, error) {
 	out := relation{}
 	out.env.bindings = append(append([]binding(nil), left.env.bindings...), right.env.bindings...)
+	out.env.params = left.env.params
 
 	combine := func(l, r tuple) tuple {
 		vals := make([]sqlval.Value, 0, len(l.vals)+len(r.vals))

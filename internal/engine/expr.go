@@ -15,9 +15,13 @@ type binding struct {
 	name  string
 }
 
-// env resolves column references against the current tuple layout.
+// env resolves column references against the current tuple layout. params
+// holds the execution's bound parameter values (prepared statements); it is
+// copied into every derived env so `?` placeholders resolve at any depth of
+// the operator tree.
 type env struct {
 	bindings []binding
+	params   []sqlval.Value
 }
 
 // resolve returns the slot index for a column reference. Unqualified names
@@ -81,6 +85,11 @@ func evalExpr(ex sqlparse.Expr, en *env, vals []sqlval.Value, agg map[sqlparse.E
 	switch e := ex.(type) {
 	case *sqlparse.Literal:
 		return e.Value, nil
+	case *sqlparse.Param:
+		if e.Index < 1 || e.Index > len(en.params) {
+			return sqlval.Null, fmt.Errorf("parameter %d is not bound (%d values supplied)", e.Index, len(en.params))
+		}
+		return en.params[e.Index-1], nil
 	case *sqlparse.ColumnRef:
 		i, err := en.resolve(e)
 		if err != nil {

@@ -443,16 +443,16 @@ func (c dbCatalog) TableStats(name string) (plan.TableStats, bool) {
 // returning every version in the matching buckets. The result is a superset
 // of the rows where the predicate holds; callers re-check the full residual
 // filter on each candidate.
-func indexCandidates(ix *tableIndex, n *plan.IndexScanNode) []*storedRow {
+func indexCandidates(ix *tableIndex, n *plan.IndexScanNode, params []sqlval.Value) []*storedRow {
 	if n.Eq != nil {
-		return ix.lookupEq(literalValue(n.Eq))
+		return ix.lookupEq(probeValue(n.Eq, params))
 	}
 	lo, hi := sqlval.Null, sqlval.Null
 	if n.Lo != nil {
-		lo = literalValue(n.Lo)
+		lo = probeValue(n.Lo, params)
 	}
 	if n.Hi != nil {
-		hi = literalValue(n.Hi)
+		hi = probeValue(n.Hi, params)
 	}
 	var out []*storedRow
 	ix.lookupRange(lo, hi, n.LoIncl, n.HiIncl, func(r *storedRow) {
@@ -461,13 +461,20 @@ func indexCandidates(ix *tableIndex, n *plan.IndexScanNode) []*storedRow {
 	return out
 }
 
-// literalValue extracts the constant an index probe compares against. The
-// planner only emits probes built from literals, so anything else is a
+// probeValue extracts the constant an index probe compares against: a
+// literal, or a `?` parameter resolved against the execution's bound values.
+// The planner only emits probes built from these, so anything else is a
 // planner bug; Null (matching nothing via lookupEq, everything via an
-// unbounded range end) keeps the executor safe regardless.
-func literalValue(e sqlparse.Expr) sqlval.Value {
-	if lit, ok := e.(*sqlparse.Literal); ok {
-		return lit.Value
+// unbounded range end) keeps the executor safe regardless — the residual
+// filter still decides membership.
+func probeValue(e sqlparse.Expr, params []sqlval.Value) sqlval.Value {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value
+	case *sqlparse.Param:
+		if x.Index >= 1 && x.Index <= len(params) {
+			return params[x.Index-1]
+		}
 	}
 	return sqlval.Null
 }

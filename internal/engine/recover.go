@@ -172,6 +172,12 @@ func (ix *replayIndex) forTable(t *Table) map[TupleRef]*storedRow {
 // mid-checkpoint mix can transiently hold two versions of one key.
 func (db *DB) applyRedo(ix *replayIndex, e redoEntry) error {
 	switch e.kind {
+	case walCreate, walDrop, walCreateIndex, walDropIndex:
+		// Replayed DDL changes the catalog like executed DDL does:
+		// invalidate any plans cached against the old shape.
+		db.bumpDDLEpoch()
+	}
+	switch e.kind {
 	case walCreate:
 		if _, err := db.lookupTable(e.table); err == nil {
 			return nil // already present (newer checkpoint or rerun)

@@ -169,6 +169,12 @@ func (a *Applier) ApplyRecord(payload []byte) (uint64, error) {
 // the primary-key index in place.
 func (db *DB) applyLive(ix *replayIndex, applyTxn int64, e redoEntry, maxTS *uint64) error {
 	switch e.kind {
+	case walCreate, walDrop, walCreateIndex, walDropIndex:
+		// Applied DDL changes the catalog under live readers: invalidate any
+		// plans cached against the old shape.
+		db.bumpDDLEpoch()
+	}
+	switch e.kind {
 	case walCreate:
 		db.mu.Lock()
 		if _, exists := db.tables[e.table]; !exists {

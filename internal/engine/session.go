@@ -8,6 +8,7 @@ import (
 
 	"ldv/internal/obs"
 	"ldv/internal/sqlparse"
+	"ldv/internal/sqlval"
 )
 
 // Concurrency model (see DESIGN.md "Concurrency model" for the long form):
@@ -370,7 +371,7 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 // execSelectOps is execSelectStmt with an optional per-operator collector
 // attached (EXPLAIN ANALYZE).
 func (s *Session) execSelectOps(sel *sqlparse.Select, opts ExecOptions, res *Result, oc *opCollector) error {
-	ec := &stmtCtx{db: s.db, txn: s.txn, ops: oc}
+	ec := &stmtCtx{db: s.db, txn: s.txn, ops: oc, params: opts.Params, prep: opts.prep}
 	if s.txn != nil {
 		ec.snap = s.txn.snap
 	} else {
@@ -419,7 +420,7 @@ func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Res
 // closes when the locks release, before any commit work (wal.commit gets its
 // own span).
 func (s *Session) applyDML(stmt sqlparse.Statement, opts ExecOptions, res *Result, txn *Txn, oc *opCollector) error {
-	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn, ops: oc}
+	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn, ops: oc, params: opts.Params, prep: opts.prep}
 	mark := len(txn.undo)
 	rmark := len(txn.redo)
 	unlock := ec.plan(stmt, opts.Span)
@@ -468,6 +469,11 @@ type stmtCtx struct {
 	snap   snapshot
 	txn    *Txn
 	tables map[string]*Table
+
+	// params holds the execution's bound parameter values; prep links back
+	// to the prepared statement (nil for text-protocol executions).
+	params []sqlval.Value
+	prep   *PreparedStmt
 
 	// ops, when non-nil, collects per-operator rows and timings for
 	// EXPLAIN ANALYZE; planNS is the plan-phase duration recorded by plan().

@@ -55,7 +55,7 @@ func (db *DB) virtualTable(name string) *VirtualTable {
 // versions and usedby are zero).
 func (ec *stmtCtx) scanVirtual(vt *VirtualTable, ref sqlparse.TableRef) relation {
 	name := ref.EffectiveName()
-	var rel relation
+	rel := relation{env: env{params: ec.params}}
 	for _, c := range vt.Schema.Columns {
 		rel.env.bindings = append(rel.env.bindings, binding{table: name, name: c.Name})
 	}
@@ -212,6 +212,14 @@ func (db *DB) registerBuiltinVirtualTables() {
 		Schema: viewSchema(
 			textCol("role"), textCol("peer"), textCol("state"),
 			intCol("applied_seq"), intCol("head_seq"), intCol("lag_records"),
+		),
+		Rows: func() [][]sqlval.Value { return nil },
+	})
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_prepared",
+		Schema: viewSchema(
+			intCol("session"), textCol("name"), textCol("fingerprint"),
+			intCol("num_params"), intCol("calls"), intCol("cache_hits"),
 		),
 		Rows: func() [][]sqlval.Value { return nil },
 	})

@@ -112,9 +112,9 @@ type IndexScanNode struct {
 	As     string
 	Index  string
 	Column string
-	Kind   string         // "hash" or "ordered"
-	Eq     sqlparse.Expr  // equality key; nil for a range scan
-	Lo, Hi sqlparse.Expr  // range bounds; nil = unbounded
+	Kind   string        // "hash" or "ordered"
+	Eq     sqlparse.Expr // equality key; nil for a range scan
+	Lo, Hi sqlparse.Expr // range bounds; nil = unbounded
 	LoIncl bool
 	HiIncl bool
 	Est    float64

@@ -683,12 +683,21 @@ func (p *planner) isLeafColumn(e sqlparse.Expr, ri *refInfo, column string) bool
 	return cr.Table == "" || cr.Table == ri.name
 }
 
-// literalExpr returns e if it is a non-NULL literal (NULL never matches an
-// index predicate under SQL comparison semantics, so the planner leaves it
-// to the filter path).
+// literalExpr returns e if it is a non-NULL literal or a `?` parameter
+// placeholder (NULL never matches an index predicate under SQL comparison
+// semantics, so the planner leaves it to the filter path). A parameter's
+// value is unknown at plan time; the executor resolves it per execution, and
+// a NULL binding degrades safely — an equality probe on NULL matches
+// nothing, a NULL range bound means unbounded with the residual filter
+// re-checking every candidate.
 func literalExpr(e sqlparse.Expr) sqlparse.Expr {
-	if lit, ok := e.(*sqlparse.Literal); ok && !lit.Value.IsNull() {
-		return lit
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		if !x.Value.IsNull() {
+			return x
+		}
+	case *sqlparse.Param:
+		return x
 	}
 	return nil
 }

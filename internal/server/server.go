@@ -7,6 +7,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/csv"
 	"fmt"
@@ -62,6 +63,11 @@ type Server struct {
 	// view, keyed by session id.
 	actMu    sync.Mutex
 	activity map[int64]*sessionActivity
+
+	// prepared tracks each connection's named prepared statements for the
+	// ldv_stat_prepared system view, keyed by session id.
+	prepMu   sync.Mutex
+	prepared map[int64]*sessionStmts
 }
 
 // ReplicationSource serves replication subscriptions — the primary role.
@@ -110,8 +116,9 @@ func (s *Server) readGate() ReadGate {
 // New returns a server over db. logger may be nil to disable logging; it
 // must not be changed after New (sessions read it concurrently, unlocked).
 func New(db *engine.DB, logger *obslog.Logger) *Server {
-	s := &Server{db: db, logger: logger, activity: map[int64]*sessionActivity{}}
+	s := &Server{db: db, logger: logger, activity: map[int64]*sessionActivity{}, prepared: map[int64]*sessionStmts{}}
 	s.registerActivityView()
+	s.registerPreparedView()
 	return s
 }
 
@@ -154,10 +161,19 @@ func (s *Server) Serve(l Acceptor) error {
 }
 
 // HandleConn runs one client session to completion.
+//
+// Transport batching: reads go through a BufferedConn and responses
+// accumulate in a bufio.Writer that is flushed only when the request stream
+// drains — i.e. just before the session would block waiting for the client.
+// For one statement at a time this degenerates to one write per response
+// group; for a pipelined burst of Executes the whole burst's response groups
+// leave in a single write. Frame boundaries are unchanged either way.
 func (s *Server) HandleConn(conn net.Conn) {
 	defer conn.Close()
+	bc := wire.NewBufferedConn(conn)
+	out := bufio.NewWriterSize(conn, 64<<10)
 
-	first, err := wire.Read(conn)
+	first, err := wire.Read(bc)
 	if err != nil {
 		return
 	}
@@ -193,11 +209,21 @@ func (s *Server) HandleConn(conn net.Conn) {
 	act := s.registerActivity(sid, startup.Proc)
 	defer s.deregisterActivity(sid)
 
-	if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
+	stmts := s.registerStmts(sid)
+	defer s.deregisterStmts(sid)
+
+	if err := wire.Write(out, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 		return
 	}
 	for {
-		msg, err := wire.Read(conn)
+		// About to block on the client: ship everything queued first.
+		if bc.Buffered() == 0 {
+			if err := out.Flush(); err != nil {
+				slog.Error("flush failed", "err", err)
+				return
+			}
+		}
+		msg, err := wire.Read(bc)
 		if err != nil {
 			if err != io.EOF {
 				slog.Error("read failed", "err", err)
@@ -218,38 +244,67 @@ func (s *Server) HandleConn(conn net.Conn) {
 			if !traceAware {
 				sc = obs.SpanContext{}
 			}
-			if err := s.handleQuery(conn, sess, act, slog, startup.Proc, m, sc); err != nil {
+			if err := s.handleQuery(out, sess, act, slog, startup.Proc, m, sc); err != nil {
 				slog.Error("query connection failed", "err", err)
 				return
 			}
+		case wire.Parse:
+			if err := s.handleParse(out, sess, stmts, m); err != nil {
+				slog.Error("parse connection failed", "err", err)
+				return
+			}
+		case wire.Bind:
+			// Fire-and-forget like TraceContext: errors surface on Execute.
+			stmts.bind(m.Stmt, m.Args)
+		case wire.Execute:
+			mStatements.Inc()
+			sc := m.Trace
+			if sc.IsZero() {
+				sc = defaultTrace
+			}
+			if !traceAware {
+				sc = obs.SpanContext{}
+			}
+			if err := s.handleExecute(out, sess, act, slog, startup.Proc, stmts, m, sc); err != nil {
+				slog.Error("execute connection failed", "err", err)
+				return
+			}
+		case wire.CloseStmt:
+			// Fire-and-forget; closing an unknown name is a no-op.
+			stmts.close(m.Name)
 		case wire.Stats:
-			if err := s.handleStats(conn, sess, m); err != nil {
+			if err := s.handleStats(out, sess, m); err != nil {
 				slog.Error("stats failed", "err", err)
 				return
 			}
 		case wire.Subscribe:
 			src := s.replicationSource()
 			if src == nil {
-				if err := wire.Write(conn, wire.Error{Message: "this server is not a replication primary"}); err != nil {
+				if err := wire.Write(out, wire.Error{Message: "this server is not a replication primary"}); err != nil {
 					return
 				}
-				if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
+				if err := wire.Write(out, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 					return
 				}
 				continue
 			}
 			// The connection becomes a replication subscription: the source
 			// owns it until the replica disconnects, then the session ends.
+			// Hand it the buffered conn (reads must drain our buffer) after
+			// flushing our own pending responses.
 			slog.Info("replication subscription", "replica", m.ReplicaID)
-			if err := src.ServeSubscription(conn, startup.Proc, m); err != nil {
+			if err := out.Flush(); err != nil {
+				return
+			}
+			if err := src.ServeSubscription(bc, startup.Proc, m); err != nil {
 				slog.Error("replication subscription ended", "replica", m.ReplicaID, "err", err)
 			}
 			return
 		default:
-			if err := wire.Write(conn, wire.Error{Message: fmt.Sprintf("protocol error: unexpected %T", msg)}); err != nil {
+			if err := wire.Write(out, wire.Error{Message: fmt.Sprintf("protocol error: unexpected %T", msg)}); err != nil {
 				return
 			}
-			if err := wire.Write(conn, wire.Ready{InTxn: sess.InTxn()}); err != nil {
+			if err := wire.Write(out, wire.Ready{InTxn: sess.InTxn()}); err != nil {
 				return
 			}
 		}
@@ -258,7 +313,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 
 // handleStats serves a Stats request with the requested observability
 // document: the metrics snapshot, or the flight recorder's completed traces.
-func (s *Server) handleStats(conn net.Conn, sess *engine.Session, req wire.Stats) error {
+func (s *Server) handleStats(conn io.Writer, sess *engine.Session, req wire.Stats) error {
 	var data []byte
 	var err error
 	switch req.Kind {
@@ -286,7 +341,9 @@ func (s *Server) handleStats(conn net.Conn, sess *engine.Session, req wire.Stats
 // per-request span; the final Ready goes out only after runQuery returns —
 // i.e. after the span has ended — because the client seals the trace when it
 // reads Ready, and the server's spans must be in the flight recorder by then.
-func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+// The writer is HandleConn's session output buffer, flushed when the request
+// stream drains.
+func (s *Server) handleQuery(conn io.Writer, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
 	if err := s.runQuery(conn, sess, act, slog, proc, q, sc); err != nil {
 		return err
 	}
@@ -296,7 +353,7 @@ func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, act *sessionAc
 // runQuery executes the statement under a server.query span joining the
 // request's trace context (when one is present) and writes everything up to
 // but not including the final Ready.
-func (s *Server) runQuery(conn net.Conn, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
+func (s *Server) runQuery(conn io.Writer, sess *engine.Session, act *sessionActivity, slog *obslog.Logger, proc string, q wire.Query, sc obs.SpanContext) error {
 	var sp *obs.Span
 	if !sc.IsZero() {
 		sp = obs.StartSpanIn("server.query", sc)
@@ -333,6 +390,15 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, act *sessionActiv
 		slog.Error("statement failed", "err", err, "sql", q.SQL)
 		return wire.Write(conn, wire.Error{Message: err.Error()})
 	}
+	return streamResult(conn, res, 0)
+}
+
+// streamResult writes one statement's response group — RowDescription, rows
+// (with lineage when computed), inline provenance tuples, CommandComplete —
+// shared by the Query and Execute paths. tag is echoed in CommandComplete.Tag
+// for pipelined Executes (0 for plain queries, keeping their frames
+// byte-identical to the pre-v2 protocol).
+func streamResult(conn io.Writer, res *engine.Result, tag uint64) error {
 	if err := wire.Write(conn, wire.RowDescription{Columns: res.Columns}); err != nil {
 		return err
 	}
@@ -365,6 +431,7 @@ func (s *Server) runQuery(conn net.Conn, sess *engine.Session, act *sessionActiv
 		WrittenRefs:  res.WrittenRefs,
 		CommitSeq:    res.CommitSeq,
 		Fingerprint:  res.Fingerprint,
+		Tag:          tag,
 	}
 	return wire.Write(conn, cc)
 }

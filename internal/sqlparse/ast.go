@@ -84,6 +84,14 @@ type ExistsExpr struct {
 	Query *Select
 }
 
+// Param is a positional `?` placeholder in a prepared statement. Index is
+// 1-based in source order; the executor resolves it against the values bound
+// for the execution, so one parsed (and plan-cached) tree serves every
+// execution.
+type Param struct {
+	Index int
+}
+
 func (*Literal) exprNode()      {}
 func (*ColumnRef) exprNode()    {}
 func (*BinaryExpr) exprNode()   {}
@@ -94,6 +102,7 @@ func (*IsNullExpr) exprNode()   {}
 func (*FuncExpr) exprNode()     {}
 func (*SubqueryExpr) exprNode() {}
 func (*ExistsExpr) exprNode()   {}
+func (*Param) exprNode()        {}
 
 func (e *Literal) String() string { return e.Value.SQLLiteral() }
 
@@ -141,6 +150,10 @@ func (e *InExpr) String() string {
 func (e *SubqueryExpr) String() string { return "(" + e.Query.String() + ")" }
 
 func (e *ExistsExpr) String() string { return "EXISTS (" + e.Query.String() + ")" }
+
+// String renders a placeholder exactly as written — the normalized text is
+// therefore identical for every binding, which keeps fingerprints stable.
+func (e *Param) String() string { return "?" }
 
 func (e *IsNullExpr) String() string {
 	if e.Negated {

@@ -104,19 +104,28 @@ func ComputeFingerprint(src string) Fingerprint {
 // per-statement cost of fingerprinting is one extra walk over the token
 // slice, not a second lex.
 func ParseFingerprinted(src string) (Statement, Fingerprint, error) {
+	stmt, fp, _, err := ParsePrepared(src)
+	return stmt, fp, err
+}
+
+// ParsePrepared is ParseFingerprinted plus the count of positional `?`
+// placeholders the statement declares — the arity a Bind must supply. Param
+// indexes are assigned in source order, so the count equals the highest
+// index.
+func ParsePrepared(src string) (Statement, Fingerprint, int, error) {
 	toks, err := Tokenize(src)
 	if err != nil {
-		return nil, ComputeFingerprint(src), err
+		return nil, ComputeFingerprint(src), 0, err
 	}
 	fp := FingerprintTokens(toks)
 	p := &Parser{toks: toks, src: src}
 	stmt, err := p.parseStatement()
 	if err != nil {
-		return nil, fp, err
+		return nil, fp, 0, err
 	}
 	p.acceptOp(";")
 	if !p.atEOF() {
-		return nil, fp, p.errorf("unexpected trailing input starting at %q", p.peek().Text)
+		return nil, fp, 0, p.errorf("unexpected trailing input starting at %q", p.peek().Text)
 	}
-	return stmt, fp, nil
+	return stmt, fp, p.nparams, nil
 }

@@ -22,7 +22,7 @@ const (
 	TokNumber
 	TokString
 	TokOp    // operators and punctuation: + - * / % = <> != < <= > >= ( ) , . ; ||
-	TokParam // $1-style placeholder (reserved for future use)
+	TokParam // positional `?` placeholder (prepared statements)
 )
 
 // Token is a single lexical token with its source position.
@@ -177,6 +177,9 @@ func (l *Lexer) lexOp(start int) (Token, error) {
 	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';':
 		l.pos++
 		return Token{Type: TokOp, Text: string(c), Pos: start}, nil
+	case '?':
+		l.pos++
+		return Token{Type: TokParam, Text: "?", Pos: start}, nil
 	default:
 		return Token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
 	}

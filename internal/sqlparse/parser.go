@@ -10,9 +10,10 @@ import (
 
 // Parser converts token streams into statements.
 type Parser struct {
-	toks []Token
-	pos  int
-	src  string
+	toks    []Token
+	pos     int
+	src     string
+	nparams int // `?` placeholders seen so far; assigns 1-based Param indexes
 }
 
 // Parse parses a single SQL statement (an optional trailing semicolon is
@@ -902,6 +903,10 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case TokString:
 		p.next()
 		return &Literal{Value: sqlval.NewString(t.Text)}, nil
+	case TokParam:
+		p.next()
+		p.nparams++
+		return &Param{Index: p.nparams}, nil
 	case TokKeyword:
 		switch t.Text {
 		case "NULL":

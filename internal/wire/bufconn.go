@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+)
+
+// BufferedConn wraps a net.Conn so reads go through a bufio.Reader while
+// writes pass straight through. Read and Write never share state, so one
+// goroutine may write while another reads — the pattern the client's
+// pipeline flush uses.
+//
+// Frame decoding reads a 5-byte header and then the payload; unbuffered,
+// that is two transport reads per frame, and on rendezvous transports like
+// net.Pipe every read is a scheduler round trip. Buffering collapses all
+// frames delivered by one peer write into a single transport read.
+type BufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+// NewBufferedConn wraps nc with a read buffer.
+func NewBufferedConn(nc net.Conn) *BufferedConn {
+	return &BufferedConn{Conn: nc, r: bufio.NewReaderSize(nc, 64<<10)}
+}
+
+// Read reads from the buffer, filling it from the connection when empty.
+func (c *BufferedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// Buffered returns how many bytes are already read but not yet consumed —
+// zero means the next Read will block on the transport. Servers use this to
+// flush pending responses exactly when the request stream drains, which is
+// what batches a pipelined burst's responses into one write.
+func (c *BufferedConn) Buffered() int { return c.r.Buffered() }

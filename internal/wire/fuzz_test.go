@@ -43,6 +43,18 @@ func FuzzRead(f *testing.F) {
 	buf.Reset()
 	Write(&buf, CommandComplete{RowsAffected: 1, CommitSeq: 12})
 	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Parse{Name: "s1", SQL: "SELECT ?"})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Bind{Stmt: "s1"})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, Execute{Stmt: "s1", Tag: 4})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	Write(&buf, CommandComplete{RowsAffected: 1, Tag: 4})
+	f.Add(buf.Bytes())
 	f.Add([]byte{'D', 0, 0, 0, 4, 1, 2, 3, 4})
 	f.Add([]byte{'?', 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{'c', 0, 0, 0, 3, 1, 2, 3})

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"ldv/internal/sqlval"
+)
+
+// TestPreparedEncodingsPinned pins the v2 frame payloads byte-for-byte so an
+// encoder change cannot silently break deployed peers. v2 messages have no
+// legacy form: every field is always present, in declaration order.
+func TestPreparedEncodingsPinned(t *testing.T) {
+	zeroTrace := make([]byte, spanContextSize)
+	cases := []struct {
+		m    Message
+		want []byte
+	}{
+		{Parse{Name: "s1", SQL: "SELECT 1"},
+			[]byte("\x02s1\x08SELECT 1")},
+		{ParseComplete{Name: "s1", NumParams: 2, Fingerprint: "ab"},
+			[]byte("\x02s1\x02\x02ab")},
+		{CloseStmt{Name: "s1"},
+			[]byte("\x02s1")},
+		// Execute always carries the 24-byte trace context and the
+		// MinApplied uvarint, zero or not.
+		{Execute{Stmt: "s1", Tag: 7},
+			append([]byte("\x02s1\x07\x00"), append(zeroTrace, 0)...)},
+		{Execute{Stmt: "s1", Tag: 1, WithLineage: true, MinApplied: 3},
+			append([]byte("\x02s1\x01\x01"), append(zeroTrace, 3)...)},
+	}
+	for _, c := range cases {
+		if got := encodePayload(c.m); !bytes.Equal(got, c.want) {
+			t.Errorf("encodePayload(%#v) = %x, want %x", c.m, got, c.want)
+		}
+	}
+}
+
+// TestCommandCompleteTagCompatible pins the CommandComplete trailing-field
+// chain: a zero Tag emits the pre-v2 frame byte-for-byte, and a non-zero Tag
+// force-encodes the fingerprint and commit sequence so the decoder can tell
+// the three trailing fields apart by position.
+func TestCommandCompleteTagCompatible(t *testing.T) {
+	// Hand-built legacy frame: counts, refs, then CommitSeq + Fingerprint.
+	legacy := binary.AppendVarint(nil, 1)     // RowsAffected
+	legacy = binary.AppendVarint(legacy, 2)   // StmtID
+	legacy = binary.AppendUvarint(legacy, 10) // Start
+	legacy = binary.AppendUvarint(legacy, 20) // End
+	legacy = binary.AppendUvarint(legacy, 0)  // ReadRefs
+	legacy = binary.AppendUvarint(legacy, 0)  // WrittenRefs
+	legacy = binary.AppendUvarint(legacy, 17) // CommitSeq
+	legacy = appendString(legacy, "fp")       // Fingerprint
+
+	m := CommandComplete{RowsAffected: 1, StmtID: 2, Start: 10, End: 20, CommitSeq: 17, Fingerprint: "fp"}
+	if got := encodePayload(m); !bytes.Equal(got, legacy) {
+		t.Fatalf("zero-Tag CommandComplete differs from legacy: %x vs %x", got, legacy)
+	}
+	// A legacy frame decodes with Tag zero.
+	dec, err := decodePayload(TagCommandComplete, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.(CommandComplete); got.Tag != 0 || !reflect.DeepEqual(got, m) {
+		t.Fatalf("legacy decode: got %#v, want %#v", got, m)
+	}
+	// Tag forces the two earlier trailing fields even when zero/empty.
+	withTag := encodePayload(CommandComplete{RowsAffected: 1, StmtID: 2, Start: 10, End: 20, Tag: 9})
+	want := binary.AppendVarint(nil, 1)
+	want = binary.AppendVarint(want, 2)
+	want = binary.AppendUvarint(want, 10)
+	want = binary.AppendUvarint(want, 20)
+	want = binary.AppendUvarint(want, 0) // ReadRefs
+	want = binary.AppendUvarint(want, 0) // WrittenRefs
+	want = binary.AppendUvarint(want, 0) // CommitSeq, forced
+	want = appendString(want, "")        // Fingerprint, forced
+	want = binary.AppendUvarint(want, 9) // Tag
+	if !bytes.Equal(withTag, want) {
+		t.Fatalf("tagged CommandComplete = %x, want %x", withTag, want)
+	}
+}
+
+// FuzzPrepared round-trips the v2 message kinds through Write/Read.
+func FuzzPrepared(f *testing.F) {
+	f.Add("s1", "SELECT * FROM t WHERE a = ?", uint64(1), true, uint64(0), int64(42), "x")
+	f.Add("", "", uint64(0), false, uint64(99), int64(-7), "")
+	f.Fuzz(func(t *testing.T, name, sql string, tag uint64, lineage bool, minApplied uint64, argInt int64, argStr string) {
+		msgs := []Message{
+			Parse{Name: name, SQL: sql},
+			ParseComplete{Name: name, NumParams: int(tag % 16), Fingerprint: sql},
+			Execute{Stmt: name, Tag: tag, WithLineage: lineage, MinApplied: minApplied},
+			CloseStmt{Name: name},
+		}
+		for _, m := range msgs {
+			var buf bytes.Buffer
+			if err := Write(&buf, m); err != nil {
+				t.Fatalf("Write(%#v): %v", m, err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read(%#v): %v", m, err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Fatalf("round trip: got %#v, want %#v", got, m)
+			}
+		}
+		// Bind compares by value equality (sqlval.Value is not DeepEqual-safe).
+		b := Bind{Stmt: name, Args: []sqlval.Value{sqlval.NewInt(argInt), sqlval.NewString(argStr), sqlval.Null}}
+		var buf bytes.Buffer
+		if err := Write(&buf, b); err != nil {
+			t.Fatalf("Write(%#v): %v", b, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read(%#v): %v", b, err)
+		}
+		g := got.(Bind)
+		if g.Stmt != b.Stmt || len(g.Args) != len(b.Args) {
+			t.Fatalf("Bind round trip: got %#v, want %#v", g, b)
+		}
+		for i := range g.Args {
+			if !g.Args[i].Equal(b.Args[i]) {
+				t.Fatalf("Bind arg %d mismatch", i)
+			}
+		}
+	})
+}

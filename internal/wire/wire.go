@@ -34,6 +34,11 @@ const (
 	TagSnapshotChunk   = 'K'
 	TagWALSegment      = 'W'
 	TagReplicaStatus   = 's'
+	TagParse           = 'P'
+	TagParseComplete   = 'p'
+	TagBind            = 'B'
+	TagExecute         = 'e'
+	TagCloseStmt       = 'x'
 )
 
 // Tags lists every message tag the protocol defines, in declaration order.
@@ -45,6 +50,7 @@ func Tags() []byte {
 		TagCommandComplete, TagTupleValues, TagError, TagReady, TagTerminate,
 		TagStats, TagStatsResult, TagTraceContext,
 		TagSubscribe, TagSnapshotChunk, TagWALSegment, TagReplicaStatus,
+		TagParse, TagParseComplete, TagBind, TagExecute, TagCloseStmt,
 	}
 }
 
@@ -86,6 +92,16 @@ func TagName(tag byte) string {
 		return "WALSegment"
 	case TagReplicaStatus:
 		return "ReplicaStatus"
+	case TagParse:
+		return "Parse"
+	case TagParseComplete:
+		return "ParseComplete"
+	case TagBind:
+		return "Bind"
+	case TagExecute:
+		return "Execute"
+	case TagCloseStmt:
+		return "CloseStmt"
 	default:
 		return "unknown"
 	}
@@ -163,6 +179,12 @@ type CommandComplete struct {
 	// CommitSeq (which is force-encoded, zero or not, when a fingerprint is
 	// present, keeping the frame self-describing); absent when "".
 	Fingerprint string
+	// Tag echoes Execute.Tag so a pipelining client can match each response
+	// group to the Execute that caused it. Trailing field after Fingerprint
+	// (both earlier trailing fields are then force-encoded, keeping the frame
+	// self-describing); absent when zero — plain Query responses are
+	// byte-identical to the pre-v2 protocol.
+	Tag uint64
 }
 
 // Stats request kinds: which observability document the server should
@@ -243,6 +265,58 @@ type ReplicaStatus struct {
 	AppliedTS  uint64
 }
 
+// Parse asks the server to prepare the statement SQL under the
+// client-chosen Name, parsing it once and registering it for later Bind /
+// Execute. Positional `?` placeholders become parameters. Re-parsing an
+// existing name replaces it. The server answers ParseComplete (or Error)
+// followed by Ready. New in protocol v2; all fields are unconditional —
+// only messages that predate an extension need trailing-field compatibility.
+type Parse struct {
+	Name string
+	SQL  string
+}
+
+// ParseComplete acknowledges a Parse, echoing the statement name and
+// reporting how many `?` parameters the statement wants plus its normalized
+// fingerprint (the plan-cache and ldv_stat_prepared join key). New in
+// protocol v2.
+type ParseComplete struct {
+	Name        string
+	NumParams   int
+	Fingerprint string
+}
+
+// Bind supplies parameter values for a prepared statement's next Execute.
+// Fire-and-forget like TraceContext: the server stores the values without
+// responding, so a pipelining client can stream Bind/Execute pairs without
+// intervening round trips. Binding errors (unknown statement, arity
+// mismatch) surface on the Execute. New in protocol v2.
+type Bind struct {
+	Stmt string
+	Args []sqlval.Value
+}
+
+// Execute runs a prepared statement with its most recently bound
+// parameters, producing exactly one response group — the same
+// RowDescription/DataRow/.../CommandComplete/Ready sequence a Query yields,
+// or Error/Ready. Tag is a client-chosen correlation id echoed in
+// CommandComplete.Tag so pipelined responses can be matched in order.
+// WithLineage, Trace and MinApplied mean what they do on Query. New in
+// protocol v2.
+type Execute struct {
+	Stmt        string
+	Tag         uint64
+	WithLineage bool
+	Trace       obs.SpanContext
+	MinApplied  uint64
+}
+
+// CloseStmt discards a prepared statement. Fire-and-forget; closing an
+// unknown name is a no-op. New in protocol v2.
+type CloseStmt struct {
+	Name string
+}
+
 func (Startup) tag() byte         { return TagStartup }
 func (TraceContext) tag() byte    { return TagTraceContext }
 func (Stats) tag() byte           { return TagStats }
@@ -260,6 +334,11 @@ func (Subscribe) tag() byte       { return TagSubscribe }
 func (SnapshotChunk) tag() byte   { return TagSnapshotChunk }
 func (WALSegment) tag() byte      { return TagWALSegment }
 func (ReplicaStatus) tag() byte   { return TagReplicaStatus }
+func (Parse) tag() byte           { return TagParse }
+func (ParseComplete) tag() byte   { return TagParseComplete }
+func (Bind) tag() byte            { return TagBind }
+func (Execute) tag() byte         { return TagExecute }
+func (CloseStmt) tag() byte       { return TagCloseStmt }
 
 // Write sends one message.
 func Write(w io.Writer, m Message) error {
@@ -354,13 +433,17 @@ func encodePayload(m Message) []byte {
 		b = appendRefs(b, v.WrittenRefs)
 		// Trailing commit sequence, absent when nothing was logged, so the
 		// frame is byte-identical to the pre-replication protocol. A
-		// fingerprint forces it (zero or not): the decoder tells the two
-		// trailing fields apart by position, not content.
-		if v.CommitSeq > 0 || v.Fingerprint != "" {
+		// fingerprint forces it (zero or not): the decoder tells the
+		// trailing fields apart by position, not content. A pipeline tag in
+		// turn forces the fingerprint (empty or not).
+		if v.CommitSeq > 0 || v.Fingerprint != "" || v.Tag != 0 {
 			b = binary.AppendUvarint(b, v.CommitSeq)
 		}
-		if v.Fingerprint != "" {
+		if v.Fingerprint != "" || v.Tag != 0 {
 			b = appendString(b, v.Fingerprint)
+		}
+		if v.Tag != 0 {
+			b = binary.AppendUvarint(b, v.Tag)
 		}
 	case Error:
 		b = appendString(b, v.Message)
@@ -403,6 +486,31 @@ func encodePayload(m Message) []byte {
 		b = appendString(b, v.ID)
 		b = binary.AppendUvarint(b, v.AppliedSeq)
 		b = binary.AppendUvarint(b, v.AppliedTS)
+	case Parse:
+		b = appendString(b, v.Name)
+		b = appendString(b, v.SQL)
+	case ParseComplete:
+		b = appendString(b, v.Name)
+		b = binary.AppendUvarint(b, uint64(v.NumParams))
+		b = appendString(b, v.Fingerprint)
+	case Bind:
+		b = appendString(b, v.Stmt)
+		b = sqlval.EncodeRow(b, v.Args)
+	case Execute:
+		b = appendString(b, v.Stmt)
+		b = binary.AppendUvarint(b, v.Tag)
+		if v.WithLineage {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		// v2 message: the trace context and MinApplied bound are always
+		// present (zero or not) — no legacy peers to stay byte-compatible
+		// with.
+		b = appendSpanContext(b, v.Trace)
+		b = binary.AppendUvarint(b, v.MinApplied)
+	case CloseStmt:
+		b = appendString(b, v.Name)
 	case Terminate:
 	}
 	return b
@@ -479,12 +587,16 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 			WrittenRefs:  d.refs(),
 		}
 		// Trailing commit sequence (absent in pre-replication frames), then
-		// the statement fingerprint (absent in pre-introspection frames).
+		// the statement fingerprint (absent in pre-introspection frames),
+		// then the pipeline tag (absent outside v2 Execute responses).
 		if d.err == nil && len(d.buf) > 0 {
 			cc.CommitSeq = d.uvarint()
 		}
 		if d.err == nil && len(d.buf) > 0 {
 			cc.Fingerprint = d.string()
+		}
+		if d.err == nil && len(d.buf) > 0 {
+			cc.Tag = d.uvarint()
 		}
 		m = cc
 	case TagError:
@@ -533,6 +645,31 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		m = seg
 	case TagReplicaStatus:
 		m = ReplicaStatus{ID: d.string(), AppliedSeq: d.uvarint(), AppliedTS: d.uvarint()}
+	case TagParse:
+		m = Parse{Name: d.string(), SQL: d.string()}
+	case TagParseComplete:
+		m = ParseComplete{Name: d.string(), NumParams: int(d.uvarint()), Fingerprint: d.string()}
+	case TagBind:
+		bd := Bind{Stmt: d.string()}
+		if d.err == nil {
+			args, n, err := sqlval.DecodeRow(d.buf)
+			if err != nil {
+				return nil, fmt.Errorf("wire Bind: %w", err)
+			}
+			d.buf = d.buf[n:]
+			bd.Args = args
+		}
+		m = bd
+	case TagExecute:
+		m = Execute{
+			Stmt:        d.string(),
+			Tag:         d.uvarint(),
+			WithLineage: d.byte() == 1,
+			Trace:       d.spanContext(),
+			MinApplied:  d.uvarint(),
+		}
+	case TagCloseStmt:
+		m = CloseStmt{Name: d.string()}
 	case TagTerminate:
 		m = Terminate{}
 	default:

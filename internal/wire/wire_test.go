@@ -59,10 +59,31 @@ func TestRoundTripAllMessages(t *testing.T) {
 		ReplicaStatus{ID: "replica-1", AppliedSeq: 41, AppliedTS: 120},
 		CommandComplete{RowsAffected: 1, StmtID: 3, CommitSeq: 17},
 		Query{SQL: "SELECT 3", MinApplied: 55},
+		Parse{Name: "s1", SQL: "SELECT * FROM nation WHERE n_nationkey = ?"},
+		Parse{},
+		ParseComplete{Name: "s1", NumParams: 2, Fingerprint: "deadbeef"},
+		ParseComplete{},
+		Bind{Stmt: "s1", Args: []sqlval.Value{sqlval.NewInt(7), sqlval.Null, sqlval.NewString("x")}},
+		Execute{Stmt: "s1", Tag: 3, WithLineage: true, MinApplied: 12},
+		Execute{Stmt: "s1", Trace: testSpanContext()},
+		Execute{},
+		CloseStmt{Name: "s1"},
+		CommandComplete{RowsAffected: 1, StmtID: 4, Tag: 9},
+		CommandComplete{Fingerprint: "ab12", Tag: 2, CommitSeq: 5},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
 		switch want := m.(type) {
+		case Bind:
+			g := got.(Bind)
+			if g.Stmt != want.Stmt || len(g.Args) != len(want.Args) {
+				t.Fatalf("Bind mismatch: got %#v, want %#v", g, want)
+			}
+			for i := range g.Args {
+				if !g.Args[i].Equal(want.Args[i]) {
+					t.Fatalf("Bind arg %d mismatch", i)
+				}
+			}
 		case DataRow:
 			g := got.(DataRow)
 			if len(g.Values) != len(want.Values) {

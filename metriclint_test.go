@@ -70,12 +70,12 @@ func TestMetricLintCatchesViolations(t *testing.T) {
 		want        int
 	}{
 		{"linttest.good.flush_ns", true, 0},
-		{"linttest.family.AnyTag", false, 0},  // prefix description, tag-cased leaf
-		{"linttest.undescribed", false, 1},    // no Describe call
-		{"linttest.BadCase.x", false, 1},      // uppercase outside the leaf segment
-		{"linttest.no_unit", true, 1},         // histogram without a unit token
-		{"span.client.query", true, 0},        // span family: unit rule exempt
-		{"Linttest.undescribed", false, 2},    // bad first segment and undescribed
+		{"linttest.family.AnyTag", false, 0}, // prefix description, tag-cased leaf
+		{"linttest.undescribed", false, 1},   // no Describe call
+		{"linttest.BadCase.x", false, 1},     // uppercase outside the leaf segment
+		{"linttest.no_unit", true, 1},        // histogram without a unit token
+		{"span.client.query", true, 0},       // span family: unit rule exempt
+		{"Linttest.undescribed", false, 2},   // bad first segment and undescribed
 	}
 	for _, tc := range cases {
 		got := lintMetricName(tc.name, tc.isHistogram)

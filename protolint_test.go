@@ -1,0 +1,77 @@
+package ldv
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+
+	"ldv/internal/wire"
+)
+
+// protoHeading matches a message-kind section heading in PROTOCOL.md:
+//
+//	### Query ('Q')
+//
+// The kind name and quoted tag byte are captured so the lint can check
+// them against the implementation.
+var protoHeading = regexp.MustCompile(`(?m)^### ([A-Za-z]+) \('(.)'\)\s*$`)
+
+// TestProtocolDoc is the proto lint run by `make check`: PROTOCOL.md is
+// the canonical protocol reference, so it must document exactly the
+// message kinds the wire package implements. Both directions are checked —
+// a kind added to wire.Tags() without a PROTOCOL.md section fails, and so
+// does a documented kind that no longer exists (or whose tag byte
+// changed).
+func TestProtocolDoc(t *testing.T) {
+	doc, err := os.ReadFile("PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading PROTOCOL.md: %v", err)
+	}
+
+	documented := map[string]byte{} // kind name -> tag byte
+	for _, m := range protoHeading.FindAllStringSubmatch(string(doc), -1) {
+		name, tag := m[1], m[2][0]
+		if prev, dup := documented[name]; dup {
+			t.Errorf("PROTOCOL.md documents %s twice (tags %q and %q)", name, prev, tag)
+		}
+		documented[name] = tag
+	}
+	if len(documented) == 0 {
+		t.Fatal("PROTOCOL.md has no kind headings matching `### Name ('T')`")
+	}
+
+	// Implementation -> doc: every tag needs a section with the right byte.
+	implemented := map[string]byte{}
+	for _, tag := range wire.Tags() {
+		name := wire.TagName(tag)
+		if name == "unknown" {
+			t.Errorf("wire.Tags() contains %q but TagName does not know it", tag)
+			continue
+		}
+		implemented[name] = tag
+		docTag, ok := documented[name]
+		if !ok {
+			t.Errorf("wire kind %s (tag %q) has no PROTOCOL.md section; add `### %s (%s)`",
+				name, tag, name, fmt.Sprintf("'%c'", tag))
+			continue
+		}
+		if docTag != tag {
+			t.Errorf("PROTOCOL.md documents %s with tag %q, implementation uses %q", name, docTag, tag)
+		}
+	}
+
+	// Doc -> implementation: no stale sections.
+	for name, tag := range documented {
+		implTag, ok := implemented[name]
+		if !ok {
+			t.Errorf("PROTOCOL.md documents kind %s (tag %q) that wire does not implement", name, tag)
+			continue
+		}
+		if implTag != tag {
+			// Already reported above from the other direction; keep the
+			// message symmetric for doc-first readers.
+			t.Errorf("PROTOCOL.md kind %s tag %q does not match implementation tag %q", name, tag, implTag)
+		}
+	}
+}
