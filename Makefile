@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench proto-bench ops-demo repl-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench proto-bench ash-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -23,17 +23,19 @@ test:
 # Full verification: vet, the docs lint (every package needs a godoc
 # comment), the trace lint (every span started on the request path must be
 # ended via defer), the metric lint (every registered metric needs a help
-# string and a conforming name), the plan lint (every plan operator carries
-# the full explain + lineage surface), the proto lint (every wire message
-# kind is documented in PROTOCOL.md and vice versa), the durability and
-# replication crash matrices under the race detector, then the whole tree
-# under the race detector with shuffled test order (to surface
-# order-dependent state).
+# string and a conforming name), the wait lint (every obs.WaitBegin is
+# closed via defer and every wait event is described), the plan lint (every
+# plan operator carries the full explain + lineage surface), the proto lint
+# (every wire message kind is documented in PROTOCOL.md and vice versa), the
+# durability and replication crash matrices under the race detector, then
+# the whole tree under the race detector with shuffled test order (to
+# surface order-dependent state).
 check:
 	$(GO) vet ./...
 	$(GO) test -run TestPackageDocComments .
 	$(GO) test -run TestSpanEndDiscipline .
 	$(GO) test -run TestMetricDescriptions .
+	$(GO) test -run TestWaitDiscipline .
 	$(GO) test -run TestPlanNodeSurface .
 	$(GO) test -run TestProtocolDoc .
 	$(GO) test -race -run TestCrashMatrix ./internal/engine
@@ -96,6 +98,12 @@ repl-bench:
 # sessions with a >90% steady-state plan-cache hit rate).
 proto-bench:
 	$(GO) run ./cmd/ldv-bench -exp prepared | tee results/prepared.txt
+
+# Wait-event accounting + ASH sampler overhead on a concurrent read
+# workload, plus the ldv_stat_wait_events / ldv_stat_ash surface itself
+# (budget: <2%).
+ash-bench:
+	$(GO) run ./cmd/ldv-bench -exp ash | tee results/ash.txt
 
 # Boot a throwaway ldvdb with the ops endpoint enabled and show /metrics —
 # the 30-second demo of the observability surface. Cleans up after itself.

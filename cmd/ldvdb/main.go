@@ -18,7 +18,8 @@
 //
 // With -ops the server also exposes an operations HTTP endpoint serving
 // Prometheus metrics (/metrics), the request-trace flight recorder
-// (/traces), replication status (/replication), and net/http/pprof profiles
+// (/traces), the active session history (/ash, sampled at -ash-hz),
+// replication status (/replication), and net/http/pprof profiles
 // (/debug/pprof/).
 package main
 
@@ -50,6 +51,7 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		opsAddr   = flag.String("ops", "", "operations HTTP endpoint address (e.g. :8089; empty disables)")
 		slow      = flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
+		ashHz     = flag.Int("ash-hz", obs.DefaultASHRate, "active session history sample rate in Hz (0 disables sampling)")
 		replicaOf = flag.String("replica-of", "", "run as a read replica of this primary address")
 		replicaID = flag.String("replica-id", "", "replica identity announced to the primary (default: the listen address)")
 	)
@@ -57,7 +59,7 @@ func main() {
 	cfg := config{
 		addr: *addr, dataDir: *dataDir, initFile: *initFile, opsAddr: *opsAddr,
 		ckpt: *ckpt, slow: *slow, quiet: *quiet, logLevel: *logLevel,
-		replicaOf: *replicaOf, replicaID: *replicaID,
+		replicaOf: *replicaOf, replicaID: *replicaID, ashHz: *ashHz,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ldvdb:", err)
@@ -72,10 +74,19 @@ type config struct {
 	quiet                            bool
 	logLevel                         string
 	replicaOf, replicaID             string
+	ashHz                            int
 }
 
 func run(cfg config) error {
 	db := engine.NewDB(nil)
+
+	// ASH configuration: 0 is the kill switch; any other rate is clamped by
+	// SetRate. The sampler itself starts with the first client session.
+	if cfg.ashHz <= 0 {
+		obs.ASH().SetEnabled(false)
+	} else {
+		obs.ASH().SetRate(cfg.ashHz)
+	}
 
 	var logger *obslog.Logger
 	if !cfg.quiet {

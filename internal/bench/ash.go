@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ldv/internal/client"
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+	"ldv/internal/server"
+	"ldv/internal/tpch"
+)
+
+// ASHOverhead measures what always-on wait-event accounting plus the ASH
+// sampler cost a loaded server: a closed loop of concurrent clients hammers
+// TPC-H point and aggregate SELECTs through in-process connections, once
+// with the sampler recording at the default rate and once with it disabled.
+// The cumulative wait counters have no kill switch (two atomic adds per
+// actual wait), so the disabled side still pays them — the comparison
+// isolates exactly what the kill switch controls, which is what an operator
+// can choose. Rounds alternate and each mode is scored by its fastest round,
+// as in IntrospectionOverhead; the budget for the feature is <2%. The report
+// closes with the surface eating its own dog food: the wait-event totals and
+// the sample count queried back over SQL.
+func ASHOverhead(cfg Config, w io.Writer) error {
+	const (
+		clients     = 8
+		opsPerConn  = 100
+		rounds      = 9
+		opsPerRound = clients * opsPerConn
+	)
+
+	obs.Reset()
+	db := engine.NewDB(nil)
+	if _, err := tpch.Load(db, cfg.TPCH()); err != nil {
+		return err
+	}
+	srv := server.New(db, nil)
+	dialer := pipeDialer{srv}
+
+	reads := []string{
+		"SELECT COUNT(*) FROM supplier",
+		"SELECT SUM(s_acctbal) FROM supplier",
+		"SELECT n_name FROM nation WHERE n_nationkey = 7",
+		"SELECT c_name FROM customer WHERE c_custkey = 13",
+	}
+	runRound := func(sample bool) (time.Duration, error) {
+		obs.ASH().SetEnabled(sample)
+		// A round is ~100ms; a GC pause landing inside one round but not its
+		// counterpart would dwarf the effect being measured. Collect up front
+		// so each round starts from the same heap state.
+		runtime.GC()
+		conns := make([]*client.Conn, clients)
+		for i := range conns {
+			conn, err := client.Dial(dialer, "pipe", client.Options{Proc: "ash-bench", NoTrace: true})
+			if err != nil {
+				return 0, err
+			}
+			defer conn.Close()
+			conns[i] = conn
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		start := time.Now()
+		for i, conn := range conns {
+			wg.Add(1)
+			go func(i int, conn *client.Conn) {
+				defer wg.Done()
+				for n := 0; n < opsPerConn; n++ {
+					if _, err := conn.Query(reads[n%len(reads)]); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i, conn)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return elapsed, nil
+	}
+
+	// Warm both paths: parser and catalog caches, pipe plumbing, and (on the
+	// sampled side) the sampler goroutine itself.
+	for _, sample := range []bool{false, true} {
+		if _, err := runRound(sample); err != nil {
+			return err
+		}
+	}
+
+	best := map[bool]time.Duration{}
+	for r := 0; r < rounds; r++ {
+		for _, sample := range []bool{false, true} {
+			elapsed, err := runRound(sample)
+			if err != nil {
+				return err
+			}
+			if cur, ok := best[sample]; !ok || elapsed < cur {
+				best[sample] = elapsed
+			}
+		}
+	}
+	obs.ASH().SetEnabled(true)
+
+	baseline, sampled := best[false], best[true]
+	overhead := float64(sampled-baseline) / float64(baseline) * 100
+
+	fmt.Fprintf(w, "ASH overhead: SF %g, %d clients x %d SELECTs/round, sampler at %d Hz, best of %d alternating rounds\n",
+		cfg.SF, clients, opsPerConn, obs.ASH().Rate(), rounds)
+	fmt.Fprintf(w, "%-28s %12s %14s\n", "Mode", "Round ms", "Per query us")
+	perQuery := func(d time.Duration) float64 {
+		return float64(d.Microseconds()) / float64(opsPerRound)
+	}
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "Sampler disabled baseline", ms(baseline), perQuery(baseline))
+	fmt.Fprintf(w, "%-28s %12s %14.1f\n", "Sampler recording", ms(sampled), perQuery(sampled))
+	fmt.Fprintf(w, "Overhead: %.2f%% (budget: <2%%)\n\n", overhead)
+
+	// The surface itself, over the same wire protocol it profiles.
+	conn, err := client.Dial(dialer, "pipe", client.Options{Proc: "ash-bench", NoTrace: true})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	res, err := conn.Query(
+		"SELECT event, waits, wait_ns FROM ldv_stat_wait_events ORDER BY wait_ns DESC")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SELECT event, waits, wait_ns FROM ldv_stat_wait_events ORDER BY wait_ns DESC:\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-18s %10d %14d\n", row[0].Str(), row[1].Int(), row[2].Int())
+	}
+	res, err = conn.Query("SELECT COUNT(*) FROM ldv_stat_ash")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ASH samples held: %d\n", res.Rows[0][0].Int())
+	return nil
+}

@@ -326,6 +326,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"overhead":      Overhead,
 		"tracing":       TracingOverhead,
 		"introspection": IntrospectionOverhead,
+		"ash":           ASHOverhead,
 		"concurrency":   Concurrency,
 		"prepared":      Prepared,
 		"durability":    Durability,
@@ -345,7 +346,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "concurrency", "prepared", "planner", "durability", "replication", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "ash", "concurrency", "prepared", "planner", "durability", "replication", "ablation"}
 }
 
 // RunAll executes every experiment in order.

@@ -85,7 +85,7 @@ func (s *Session) CopyFrom(table string, records [][]string, opts ExecOptions) (
 			db.endTxn(txn.id)
 			return nil, err
 		}
-		seq, cerr := db.commitTxn(txn, opts.Span)
+		seq, cerr := db.commitTxn(txn, opts.Span, s.ws)
 		if cerr != nil {
 			return nil, cerr
 		}

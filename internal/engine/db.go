@@ -361,14 +361,14 @@ func (db *DB) logDDL(e redoEntry) (uint64, error) {
 // client sees an error and the in-memory state matches the log. The
 // returned sequence is the WAL position of the commit record (0 when
 // nothing needed logging).
-func (db *DB) commitTxn(x *Txn, parent *obs.Span) (uint64, error) {
+func (db *DB) commitTxn(x *Txn, parent *obs.Span, ws *obs.SessionState) (uint64, error) {
 	db.commitMu.RLock()
 	if db.wal == nil || len(x.redo) == 0 {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
 		return 0, nil
 	}
-	seq, err := db.walCommit(x, parent)
+	seq, err := db.walCommit(x, parent, ws)
 	if err == nil {
 		db.endTxn(x.id)
 		db.commitMu.RUnlock()
@@ -382,10 +382,14 @@ func (db *DB) commitTxn(x *Txn, parent *obs.Span) (uint64, error) {
 }
 
 // walCommit flushes the transaction's redo record, under a wal.commit span
-// so a trace attributes group-commit latency to the request that paid it.
-func (db *DB) walCommit(x *Txn, parent *obs.Span) (uint64, error) {
+// so a trace attributes group-commit latency to the request that paid it,
+// and under a wal.group_commit wait so the flush wait is visible to the ASH
+// sampler and the cumulative wait-event stats.
+func (db *DB) walCommit(x *Txn, parent *obs.Span, ws *obs.SessionState) (uint64, error) {
 	sp := parent.Child("wal.commit")
 	defer sp.End()
+	end := obs.WaitBegin(ws, obs.WaitWALGroupCommit)
+	defer end()
 	return db.wal.Commit(encodeWALTxn(x.id, x.redo))
 }
 

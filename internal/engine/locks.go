@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"ldv/internal/obs"
 	"ldv/internal/sqlparse"
 )
 
@@ -134,10 +135,17 @@ func (ec *stmtCtx) lockTables(ls lockSet) func() {
 	t0 := time.Now()
 	for i, t := range locked {
 		w0 := time.Now()
+		// Uncontended acquisitions take the try fast path and are not
+		// waits; only actual blocking reaches lockSlow and the lock.table
+		// wait event (PostgreSQL's wait-event semantics).
 		if writeMode[i] {
-			t.mu.Lock()
+			if !t.mu.TryLock() {
+				ec.lockSlow(t, true)
+			}
 		} else {
-			t.mu.RLock()
+			if !t.mu.TryRLock() {
+				ec.lockSlow(t, false)
+			}
 		}
 		t.lockWaits.Add(1)
 		t.lockWaitNS.Add(int64(time.Since(w0)))
@@ -152,5 +160,18 @@ func (ec *stmtCtx) lockTables(ls lockSet) func() {
 				locked[i].mu.RUnlock()
 			}
 		}
+	}
+}
+
+// lockSlow blocks on one contended table lock under a published lock.table
+// wait, so the stall is visible to the ASH sampler and accumulates into the
+// cumulative wait-event stats while it is still in progress.
+func (ec *stmtCtx) lockSlow(t *Table, write bool) {
+	end := obs.WaitBegin(ec.ws, obs.WaitLockTable)
+	defer end()
+	if write {
+		t.mu.Lock()
+	} else {
+		t.mu.RLock()
 	}
 }

@@ -189,6 +189,28 @@ type Session struct {
 	mu sync.Mutex
 
 	txn *Txn
+
+	// ws is the session's wait/ASH publication surface (nil when the
+	// session is not registered with the observability layer — library
+	// embedding, tests). Set once by SetWaitState before serving
+	// statements; obs.SessionState methods are nil-safe.
+	ws *obs.SessionState
+}
+
+// SetWaitState attaches the session's observability publication handle
+// (from obs.RegisterSession). Call before executing statements; the engine
+// publishes statement, transaction, and wait state through it.
+func (s *Session) SetWaitState(ws *obs.SessionState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ws = ws
+}
+
+// WaitState returns the handle set by SetWaitState (nil when none).
+func (s *Session) WaitState() *obs.SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ws
 }
 
 // NewSession opens an independent session on the database.
@@ -213,6 +235,7 @@ func (s *Session) Close() error {
 	}
 	err := s.txn.rollback()
 	s.txn = nil
+	s.ws.SetTxn(0)
 	mTxnRollbacks.Inc()
 	return err
 }
@@ -271,11 +294,13 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 	if opts.Span != nil {
 		res.TraceID = opts.Span.TraceID().String()
 	}
+	s.ws.StartStatement(res.Fingerprint, res.TraceID)
 	finish := func(err error) (*Result, error) {
 		res.End = db.clock.Tick()
 		total := time.Since(t0)
 		observeStatement(stmt, res, err, total)
 		recordStatementStats(p, res, err, total)
+		s.ws.FinishStatement()
 		if err != nil {
 			return nil, err
 		}
@@ -288,14 +313,16 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 			return finish(fmt.Errorf("a transaction is already open"))
 		}
 		s.txn = db.beginTxn()
+		s.ws.SetTxn(s.txn.id)
 		return finish(nil)
 	case *sqlparse.Commit:
 		if s.txn == nil {
 			return finish(fmt.Errorf("no transaction is open"))
 		}
-		seq, err := db.commitTxn(s.txn, opts.Span)
+		seq, err := db.commitTxn(s.txn, opts.Span, s.ws)
 		res.CommitSeq = seq
 		s.txn = nil
+		s.ws.SetTxn(0)
 		if err == nil {
 			mTxnCommits.Inc()
 		} else {
@@ -308,6 +335,7 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 		}
 		err := s.txn.rollback()
 		s.txn = nil
+		s.ws.SetTxn(0)
 		mTxnRollbacks.Inc()
 		return finish(err)
 	}
@@ -371,7 +399,7 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 // execSelectOps is execSelectStmt with an optional per-operator collector
 // attached (EXPLAIN ANALYZE).
 func (s *Session) execSelectOps(sel *sqlparse.Select, opts ExecOptions, res *Result, oc *opCollector) error {
-	ec := &stmtCtx{db: s.db, txn: s.txn, ops: oc, params: opts.Params, prep: opts.prep}
+	ec := &stmtCtx{db: s.db, txn: s.txn, ws: s.ws, ops: oc, params: opts.Params, prep: opts.prep}
 	if s.txn != nil {
 		ec.snap = s.txn.snap
 	} else {
@@ -401,6 +429,8 @@ func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Res
 	implicit := txn == nil
 	if implicit {
 		txn = db.beginTxn()
+		s.ws.SetTxn(txn.id)
+		defer s.ws.SetTxn(0)
 	}
 	err := s.applyDML(stmt, opts, res, txn, oc)
 	if implicit {
@@ -409,7 +439,7 @@ func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Res
 			return err
 		}
 		// Durability point of auto-commit DML.
-		res.CommitSeq, err = db.commitTxn(txn, opts.Span)
+		res.CommitSeq, err = db.commitTxn(txn, opts.Span, s.ws)
 		return err
 	}
 	return err
@@ -420,7 +450,7 @@ func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Res
 // closes when the locks release, before any commit work (wal.commit gets its
 // own span).
 func (s *Session) applyDML(stmt sqlparse.Statement, opts ExecOptions, res *Result, txn *Txn, oc *opCollector) error {
-	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn, ops: oc, params: opts.Params, prep: opts.prep}
+	ec := &stmtCtx{db: s.db, snap: txn.snap, txn: txn, ws: s.ws, ops: oc, params: opts.Params, prep: opts.prep}
 	mark := len(txn.undo)
 	rmark := len(txn.redo)
 	unlock := ec.plan(stmt, opts.Span)
@@ -469,6 +499,10 @@ type stmtCtx struct {
 	snap   snapshot
 	txn    *Txn
 	tables map[string]*Table
+
+	// ws publishes the statement's wait state (lock.table from lockSlow);
+	// nil outside a registered session.
+	ws *obs.SessionState
 
 	// params holds the execution's bound parameter values; prep links back
 	// to the prepared statement (nil for text-protocol executions).

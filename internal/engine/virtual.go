@@ -197,6 +197,59 @@ func (db *DB) registerBuiltinVirtualTables() {
 		},
 	})
 
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_wait_events",
+		Schema: viewSchema(
+			textCol("event"), textCol("description"),
+			intCol("waits"), intCol("wait_ns"), floatCol("mean_wait_ns"),
+		),
+		Rows: func() [][]sqlval.Value {
+			stats := obs.WaitEventStats()
+			rows := make([][]sqlval.Value, 0, len(stats))
+			for _, s := range stats {
+				mean := 0.0
+				if s.Count > 0 {
+					mean = float64(s.TotalNS) / float64(s.Count)
+				}
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewString(s.Name),
+					sqlval.NewString(s.Description),
+					sqlval.NewInt(s.Count),
+					sqlval.NewInt(s.TotalNS),
+					sqlval.NewFloat(mean),
+				})
+			}
+			return rows
+		},
+	})
+
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_ash",
+		Schema: viewSchema(
+			intCol("sample_ns"), intCol("session"), textCol("proc"),
+			intCol("txn"), textCol("state"), textCol("event"),
+			textCol("fingerprint"), textCol("trace_id"), intCol("wait_ns"),
+		),
+		Rows: func() [][]sqlval.Value {
+			samples := obs.ASH().Samples()
+			rows := make([][]sqlval.Value, 0, len(samples))
+			for _, s := range samples {
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewInt(s.TimeNS),
+					sqlval.NewInt(s.Session),
+					sqlval.NewString(s.Proc),
+					sqlval.NewInt(s.Txn),
+					sqlval.NewString(s.State),
+					sqlval.NewString(s.Event),
+					sqlval.NewString(s.Fingerprint),
+					sqlval.NewString(s.TraceID),
+					sqlval.NewInt(s.WaitNS),
+				})
+			}
+			return rows
+		},
+	})
+
 	// Placeholders: populated by the layers that own the state. The schema
 	// is fixed here so queries against an unserved view still resolve.
 	db.RegisterVirtualTable(&VirtualTable{

@@ -189,5 +189,8 @@ func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
 // GetHistogram returns a named histogram in the default registry.
 func GetHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
 
-// Reset zeroes the default registry.
-func Reset() { defaultRegistry.Reset() }
+// Reset zeroes the default registry and clears the ASH sample ring.
+func Reset() {
+	defaultRegistry.Reset()
+	defaultASH.reset()
+}

@@ -1,0 +1,159 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ldv/internal/obs"
+)
+
+// /ash: the Active Session History. The default text form answers "where did
+// wall-clock time go" at a glance — a top-waits table from the cumulative
+// wait-event stats, then a time×state breakdown of the sample ring rendered
+// as intensity characters. ?format=json returns the raw material (cumulative
+// events plus samples) for programmatic consumers.
+
+// defaultASHBuckets is the width of the text breakdown in time buckets.
+const defaultASHBuckets = 60
+
+// maxASHBuckets caps ?buckets= so one request cannot ask for an absurdly
+// wide render.
+const maxASHBuckets = 600
+
+// ashDensity maps a bucket's sample share to an intensity character,
+// lightest to heaviest.
+const ashDensity = " .:-=+*#%@"
+
+// ServeASH handles one /ash request. Query parameters: ?limit=N keeps only
+// the most recent N samples (0 or absent = all), ?buckets=N sets the
+// breakdown width, ?format=json switches to the JSON document. Malformed
+// parameters answer 400.
+func ServeASH(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	buckets := defaultASHBuckets
+	if s := q.Get("buckets"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > maxASHBuckets {
+			http.Error(w, "bad buckets", http.StatusBadRequest)
+			return
+		}
+		buckets = n
+	}
+	format := q.Get("format")
+	if format != "" && format != "text" && format != "json" {
+		http.Error(w, "bad format", http.StatusBadRequest)
+		return
+	}
+
+	samples := obs.ASH().Samples()
+	if limit > 0 && limit < len(samples) {
+		samples = samples[len(samples)-limit:]
+	}
+	events := obs.WaitEventStats()
+
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Events  []obs.WaitEventStat `json:"events"`
+			Samples []obs.ASHSample     `json:"samples"`
+		}{events, samples})
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeTopWaits(w, events)
+	fmt.Fprintln(w)
+	writeASHBreakdown(w, samples, buckets)
+}
+
+// writeTopWaits renders the cumulative wait-event totals, heaviest first.
+func writeTopWaits(w http.ResponseWriter, events []obs.WaitEventStat) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TotalNS > events[j].TotalNS })
+	fmt.Fprintf(w, "%-18s %10s %14s %14s  %s\n", "EVENT", "WAITS", "TOTAL", "MEAN", "DESCRIPTION")
+	for _, e := range events {
+		mean := time.Duration(0)
+		if e.Count > 0 {
+			mean = time.Duration(e.TotalNS / e.Count)
+		}
+		fmt.Fprintf(w, "%-18s %10d %14s %14s  %s\n",
+			e.Name, e.Count, time.Duration(e.TotalNS), mean, e.Description)
+	}
+}
+
+// writeASHBreakdown renders the sample ring as one row per session state
+// (cpu, idle, and each observed wait event), with columns dividing the ring's
+// time span into equal buckets. A cell's character encodes what share of the
+// bucket's samples the row's state took, so a lock storm reads as a dark band
+// on the lock.table row.
+func writeASHBreakdown(w http.ResponseWriter, samples []obs.ASHSample, buckets int) {
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "no ASH samples")
+		return
+	}
+	minT, maxT := samples[0].TimeNS, samples[len(samples)-1].TimeNS
+	span := maxT - minT
+	if span <= 0 {
+		span = 1
+	}
+	// rowKey: "cpu" and "idle" stand alone; waits key by event name (an idle
+	// client.read wait keys as client.read, keeping idleness attributable).
+	rowKey := func(s obs.ASHSample) string {
+		if s.Event != "" {
+			return s.Event
+		}
+		return s.State
+	}
+	counts := map[string][]int{}
+	totals := make([]int, buckets)
+	for _, s := range samples {
+		b := int((s.TimeNS - minT) * int64(buckets) / (span + 1))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		k := rowKey(s)
+		if counts[k] == nil {
+			counts[k] = make([]int, buckets)
+		}
+		counts[k][b]++
+		totals[b]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "ASH %d samples over %s (%d buckets, oldest left)\n",
+		len(samples), time.Duration(span), buckets)
+	for _, k := range keys {
+		var row strings.Builder
+		for b := 0; b < buckets; b++ {
+			if totals[b] == 0 {
+				row.WriteByte(' ')
+				continue
+			}
+			// Scale the share into the density ramp; any presence at all
+			// renders at least the lightest non-blank character.
+			idx := counts[k][b] * (len(ashDensity) - 1) / totals[b]
+			if idx == 0 && counts[k][b] > 0 {
+				idx = 1
+			}
+			row.WriteByte(ashDensity[idx])
+		}
+		fmt.Fprintf(w, "%-18s |%s|\n", k, row.String())
+	}
+}

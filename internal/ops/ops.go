@@ -1,11 +1,13 @@
 // Package ops serves the operations HTTP endpoint of a standalone LDV
-// server: GET /metrics exposes the obs registry in Prometheus text format,
-// GET /traces serves the request-trace flight recorder as JSON (with an
-// optional ASCII waterfall form), GET /replication reports the node's
-// replication role and positions (with POST /replication/promote for
-// failover), and /debug/pprof/ mounts the standard net/http/pprof profiles.
-// Everything except promote is read-only, and nothing carries
-// authentication — bind it to a loopback or otherwise private address.
+// server: GET / lists the routes, GET /metrics exposes the obs registry in
+// Prometheus text format, GET /traces serves the request-trace flight
+// recorder as JSON (with an optional ASCII waterfall form), GET /ash serves
+// the Active Session History (top waits plus a time×state breakdown),
+// GET /replication reports the node's replication role and positions (with
+// POST /replication/promote for failover), and /debug/pprof/ mounts the
+// standard net/http/pprof profiles. Everything except promote is read-only,
+// and nothing carries authentication — bind it to a loopback or otherwise
+// private address.
 package ops
 
 import (
@@ -50,6 +52,27 @@ func Handler(reg *obs.Registry, opts ...Option) http.Handler {
 		o(&cfg)
 	}
 	mux := http.NewServeMux()
+	// The index: a route listing, so an operator pointing a browser at the
+	// ops port discovers the surface. The "/" pattern also catches every
+	// unregistered path, which must 404 rather than serve the index.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "LDV ops endpoint")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "GET  /metrics               Prometheus text exposition of the obs registry")
+		fmt.Fprintln(w, "GET  /traces                flight-recorder traces (?limit=N, ?format=waterfall)")
+		fmt.Fprintln(w, "GET  /statements            per-fingerprint statement statistics (JSON)")
+		fmt.Fprintln(w, "GET  /ash                   active session history (?limit=N, ?buckets=N, ?format=json)")
+		if cfg.repl != nil {
+			fmt.Fprintln(w, "GET  /replication           replication role and positions (JSON)")
+			fmt.Fprintln(w, "POST /replication/promote   promote this replica to writable")
+		}
+		fmt.Fprintln(w, "GET  /debug/pprof/          standard Go profiles")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, reg.Snapshot())
@@ -60,6 +83,9 @@ func Handler(reg *obs.Registry, opts ...Option) http.Handler {
 	mux.HandleFunc("/statements", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(reg.Statements().Snapshot())
+	})
+	mux.HandleFunc("/ash", func(w http.ResponseWriter, r *http.Request) {
+		ServeASH(w, r)
 	})
 	if cfg.repl != nil {
 		mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {

@@ -134,7 +134,7 @@ func (s *Server) runExecute(conn io.Writer, sess *engine.Session, act *sessionAc
 		return wire.Write(conn, wire.Error{Message: err.Error()})
 	}
 	if g := s.readGate(); g != nil {
-		if err := g.WaitApplied(ex.MinApplied); err != nil {
+		if err := gateWait(g, sess.WaitState(), ex.MinApplied); err != nil {
 			mErrors.Inc()
 			slog.Error("read gate failed", "err", err, "min_applied", ex.MinApplied)
 			return wire.Write(conn, wire.Error{Message: err.Error()})
@@ -146,7 +146,8 @@ func (s *Server) runExecute(conn io.Writer, sess *engine.Session, act *sessionAc
 	act.finish(sess.InTxn())
 	elapsed := time.Since(t0)
 	if thr := s.slowQueryNS.Load(); thr > 0 && elapsed >= time.Duration(thr) {
-		slog.Warn("slow query", "elapsed", elapsed, "fingerprint", ps.Fingerprint().String(), "sql", ps.SQL)
+		slog.Warn("slow query", "elapsed", elapsed, "fingerprint", ps.Fingerprint().String(),
+			"waits", waitSummary(sess.WaitState()), "sql", ps.SQL)
 	}
 	if err != nil {
 		mErrors.Inc()

@@ -206,6 +206,13 @@ func (s *Server) HandleConn(conn net.Conn) {
 	sess := s.db.NewSession()
 	defer sess.Close()
 
+	// Publish this session's state to the ASH sampler. From here on, every
+	// blocking point below (client reads, read-gate waits, and — via the
+	// session — lock and group-commit waits) reports a wait event.
+	ws := obs.RegisterSession(sid, startup.Proc)
+	defer obs.UnregisterSession(sid)
+	sess.SetWaitState(ws)
+
 	act := s.registerActivity(sid, startup.Proc)
 	defer s.deregisterActivity(sid)
 
@@ -223,7 +230,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 				return
 			}
 		}
-		msg, err := wire.Read(bc)
+		msg, err := readClient(bc, ws)
 		if err != nil {
 			if err != io.EOF {
 				slog.Error("read failed", "err", err)
@@ -311,6 +318,42 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}
 }
 
+// readClient blocks for the next client message under a client.read wait,
+// so sessions idling between requests show as idle-waiting in the ASH
+// rather than on-CPU.
+func readClient(bc *wire.BufferedConn, ws *obs.SessionState) (wire.Message, error) {
+	msg, err := func() (wire.Message, error) {
+		end := obs.WaitBegin(ws, obs.WaitClientRead)
+		defer end()
+		return wire.Read(bc)
+	}()
+	// A message arrived: the new request's waits (read gate, locks, group
+	// commit) start from zero. The reset must come after the read wait's
+	// end() — the idle time spent receiving this request belongs to the
+	// cumulative client.read totals, not to the statement it carries.
+	ws.ResetStatementWaits()
+	return msg, err
+}
+
+// gateWait blocks on a replica's read gate under a repl.apply wait, making
+// read-your-writes stalls attributable in the ASH and wait-event stats.
+func gateWait(g ReadGate, ws *obs.SessionState, minSeq uint64) error {
+	end := obs.WaitBegin(ws, obs.WaitReplApply)
+	defer end()
+	return g.WaitApplied(minSeq)
+}
+
+// waitSummary renders a statement's wait profile for the slow-query log:
+// "<dominant event>:<dominant time>/<total wait time>", or "none" when the
+// statement never blocked.
+func waitSummary(ws *obs.SessionState) string {
+	ev, domNS, totalNS := ws.StatementWaits()
+	if totalNS <= 0 || ev == obs.WaitNone {
+		return "none"
+	}
+	return fmt.Sprintf("%s:%s/%s", ev.Name(), time.Duration(domNS), time.Duration(totalNS))
+}
+
 // handleStats serves a Stats request with the requested observability
 // document: the metrics snapshot, or the flight recorder's completed traces.
 func (s *Server) handleStats(conn io.Writer, sess *engine.Session, req wire.Stats) error {
@@ -364,7 +407,7 @@ func (s *Server) runQuery(conn io.Writer, sess *engine.Session, act *sessionActi
 	// client's read-your-writes bound (and, bound or not, until the replica
 	// has bootstrapped at all).
 	if g := s.readGate(); g != nil {
-		if err := g.WaitApplied(q.MinApplied); err != nil {
+		if err := gateWait(g, sess.WaitState(), q.MinApplied); err != nil {
 			mErrors.Inc()
 			slog.Error("read gate failed", "err", err, "min_applied", q.MinApplied)
 			return wire.Write(conn, wire.Error{Message: err.Error()})
@@ -383,7 +426,8 @@ func (s *Server) runQuery(conn io.Writer, sess *engine.Session, act *sessionActi
 		} else {
 			fp = sqlparse.ComputeFingerprint(q.SQL).String()
 		}
-		slog.Warn("slow query", "elapsed", elapsed, "fingerprint", fp, "sql", q.SQL)
+		slog.Warn("slow query", "elapsed", elapsed, "fingerprint", fp,
+			"waits", waitSummary(sess.WaitState()), "sql", q.SQL)
 	}
 	if err != nil {
 		mErrors.Inc()

@@ -64,6 +64,7 @@ func TestMetricLintCatchesViolations(t *testing.T) {
 	obs.Describe("linttest.BadCase.x", "described")
 	obs.Describe("linttest.no_unit", "described")
 	obs.DescribePrefix("linttest.family.", "family")
+	obs.Describe("wait.linttest_unitless", "described")
 	cases := []struct {
 		name        string
 		isHistogram bool
@@ -76,6 +77,9 @@ func TestMetricLintCatchesViolations(t *testing.T) {
 		{"linttest.no_unit", true, 1},        // histogram without a unit token
 		{"span.client.query", true, 0},       // span family: unit rule exempt
 		{"Linttest.undescribed", false, 2},   // bad first segment and undescribed
+		{"wait.lock_table_ns", false, 0},     // wait family with a time unit
+		{"wait.lock_table_count", false, 0},  // wait family with a count unit
+		{"wait.linttest_unitless", false, 1}, // wait family without a unit
 	}
 	for _, tc := range cases {
 		got := lintMetricName(tc.name, tc.isHistogram)
@@ -115,18 +119,37 @@ func lintMetricName(name string, isHistogram bool) []string {
 		}
 	}
 	if isHistogram && !strings.HasPrefix(name, "span.") {
-		hasUnit := false
-		for _, seg := range segs {
-			for _, u := range histogramUnits {
-				if seg == u || strings.HasSuffix(seg, "_"+u) {
-					hasUnit = true
-				}
-			}
-		}
-		if !hasUnit {
+		if !hasUnitToken(segs, histogramUnits) {
 			problems = append(problems, fmt.Sprintf(
 				"histogram %q has no unit token — name it with a segment ending in one of %v", name, histogramUnits))
 		}
 	}
+	// The wait.* family carries explicit unit suffixes on every member —
+	// counters included — so wait.lock_table_ns (time) and
+	// wait.lock_table_count (occurrences) can never be confused when summed
+	// or rated in a dashboard.
+	if strings.HasPrefix(name, "wait.") {
+		if !hasUnitToken(segs, waitUnits) {
+			problems = append(problems, fmt.Sprintf(
+				"wait-family metric %q has no unit token — name it with a segment ending in one of %v", name, waitUnits))
+		}
+	}
 	return problems
+}
+
+// waitUnits are the unit tokens allowed on the wait.* metric family: the
+// histogram units plus count (for the per-event occurrence counters).
+var waitUnits = append([]string{"count"}, histogramUnits...)
+
+// hasUnitToken reports whether any name segment is, or ends in, one of the
+// unit tokens.
+func hasUnitToken(segs, units []string) bool {
+	for _, seg := range segs {
+		for _, u := range units {
+			if seg == u || strings.HasSuffix(seg, "_"+u) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,0 +1,196 @@
+package ldv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldv/internal/obs"
+)
+
+// waitlintDirs are the packages with instrumented blocking points. The obs
+// package itself is exempt: it defines WaitBegin.
+var waitlintDirs = []string{
+	"internal/engine",
+	"internal/server",
+}
+
+// minWaitSites guards against the lint going vacuous: the engine and server
+// instrument at least this many blocking points (table locks, the WAL
+// group-commit flush, the replica read gate, the client read). Deleting an
+// instrumentation site without updating the taxonomy should fail here.
+const minWaitSites = 4
+
+// TestWaitDiscipline is the wait lint run by `make check`. Two contracts:
+//
+// Every obs.WaitBegin call must assign its end function to a variable that is
+// called via `defer <var>()` in the same function, so the wait is closed on
+// every return path and a panic can never leave a session published as
+// waiting forever. Waits that span only part of a function must be factored
+// into a helper (see engine.lockSlow, server.readClient) — that is what
+// keeps this check syntactic and total.
+//
+// Every wait event must carry a description, and both of its cumulative
+// metrics must be registered with help text so they render as # HELP lines
+// on /metrics.
+func TestWaitDiscipline(t *testing.T) {
+	sites := 0
+	for _, dir := range waitlintDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					n, problems := lintWaitFunc(fset, fd)
+					sites += n
+					for _, p := range problems {
+						t.Errorf("%s: %s", filepath.Base(path), p)
+					}
+				}
+			}
+		}
+	}
+	if sites < minWaitSites {
+		t.Errorf("found %d WaitBegin sites in %v, want at least %d — instrumentation removed?",
+			sites, waitlintDirs, minWaitSites)
+	}
+
+	for _, ev := range obs.WaitEvents() {
+		if ev.Name() == "" {
+			t.Errorf("wait event %d has no name", ev)
+		}
+		if ev.Description() == "" {
+			t.Errorf("wait event %s has no description", ev.Name())
+		}
+		for _, metric := range []string{ev.CountMetric(), ev.NSMetric()} {
+			if d, ok := obs.Description(metric); !ok || d == "" {
+				t.Errorf("wait event %s: metric %s has no registered description (# HELP would be missing)",
+					ev.Name(), metric)
+			}
+		}
+	}
+}
+
+// TestWaitLintCatchesViolations proves the lint bites: un-ended waits,
+// discarded WaitBegin results, and non-deferred end calls are all reported,
+// while the blessed `end := obs.WaitBegin(...); defer end()` shape is not.
+func TestWaitLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		sites int
+		want  int
+	}{
+		{"deferred end ok", `end := obs.WaitBegin(ws, obs.WaitLockTable); defer end()`, 1, 0},
+		{"no end", `end := obs.WaitBegin(ws, obs.WaitLockTable); _ = end`, 1, 1},
+		{"non-deferred end", `end := obs.WaitBegin(ws, obs.WaitLockTable); end()`, 1, 1},
+		{"discarded begin", `obs.WaitBegin(ws, obs.WaitLockTable)`, 1, 1},
+		{"two leaks", `a := obs.WaitBegin(ws, e1); b := obs.WaitBegin(ws, e2); _, _ = a, b`, 2, 2},
+	}
+	for _, tc := range cases {
+		src := "package p\nfunc f() {\n" + tc.body + "\n}\n"
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", src, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sites, got := lintWaitFunc(fset, f.Decls[0].(*ast.FuncDecl))
+		if sites != tc.sites {
+			t.Errorf("%s: %d sites (want %d)", tc.name, sites, tc.sites)
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: %d problems (want %d): %v", tc.name, len(got), tc.want, got)
+		}
+	}
+}
+
+// lintWaitFunc checks one function — every WaitBegin call must be assigned
+// to a variable, and every such variable must be invoked by a deferred call —
+// returning the number of WaitBegin sites and one message per violation.
+func lintWaitFunc(fset *token.FileSet, fd *ast.FuncDecl) (int, []string) {
+	// Pass 1: end-function variables — LHS identifiers of assignments whose
+	// RHS is a WaitBegin call. Remember call positions so pass 3 can spot
+	// calls outside any assignment.
+	endVars := map[string]token.Pos{}
+	assigned := map[token.Pos]bool{}
+	sites := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isWaitBegin(call) {
+				continue
+			}
+			assigned[call.Pos()] = true
+			if len(as.Lhs) == len(as.Rhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					endVars[id.Name] = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: deferred invocations — defer <ident>().
+	deferred := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		df, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := df.Call.Fun.(*ast.Ident); ok {
+			deferred[id.Name] = true
+		}
+		return true
+	})
+
+	var problems []string
+	for name, pos := range endVars {
+		if !deferred[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: wait begun in %s (end func %q) has no `defer %s()`",
+				position(fset, pos), fd.Name.Name, name, name))
+		}
+	}
+
+	// Pass 3: WaitBegin calls outside any assignment leak their wait — the
+	// session would be published as waiting until the next wait overwrites it.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isWaitBegin(call) {
+			return true
+		}
+		sites++
+		if !assigned[call.Pos()] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: WaitBegin result discarded in %s — assign it and `defer <end>()`",
+				position(fset, call.Pos()), fd.Name.Name))
+		}
+		return true
+	})
+	return sites, problems
+}
+
+// isWaitBegin reports whether a call is WaitBegin (as a selector, e.g.
+// obs.WaitBegin).
+func isWaitBegin(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "WaitBegin"
+}
