@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench examples experiments fuzz plan-bench recover-bench trace-bench stat-demo repl-bench proto-bench ash-bench ops-demo repl-demo clean
+.PHONY: all build vet test check bench examples experiments fuzz fuzz-smoke plan-bench recover-bench trace-bench stat-demo repl-bench proto-bench ash-bench asof-bench ops-demo repl-demo clean
 
 all: build vet test
 
@@ -69,6 +69,15 @@ fuzz:
 	$(GO) test ./internal/engine -fuzz FuzzWALScan -fuzztime 30s
 	$(GO) test ./internal/ops -fuzz FuzzTracesHandler -fuzztime 30s
 	$(GO) test ./internal/plan -fuzz FuzzPlan -fuzztime 30s
+	$(GO) test ./internal/sqlparse -fuzz FuzzAsOf -fuzztime 30s
+
+# CI smoke variant of `fuzz`: a few seconds per target, every target. Keeps
+# the corpus exercised on every push without the 30s-per-target cost.
+fuzz-smoke:
+	$(GO) test ./internal/sqlparse -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/sqlparse -fuzz FuzzAsOf -fuzztime 5s
+	$(GO) test ./internal/wire -fuzz FuzzRead -fuzztime 5s
+	$(GO) test ./internal/engine -fuzz FuzzWALDecode -fuzztime 5s
 
 # WAL overhead and recovery-time measurements (EXPERIMENTS.md "Durability").
 recover-bench:
@@ -104,6 +113,11 @@ proto-bench:
 # (budget: <2%).
 ash-bench:
 	$(GO) run ./cmd/ldv-bench -exp ash | tee results/ash.txt
+
+# AS OF read overhead vs head reads plus vacuum reclaim rate under churn
+# (EXPERIMENTS.md "Time travel").
+asof-bench:
+	$(GO) run ./cmd/ldv-bench -exp timetravel | tee results/timetravel.txt
 
 # Boot a throwaway ldvdb with the ops endpoint enabled and show /metrics —
 # the 30-second demo of the observability surface. Cleans up after itself.

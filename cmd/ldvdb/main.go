@@ -39,6 +39,7 @@ import (
 	"ldv/internal/ops"
 	"ldv/internal/repl"
 	"ldv/internal/server"
+	"ldv/internal/timetravel"
 )
 
 func main() {
@@ -54,12 +55,15 @@ func main() {
 		ashHz     = flag.Int("ash-hz", obs.DefaultASHRate, "active session history sample rate in Hz (0 disables sampling)")
 		replicaOf = flag.String("replica-of", "", "run as a read replica of this primary address")
 		replicaID = flag.String("replica-id", "", "replica identity announced to the primary (default: the listen address)")
+		retain    = flag.String("retain", "", "version retention window: a tick count (integer) or wall time (Go duration, e.g. 10m); empty keeps all history")
+		vacEvery  = flag.Duration("vacuum-interval", time.Second, "background vacuum interval (with -retain)")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr, dataDir: *dataDir, initFile: *initFile, opsAddr: *opsAddr,
 		ckpt: *ckpt, slow: *slow, quiet: *quiet, logLevel: *logLevel,
 		replicaOf: *replicaOf, replicaID: *replicaID, ashHz: *ashHz,
+		retain: *retain, vacEvery: *vacEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ldvdb:", err)
@@ -75,6 +79,8 @@ type config struct {
 	logLevel                         string
 	replicaOf, replicaID             string
 	ashHz                            int
+	retain                           string
+	vacEvery                         time.Duration
 }
 
 func run(cfg config) error {
@@ -139,6 +145,20 @@ func run(cfg config) error {
 		}
 		srv.SetReplicationSource(p)
 		replStatus = p
+
+		// Version retention: the background vacuumer reclaims dead versions
+		// beyond the window. Replicas never run their own — the primary's
+		// horizon records arrive through the WAL stream.
+		if cfg.retain != "" {
+			policy, err := timetravel.ParsePolicy(cfg.retain)
+			if err != nil {
+				return fmt.Errorf("-retain %q: %w", cfg.retain, err)
+			}
+			v := timetravel.NewVacuumer(db, policy, cfg.vacEvery)
+			v.Start()
+			defer v.Stop()
+			logger.Info("vacuumer running", "retain", cfg.retain, "interval", cfg.vacEvery.String())
+		}
 	}
 
 	if cfg.opsAddr != "" {

@@ -7,7 +7,9 @@
 //
 // Statements end with ';'. The \lineage toggle requests provenance for
 // subsequent queries and prints each row's lineage (tuple versions it
-// depends on).
+// depends on). \asof <tick> pins subsequent queries to the historical
+// snapshot at that logical tick (time travel; \asof off returns to head) —
+// the session-level equivalent of appending AS OF <tick> to each SELECT.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ldv/internal/client"
@@ -33,15 +36,20 @@ func main() {
 	}
 }
 
-// lineageToggle forces WithLineage on every statement when enabled.
+// lineageToggle forces WithLineage on every statement when enabled, and
+// pins statements to a historical snapshot while \asof is active.
 type lineageToggle struct {
 	client.BaseInterceptor
-	on bool
+	on   bool
+	asOf uint64
 }
 
 func (t *lineageToggle) BeforeQuery(info *client.QueryInfo) (*engine.Result, error) {
 	if t.on {
 		info.WithLineage = true
+	}
+	if t.asOf > 0 {
+		info.AsOf = t.asOf
 	}
 	return nil, nil
 }
@@ -55,7 +63,7 @@ func run(addr, proc string) error {
 		return fmt.Errorf("connect %s: %w", addr, err)
 	}
 	defer conn.Close()
-	fmt.Fprintf(os.Stderr, "connected to %s; end statements with ';', \\lineage toggles provenance, \\q quits\n", addr)
+	fmt.Fprintf(os.Stderr, "connected to %s; end statements with ';', \\lineage toggles provenance, \\asof <tick> time-travels, \\q quits\n", addr)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -69,6 +77,19 @@ func run(addr, proc string) error {
 		case "\\lineage":
 			toggle.on = !toggle.on
 			fmt.Fprintf(os.Stderr, "lineage %v\n", toggle.on)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, "\\asof"); ok {
+			arg := strings.TrimSpace(rest)
+			if arg == "off" || arg == "" {
+				toggle.asOf = 0
+				fmt.Fprintln(os.Stderr, "asof off (reading head)")
+			} else if tick, err := strconv.ParseUint(arg, 10, 64); err == nil {
+				toggle.asOf = tick
+				fmt.Fprintf(os.Stderr, "asof %d (queries read the snapshot at that tick)\n", tick)
+			} else {
+				fmt.Fprintf(os.Stderr, "usage: \\asof <tick> | \\asof off\n")
+			}
 			continue
 		}
 		pending.WriteString(line)

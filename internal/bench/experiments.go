@@ -332,6 +332,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 		"durability":    Durability,
 		"planner":       PlannerBench,
 		"replication":   Replication,
+		"timetravel":    TimeTravel,
 		"ablation": func(cfg Config, w io.Writer) error {
 			if err := AblationTemporalPruning(cfg, w); err != nil {
 				return err
@@ -346,7 +347,7 @@ func Experiments() map[string]func(Config, io.Writer) error {
 
 // ExperimentNames lists the ids in presentation order.
 func ExperimentNames() []string {
-	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "ash", "concurrency", "prepared", "planner", "durability", "replication", "ablation"}
+	return []string{"table2", "table3", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "vmi", "overhead", "tracing", "introspection", "ash", "concurrency", "prepared", "planner", "durability", "replication", "timetravel", "ablation"}
 }
 
 // RunAll executes every experiment in order.

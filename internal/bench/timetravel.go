@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ldv/internal/engine"
+	"ldv/internal/obs"
+)
+
+// TimeTravel measures the two costs of the time-travel subsystem. First the
+// read path: the same point query executed at head and AS OF a historical
+// tick, over a table whose rows carry a deep version history, scored by the
+// fastest round. AS OF reads take the normal index path — dead versions stay
+// indexed until vacuumed and visibility is applied per candidate — so the
+// overhead should be the snapshot construction plus the extra versions each
+// probe filters, not a plan change. Second the reclaim path: a churn phase
+// overwrites rows to pile up dead versions, then VACUUM TO a near-head tick,
+// reporting versions pruned, pruning rate, and the per-table dead counter
+// before and after.
+func TimeTravel(cfg Config, w io.Writer) error {
+	const (
+		tableRows   = 2000
+		churnRounds = 5
+		opsPerRound = 50
+		rounds      = 5
+	)
+
+	obs.Reset()
+	db := engine.NewDB(nil)
+	mustExec := func(sql string) *engine.Result {
+		res, err := db.Exec(sql, engine.ExecOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("timetravel bench: %s: %v", sql, err))
+		}
+		return res
+	}
+	if _, err := db.Exec("CREATE TABLE tt (k INT, v INT)", engine.ExecOptions{}); err != nil {
+		return err
+	}
+	if _, err := db.Exec("CREATE INDEX ix_tt_k ON tt (k) USING ordered", engine.ExecOptions{}); err != nil {
+		return err
+	}
+	for i := 0; i < tableRows; i++ {
+		mustExec(fmt.Sprintf("INSERT INTO tt VALUES (%d, 0)", i))
+	}
+	pastTick := db.ClockNow() // every row has exactly its initial version here
+	for r := 1; r <= churnRounds; r++ {
+		mustExec(fmt.Sprintf("UPDATE tt SET v = %d", r))
+	}
+
+	measure := func(q func(int) string) (time.Duration, error) {
+		best := time.Duration(0)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < opsPerRound; i++ {
+				if _, err := db.Exec(q(i), engine.ExecOptions{}); err != nil {
+					return 0, err
+				}
+			}
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best / opsPerRound, nil
+	}
+
+	head := func(i int) string {
+		return fmt.Sprintf("SELECT v FROM tt WHERE k = %d", i%tableRows)
+	}
+	asOf := func(i int) string {
+		return fmt.Sprintf("SELECT v FROM tt WHERE k = %d AS OF %d", i%tableRows, pastTick)
+	}
+	headPoint, err := measure(head)
+	if err != nil {
+		return err
+	}
+	asOfPoint, err := measure(asOf)
+	if err != nil {
+		return err
+	}
+
+	overhead := float64(0)
+	if headPoint > 0 {
+		overhead = float64(asOfPoint)/float64(headPoint) - 1
+	}
+	fmt.Fprintf(w, "Time travel: AS OF read overhead (%d rows, %d versions each)\n", tableRows, churnRounds+1)
+	fmt.Fprintf(w, "%-28s %-12s\n", "Read", "Latency")
+	fmt.Fprintf(w, "%-28s %-9s ms\n", "head point query", ms(headPoint))
+	fmt.Fprintf(w, "%-28s %-9s ms  (%+.1f%% vs head)\n", "AS OF point query", ms(asOfPoint), overhead*100)
+
+	// Reclaim: the churn above left churnRounds dead versions per row. Vacuum
+	// up to just before the last round so one historical version survives.
+	deadBefore := deadVersions(db, "tt")
+	start := time.Now()
+	vr, err := db.VacuumTo(db.ClockNow())
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	deadAfter := deadVersions(db, "tt")
+	rate := float64(0)
+	if elapsed > 0 {
+		rate = float64(vr.Pruned) / elapsed.Seconds()
+	}
+	fmt.Fprintf(w, "Vacuum reclaim under churn (%d updates over %d rows)\n", churnRounds*tableRows, tableRows)
+	fmt.Fprintf(w, "dead versions before/after: %d / %d\n", deadBefore, deadAfter)
+	fmt.Fprintf(w, "pruned %d versions in %s ms (%.0f versions/s), horizon now %d\n",
+		vr.Pruned, ms(elapsed), rate, vr.Horizon)
+
+	snap := obs.TakeSnapshot()
+	fmt.Fprintf(w, "asof.queries: %d  vacuum.versions_pruned: %d\n",
+		snap.Counters["asof.queries"], snap.Counters["vacuum.versions_pruned"])
+	return nil
+}
+
+// deadVersions reads a table's dead-version counter from ldv_stat_tables.
+func deadVersions(db *engine.DB, table string) int64 {
+	res, err := db.Exec(
+		fmt.Sprintf("SELECT dead_versions FROM ldv_stat_tables WHERE name = '%s'", table),
+		engine.ExecOptions{})
+	if err != nil || len(res.Rows) == 0 {
+		return -1
+	}
+	return res.Rows[0][0].Int()
+}

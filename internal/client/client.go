@@ -39,10 +39,13 @@ type NetDialer struct{}
 func (NetDialer) Connect(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
 // QueryInfo describes one statement about to be executed; interceptors may
-// mutate it (e.g. set WithLineage).
+// mutate it (e.g. set WithLineage). AsOf, when non-zero, pins the statement
+// to the historical snapshot at that logical tick (the SQL's own AS OF
+// clause, if any, wins server-side).
 type QueryInfo struct {
 	SQL         string
 	WithLineage bool
+	AsOf        uint64
 }
 
 // Interceptor observes and optionally handles statements flowing through a
@@ -202,11 +205,20 @@ func (c *Conn) LastCommitSeq() uint64 { return c.lastCommitSeq }
 // Query executes one SQL statement and returns its full result. On a
 // connection with a read replica attached, read-only statements outside a
 // transaction are routed to the replica.
-func (c *Conn) Query(sql string) (*engine.Result, error) {
+func (c *Conn) Query(sql string) (*engine.Result, error) { return c.QueryAt(sql, 0) }
+
+// Exec executes a statement, discarding rows (convenience alias).
+func (c *Conn) Exec(sql string) (*engine.Result, error) { return c.Query(sql) }
+
+// QueryAt executes one SQL statement against the historical snapshot at the
+// given logical tick — time travel without rewriting the SQL. Equivalent to
+// appending AS OF asOf to a SELECT; the bound rides the Query frame's
+// trailing field.
+func (c *Conn) QueryAt(sql string, asOf uint64) (*engine.Result, error) {
 	if c.closed || c.broken {
 		return nil, ErrClosed
 	}
-	info := QueryInfo{SQL: sql}
+	info := QueryInfo{SQL: sql, AsOf: asOf}
 	for _, ic := range c.interceptors {
 		res, err := ic.BeforeQuery(&info)
 		if err != nil {
@@ -227,9 +239,6 @@ func (c *Conn) Query(sql string) (*engine.Result, error) {
 	c.notifyAfter(info, res, err)
 	return res, err
 }
-
-// Exec executes a statement, discarding rows (convenience alias).
-func (c *Conn) Exec(sql string) (*engine.Result, error) { return c.Query(sql) }
 
 // Stats fetches the server's observability snapshot via a wire Stats
 // request. Fully-replayed sessions have no server to ask and return the
@@ -339,7 +348,7 @@ func (c *Conn) roundTrip(info QueryInfo) (*engine.Result, error) {
 		sp = obs.StartSpan("client.query").SetAttr("sql", info.SQL)
 	}
 	defer sp.End()
-	q := wire.Query{SQL: info.SQL, WithLineage: info.WithLineage, Trace: sp.Context(), MinApplied: minApplied}
+	q := wire.Query{SQL: info.SQL, WithLineage: info.WithLineage, Trace: sp.Context(), MinApplied: minApplied, AsOf: info.AsOf}
 	if err := wire.Write(nc, q); err != nil {
 		c.broken = true
 		return nil, fmt.Errorf("%w: %v", ErrClosed, err)

@@ -31,6 +31,7 @@ const (
 	opTxnA // BEGIN; INSERT 10; INSERT 11; COMMIT — the atomicity pair
 	opUpd2 // index-located UPDATE (WHERE on the indexed column)
 	opDel3
+	opVacuum // VACUUM after the churn above left dead versions to reclaim
 	opCkpt
 	opIns4
 	opCreateU
@@ -85,6 +86,7 @@ func crashWorkload(fs FileSystem) (acked [opCount]bool, boot bool) {
 		{opTxnA, txn("INSERT INTO t VALUES (10, 'a')", "INSERT INTO t VALUES (11, 'a')")},
 		{opUpd2, exec("UPDATE t SET v = 'dos' WHERE v = 'two'")},
 		{opDel3, exec("DELETE FROM t WHERE k = 3")},
+		{opVacuum, exec("VACUUM")}, // writes a walVacuum record, then prunes
 		{opCkpt, func() error { return db.Checkpoint(fs, "/data") }},
 		{opIns4, exec("INSERT INTO t VALUES (4, 'four')")},
 		{opCreateU, exec("CREATE TABLE u (x INT)")},
@@ -251,6 +253,22 @@ func checkContract(t *testing.T, db *DB, acked [opCount]bool, label string) {
 		t.Fatalf("%s: acked delete undone: k=3 present", label)
 	} else if !ok && acked[opIns3] && !attempted[opDel3] {
 		t.Fatalf("%s: k=3 missing though delete was never attempted", label)
+	}
+
+	// Vacuum: an acked pass's retention horizon survives recovery (the
+	// walVacuum record replays), and the recovered engine keeps fencing AS OF
+	// reads below it. An unattempted vacuum must leave the horizon at zero.
+	h := db.VacuumHorizon()
+	if acked[opVacuum] && h == 0 {
+		t.Fatalf("%s: acked VACUUM horizon lost after recovery", label)
+	}
+	if !attempted[opVacuum] && h != 0 {
+		t.Fatalf("%s: horizon %d set before VACUUM was attempted", label, h)
+	}
+	if h > 1 {
+		if _, err := db.Exec(fmt.Sprintf("SELECT k FROM t AS OF %d", h-1), ExecOptions{}); err == nil {
+			t.Fatalf("%s: AS OF %d below recovered horizon %d not rejected", label, h-1, h)
+		}
 	}
 
 	// DDL on the second table.

@@ -60,6 +60,11 @@ type ExecOptions struct {
 	// placeholders, 1-based in source order. Execution fails if the
 	// statement references a parameter index beyond len(Params).
 	Params []sqlval.Value
+	// AsOf, when non-zero, pins SELECTs to the historical snapshot at the
+	// given logical tick — the session-level form of the statement's AS OF
+	// clause (an explicit clause in the statement wins). Carried over the
+	// wire as the Query message's trailing as-of field.
+	AsOf uint64
 
 	// prep links the execution back to its prepared statement (plan-cache
 	// key and per-statement counters). Set only by Session.ExecPrepared.
@@ -139,10 +144,30 @@ type DB struct {
 	nextRow  atomic.Uint64
 	nextStmt atomic.Int64
 
-	// txnMu guards the active-transaction registry.
-	txnMu      sync.RWMutex
-	activeTxns map[int64]struct{}
-	nextTxn    int64
+	// txnMu guards the transaction registries: the active set (id → snapshot
+	// tick, 0 while the snapshot is still being captured — vacuum treats that
+	// as "unknown, defer"), the commit-timestamp map historical snapshots
+	// classify committed transactions with, and the reenactment history.
+	txnMu       sync.RWMutex
+	activeTxns  map[int64]uint64
+	nextTxn     int64
+	committedTs map[int64]uint64
+	txnHist     map[int64]*TxnRecord
+
+	// vacuumMu serializes vacuum passes; vacuumHorizon is the current
+	// retention floor (no version end-marked at or before it survives, and
+	// AS OF reads below it are rejected). retainTicks is the configured
+	// retention window applied by bare VACUUM and the background vacuumer
+	// (0 = keep everything up to the active-snapshot bound).
+	vacuumMu      sync.Mutex
+	vacuumHorizon atomic.Uint64
+	retainTicks   atomic.Uint64
+
+	// Vacuum pass statistics surfaced by ldv_stat_vacuum.
+	vacuumPasses   atomic.Int64
+	vacuumPruned   atomic.Int64
+	vacuumDeferred atomic.Int64
+	vacuumLastNS   atomic.Int64
 
 	// readOnly, when set, rejects every statement that would write (DML,
 	// DDL, COPY FROM) with ErrReadOnly. Replicas run in this mode until
@@ -176,11 +201,13 @@ func NewDB(clock Clock) *DB {
 		clock = NewCounterClock()
 	}
 	db := &DB{
-		tables:     make(map[string]*Table),
-		clock:      clock,
-		activeTxns: make(map[int64]struct{}),
-		virtual:    make(map[string]*VirtualTable),
-		planCache:  make(map[uint64]planCacheEntry),
+		tables:      make(map[string]*Table),
+		clock:       clock,
+		activeTxns:  make(map[int64]uint64),
+		committedTs: make(map[int64]uint64),
+		txnHist:     make(map[int64]*TxnRecord),
+		virtual:     make(map[string]*VirtualTable),
+		planCache:   make(map[uint64]planCacheEntry),
 	}
 	db.registerBuiltinVirtualTables()
 	return db
@@ -364,14 +391,21 @@ func (db *DB) logDDL(e redoEntry) (uint64, error) {
 func (db *DB) commitTxn(x *Txn, parent *obs.Span, ws *obs.SessionState) (uint64, error) {
 	db.commitMu.RLock()
 	if db.wal == nil || len(x.redo) == 0 {
-		db.endTxn(x.id)
+		cts := db.endTxnCommitted(x.id)
 		db.commitMu.RUnlock()
+		db.commitTxnHist(x, cts, 0)
 		return 0, nil
+	}
+	// Fold the statement history into the redo record (walStmt entries after
+	// the data entries) so reenactment survives restarts and reaches replicas.
+	for _, h := range x.hist {
+		x.redo = append(x.redo, h.redoEntry(x.snap.ts))
 	}
 	seq, err := db.walCommit(x, parent, ws)
 	if err == nil {
-		db.endTxn(x.id)
+		cts := db.endTxnCommitted(x.id)
 		db.commitMu.RUnlock()
+		db.commitTxnHist(x, cts, seq)
 		return seq, nil
 	}
 	db.commitMu.RUnlock()

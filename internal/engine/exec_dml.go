@@ -212,6 +212,7 @@ func (ec *stmtCtx) execUpdate(s *sqlparse.Update, opts ExecOptions, res *Result)
 		r.end = nv.version
 		r.endTxn = ec.txn.id
 		t.liveRows.Add(-1)
+		t.deadVersions.Add(1)
 		t.rows = append(t.rows, nv)
 		t.indexInsert(nv)
 		t.versions.Add(1)
@@ -252,6 +253,7 @@ func (ec *stmtCtx) execDelete(s *sqlparse.Delete, opts ExecOptions, res *Result)
 		r.end = ec.db.clock.Tick()
 		r.endTxn = ec.txn.id
 		t.liveRows.Add(-1)
+		t.deadVersions.Add(1)
 		if pk >= 0 {
 			key := r.vals[pk].GroupKey()
 			if t.pkIndex[key] == r {

@@ -27,6 +27,10 @@ func stmtWrites(stmt sqlparse.Statement) bool {
 		return true
 	case *sqlparse.Copy:
 		return !s.To // COPY ... TO only reads
+	case *sqlparse.Vacuum:
+		// Reclaims versions and logs a WAL record; replicas receive the
+		// horizon through the replication stream instead.
+		return true
 	case *sqlparse.Explain:
 		// Plain EXPLAIN never executes; ANALYZE runs the inner statement.
 		return s.Analyze && stmtWrites(s.Stmt)
@@ -103,6 +107,13 @@ func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *R
 				sqlval.Null,
 			})
 		}
+		if tree != nil && tree.AsOf != "" {
+			rows = append(rows, []sqlval.Value{
+				sqlval.NewString("asof"),
+				sqlval.NewString("tick " + tree.AsOf),
+				sqlval.Null, sqlval.Null, sqlval.Null,
+			})
+		}
 		res.Rows = rows
 		return nil
 	}
@@ -137,6 +148,13 @@ func (s *Session) execExplainStmt(ex *sqlparse.Explain, opts ExecOptions, res *R
 			est,
 			sqlval.NewInt(int64(r.rows)),
 			sqlval.NewInt(r.ns),
+		})
+	}
+	if sel, ok := ex.Stmt.(*sqlparse.Select); ok && sel.AsOf != nil {
+		rows = append(rows, []sqlval.Value{
+			sqlval.NewString("asof"),
+			sqlval.NewString("tick " + sel.AsOf.String()),
+			sqlval.Null, sqlval.Null, sqlval.Null,
 		})
 	}
 	resultRows := len(inner.Rows) + inner.RowsAffected

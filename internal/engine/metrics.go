@@ -48,6 +48,16 @@ var (
 	hExecDDL    = obs.GetHistogram("engine.exec_ns.ddl")
 	hExecTxn    = obs.GetHistogram("engine.exec_ns.txn")
 	hExecOther  = obs.GetHistogram("engine.exec_ns.other")
+
+	// Time travel: historical (AS OF) reads, vacuum passes, and reenactment.
+	mAsOfQueries  = obs.NewCounter("asof.queries", "Statements executed against a historical (AS OF) snapshot")
+	mAsOfRejected = obs.NewCounter("asof.rejected_below_horizon", "AS OF requests rejected because the tick predates the vacuum horizon")
+	mVacuumPasses = obs.NewCounter("vacuum.passes", "Vacuum passes completed")
+	mVacuumPruned = obs.NewCounter("vacuum.versions_pruned", "Dead tuple versions reclaimed by vacuum")
+	mVacuumDefers = obs.NewCounter("vacuum.deferred", "Vacuum passes deferred by an in-flight snapshot capture")
+	gVacuumTicks  = obs.NewGauge("vacuum.horizon_ticks", "Current retention horizon on the logical timeline")
+	hVacuumNS     = obs.NewHistogram("vacuum.pass_ns", "Vacuum pass duration")
+	mReenacts     = obs.NewCounter("reenact.replays", "Transactions replayed by REENACT TRANSACTION")
 )
 
 func init() {

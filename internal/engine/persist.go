@@ -87,9 +87,10 @@ func (db *DB) Checkpoint(fs FileSystem, dir string) error {
 	}
 	db.commitMu.Unlock()
 
+	horizon := db.vacuumHorizon.Load()
 	for name, t := range tables {
 		t.mu.RLock()
-		data := encodeTable(t, snap)
+		data := encodeTable(t, snap, horizon)
 		t.mu.RUnlock()
 		if err := fs.WriteFile(path.Join(dir, name+".tbl"), data); err != nil {
 			return fmt.Errorf("checkpoint table %s: %w", name, err)
@@ -129,6 +130,7 @@ func (db *DB) LoadDir(fs FileSystem, dir string) error {
 	if err != nil {
 		return fmt.Errorf("load data dir: %w", err)
 	}
+	var maxTS uint64
 	for _, n := range names {
 		if !strings.HasSuffix(n, ".tbl") {
 			continue
@@ -137,13 +139,24 @@ func (db *DB) LoadDir(fs FileSystem, dir string) error {
 		if err != nil {
 			return fmt.Errorf("load table file %s: %w", n, err)
 		}
-		t, maxRow, err := decodeTable(data)
+		t, maxRow, horizon, err := decodeTable(data)
 		if err != nil {
 			return fmt.Errorf("decode table file %s: %w", n, err)
 		}
 		db.mu.Lock()
 		db.tables[t.Name] = t
 		db.mu.Unlock()
+		if horizon > db.vacuumHorizon.Load() {
+			db.vacuumHorizon.Store(horizon)
+		}
+		for _, r := range t.rows {
+			if r.version > maxTS {
+				maxTS = r.version
+			}
+			if r.end > maxTS {
+				maxTS = r.end
+			}
+		}
 		for {
 			cur := db.nextRow.Load()
 			if uint64(maxRow) <= cur || db.nextRow.CompareAndSwap(cur, uint64(maxRow)) {
@@ -151,10 +164,16 @@ func (db *DB) LoadDir(fs FileSystem, dir string) error {
 			}
 		}
 	}
+	// Advance the clock past every loaded stamp: dead versions carry end
+	// stamps, and a fresh clock behind them would read the ends as
+	// still-in-the-future (the versions would look alive again).
+	if adv, ok := db.clock.(ClockAdvancer); ok {
+		adv.AdvanceTo(maxTS)
+	}
 	return nil
 }
 
-func encodeTable(t *Table, snap snapshot) []byte {
+func encodeTable(t *Table, snap snapshot, horizon uint64) []byte {
 	buf := []byte(tableFileMagic)
 	buf = appendString(buf, t.Name)
 	buf = binary.AppendUvarint(buf, uint64(len(t.Schema.Columns)))
@@ -191,21 +210,48 @@ func encodeTable(t *Table, snap snapshot) []byte {
 		buf = appendString(buf, ix.column)
 		buf = appendString(buf, ix.kind)
 	}
+	// Time-travel section (also optional on decode): committed dead versions
+	// — the history AS OF and reenactment read — and the retention horizon.
+	// Without it a checkpoint would silently vacuum everything it supersedes
+	// in the WAL.
+	dead := make([]*storedRow, 0)
+	for _, r := range t.rows {
+		if r.end == 0 || snap.visible(r) {
+			continue
+		}
+		if _, open := snap.active[r.txnID]; open {
+			continue // uncommitted insert: its record sits beyond the WAL cut
+		}
+		if _, open := snap.active[r.endTxn]; open {
+			continue // end mark not committed (the row was encoded live above)
+		}
+		dead = append(dead, r)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(dead)))
+	for _, r := range dead {
+		buf = binary.AppendUvarint(buf, uint64(r.id))
+		buf = binary.AppendUvarint(buf, r.version)
+		buf = binary.AppendUvarint(buf, r.end)
+		buf = appendString(buf, r.proc)
+		buf = binary.AppendVarint(buf, r.stmt)
+		buf = sqlval.EncodeRow(buf, r.vals)
+	}
+	buf = binary.AppendUvarint(buf, horizon)
 	return buf
 }
 
-func decodeTable(data []byte) (*Table, RowID, error) {
+func decodeTable(data []byte) (*Table, RowID, uint64, error) {
 	if len(data) < len(tableFileMagic) || string(data[:len(tableFileMagic)]) != tableFileMagic {
-		return nil, 0, fmt.Errorf("bad table file magic")
+		return nil, 0, 0, fmt.Errorf("bad table file magic")
 	}
 	b := data[len(tableFileMagic):]
 	name, b, err := readString(b)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	ncols, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("bad column count")
+		return nil, 0, 0, fmt.Errorf("bad column count")
 	}
 	b = b[n:]
 	schema := Schema{}
@@ -213,10 +259,10 @@ func decodeTable(data []byte) (*Table, RowID, error) {
 		var cname string
 		cname, b, err = readString(b)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if len(b) < 2 {
-			return nil, 0, fmt.Errorf("truncated column def")
+			return nil, 0, 0, fmt.Errorf("truncated column def")
 		}
 		schema.Columns = append(schema.Columns, Column{
 			Name: cname, Type: sqlval.Kind(b[0]), PrimaryKey: b[1] == 1,
@@ -226,45 +272,45 @@ func decodeTable(data []byte) (*Table, RowID, error) {
 	t := newTable(name, schema)
 	nrows, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("bad row count")
+		return nil, 0, 0, fmt.Errorf("bad row count")
 	}
 	b = b[n:]
 	var maxRow RowID
 	for i := uint64(0); i < nrows; i++ {
 		id, n := binary.Uvarint(b)
 		if n <= 0 {
-			return nil, 0, fmt.Errorf("bad row id")
+			return nil, 0, 0, fmt.Errorf("bad row id")
 		}
 		b = b[n:]
 		version, n := binary.Uvarint(b)
 		if n <= 0 {
-			return nil, 0, fmt.Errorf("bad row version")
+			return nil, 0, 0, fmt.Errorf("bad row version")
 		}
 		b = b[n:]
 		var proc string
 		proc, b, err = readString(b)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		stmt, n := binary.Varint(b)
 		if n <= 0 {
-			return nil, 0, fmt.Errorf("bad row stmt")
+			return nil, 0, 0, fmt.Errorf("bad row stmt")
 		}
 		b = b[n:]
 		usedBy, n := binary.Varint(b)
 		if n <= 0 {
-			return nil, 0, fmt.Errorf("bad row usedBy")
+			return nil, 0, 0, fmt.Errorf("bad row usedBy")
 		}
 		b = b[n:]
 		vals, used, err := sqlval.DecodeRow(b)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		b = b[used:]
 		r := &storedRow{id: RowID(id), vals: vals, version: version, proc: proc, stmt: stmt}
 		r.usedBy.Store(usedBy)
 		if err := t.insertRow(r); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if r.id > maxRow {
 			maxRow = r.id
@@ -275,30 +321,94 @@ func decodeTable(data []byte) (*Table, RowID, error) {
 	if len(b) > 0 {
 		nidx, n := binary.Uvarint(b)
 		if n <= 0 {
-			return nil, 0, fmt.Errorf("bad index count")
+			return nil, 0, 0, fmt.Errorf("bad index count")
 		}
 		b = b[n:]
 		for i := uint64(0); i < nidx; i++ {
 			var iname, icol, ikind string
 			if iname, b, err = readString(b); err != nil {
-				return nil, 0, err
+				return nil, 0, 0, err
 			}
 			if icol, b, err = readString(b); err != nil {
-				return nil, 0, err
+				return nil, 0, 0, err
 			}
 			if ikind, b, err = readString(b); err != nil {
-				return nil, 0, err
+				return nil, 0, 0, err
 			}
 			pos := t.Schema.ColumnIndex(icol)
 			if pos < 0 {
-				return nil, 0, fmt.Errorf("index %q: no column %q", iname, icol)
+				return nil, 0, 0, fmt.Errorf("index %q: no column %q", iname, icol)
 			}
 			ix := newTableIndex(iname, icol, pos, ikind)
-			ix.rebuild(t.rows)
 			t.addIndex(ix)
 		}
 	}
-	return t, maxRow, nil
+	// Optional time-travel section: committed dead versions and the
+	// retention horizon (absent in files written before vacuum existed).
+	var horizon uint64
+	if len(b) > 0 {
+		ndead, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, 0, 0, fmt.Errorf("bad dead-version count")
+		}
+		b = b[n:]
+		for i := uint64(0); i < ndead; i++ {
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return nil, 0, 0, fmt.Errorf("bad dead row id")
+			}
+			b = b[n:]
+			version, n := binary.Uvarint(b)
+			if n <= 0 {
+				return nil, 0, 0, fmt.Errorf("bad dead row version")
+			}
+			b = b[n:]
+			end, n := binary.Uvarint(b)
+			if n <= 0 {
+				return nil, 0, 0, fmt.Errorf("bad dead row end")
+			}
+			b = b[n:]
+			var proc string
+			proc, b, err = readString(b)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			stmt, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, 0, 0, fmt.Errorf("bad dead row stmt")
+			}
+			b = b[n:]
+			vals, used, err := sqlval.DecodeRow(b)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			b = b[used:]
+			if len(vals) != len(t.Schema.Columns) {
+				return nil, 0, 0, fmt.Errorf("dead row has %d values, schema has %d columns", len(vals), len(t.Schema.Columns))
+			}
+			// Dead versions bypass insertRow: no pk claim, no live count.
+			r := &storedRow{id: RowID(id), vals: vals, version: version, end: end, proc: proc, stmt: stmt}
+			t.rows = append(t.rows, r)
+			t.versions.Add(1)
+			t.deadVersions.Add(1)
+			if r.id > maxRow {
+				maxRow = r.id
+			}
+		}
+		horizon, n = binary.Uvarint(b)
+		if n <= 0 {
+			return nil, 0, 0, fmt.Errorf("bad retention horizon")
+		}
+		b = b[n:]
+		if len(b) != 0 {
+			return nil, 0, 0, fmt.Errorf("table file: %d trailing bytes", len(b))
+		}
+	}
+	// Index contents are derived last so they cover the dead versions too.
+	for _, ix := range t.indexList() {
+		ix.rebuild(t.rows)
+	}
+	return t, maxRow, horizon, nil
 }
 
 func appendString(buf []byte, s string) []byte {

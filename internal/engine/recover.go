@@ -71,14 +71,34 @@ func (db *DB) Recover(fs FileSystem, dir string) (RecoveryStats, error) {
 	}
 
 	idx := newReplayIndex(db)
+	var recHorizon, maxTick uint64
+	var seq uint64
 	valid, err := scanWAL(data, func(payload []byte) error {
-		_, entries, derr := decodeWALTxn(payload)
+		txnID, entries, derr := decodeWALTxn(payload)
 		if derr != nil {
 			return derr
 		}
+		seq++
 		for _, e := range entries {
-			if aerr := db.applyRedo(idx, e); aerr != nil {
-				return aerr
+			switch e.kind {
+			case walVacuum:
+				// Track the highest logged horizon; the prune itself re-runs
+				// after replay settles the final version set (idempotent).
+				if e.version > recHorizon {
+					recHorizon = e.version
+				}
+				if e.version > maxTick {
+					maxTick = e.version
+				}
+			case walStmt:
+				db.recordRecoveredStmt(txnID, e, seq)
+				if e.end > maxTick {
+					maxTick = e.end
+				}
+			default:
+				if aerr := db.applyRedo(idx, e); aerr != nil {
+					return aerr
+				}
 			}
 			st.ReplayedEntries++
 		}
@@ -100,6 +120,16 @@ func (db *DB) Recover(fs FileSystem, dir string) (RecoveryStats, error) {
 	}
 
 	db.finishRecovery()
+	if adv, ok := db.clock.(ClockAdvancer); ok {
+		adv.AdvanceTo(maxTick)
+	}
+	if recHorizon > 0 {
+		// Re-establish the retention floor and re-apply the prune: a crash
+		// mid-vacuum may have left versions below the logged horizon.
+		db.vacuumHorizon.Store(recHorizon)
+		db.pruneVersions(recHorizon)
+		db.pruneMetaBelow(recHorizon)
+	}
 	mRecoveredTxns.Add(int64(st.ReplayedTxns))
 	hRecoveryNS.Observe(time.Since(t0))
 	db.SetWAL(openWAL(fs, dir, data))
@@ -243,6 +273,7 @@ func (db *DB) applyRedo(ix *replayIndex, e redoEntry) error {
 		if r, ok := ix.forTable(t)[TupleRef{Row: e.id, Version: e.version}]; ok && r.end == 0 {
 			r.end = e.end
 			t.liveRows.Add(-1)
+			t.deadVersions.Add(1)
 		}
 		// A missing version is fine: the checkpoint may already exclude it
 		// (superseded versions are not checkpointed).

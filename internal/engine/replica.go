@@ -76,10 +76,11 @@ func (db *DB) ReplicationSnapshot() (*ReplSnapshot, error) {
 	}
 	sort.Strings(names)
 	rs := &ReplSnapshot{CutSeq: cut, Tables: make([]TableImage, 0, len(names))}
+	horizon := db.vacuumHorizon.Load()
 	for _, name := range names {
 		t := tables[name]
 		t.mu.RLock()
-		data := encodeTable(t, snap)
+		data := encodeTable(t, snap, horizon)
 		t.mu.RUnlock()
 		rs.Tables = append(rs.Tables, TableImage{Name: name, Data: data})
 	}
@@ -99,13 +100,16 @@ func (db *DB) ClearForReplication() {
 // LoadTableImage installs one snapshot table image (replacing any same-named
 // table) and advances the row-id generator past its rows.
 func (db *DB) LoadTableImage(data []byte) (string, error) {
-	t, maxRow, err := decodeTable(data)
+	t, maxRow, horizon, err := decodeTable(data)
 	if err != nil {
 		return "", fmt.Errorf("load table image: %w", err)
 	}
 	db.mu.Lock()
 	db.tables[t.Name] = t
 	db.mu.Unlock()
+	if horizon > db.vacuumHorizon.Load() {
+		db.vacuumHorizon.Store(horizon)
+	}
 	for {
 		cur := db.nextRow.Load()
 		if uint64(maxRow) <= cur || db.nextRow.CompareAndSwap(cur, uint64(maxRow)) {
@@ -142,16 +146,36 @@ func (db *DB) NewApplier() *Applier {
 // concurrent snapshot reads atomically, after the replica clock has been
 // advanced past them.
 func (a *Applier) ApplyRecord(payload []byte) (uint64, error) {
-	_, entries, err := decodeWALTxn(payload)
+	origID, entries, err := decodeWALTxn(payload)
 	if err != nil {
 		return 0, fmt.Errorf("replication apply: %w", err)
 	}
 	x := a.db.beginTxn()
 	var maxTS uint64
+	var horizon uint64
 	for _, e := range entries {
-		if err := a.db.applyLive(a.ix, x.id, e, &maxTS); err != nil {
-			a.db.endTxn(x.id)
-			return 0, err
+		switch e.kind {
+		case walVacuum:
+			// Prune after the record's data entries have been applied and the
+			// clock advanced, below.
+			if e.version > horizon {
+				horizon = e.version
+			}
+			if e.version > maxTS {
+				maxTS = e.version
+			}
+		case walStmt:
+			// History is keyed by the primary's transaction id — the id
+			// REENACT on this replica is asked about.
+			a.db.recordRecoveredStmt(origID, e, 0)
+			if e.end > maxTS {
+				maxTS = e.end
+			}
+		default:
+			if err := a.db.applyLive(a.ix, x.id, e, &maxTS); err != nil {
+				a.db.endTxn(x.id)
+				return 0, err
+			}
 		}
 	}
 	// Advance the clock before the visibility flip so any snapshot that can
@@ -159,7 +183,14 @@ func (a *Applier) ApplyRecord(payload []byte) (uint64, error) {
 	if adv, ok := a.db.clock.(ClockAdvancer); ok {
 		adv.AdvanceTo(maxTS)
 	}
-	a.db.endTxn(x.id)
+	a.db.endTxnCommitted(x.id)
+	if horizon > 0 {
+		// Apply the primary's retention horizon verbatim so both sides
+		// converge on the same version set. (A replica read transaction whose
+		// snapshot predates the horizon may stop seeing already-dead versions
+		// — the primary made the same call when it chose the horizon.)
+		a.db.applyVacuumHorizon(horizon)
+	}
 	return maxTS, nil
 }
 
@@ -259,6 +290,7 @@ func (db *DB) applyLive(ix *replayIndex, applyTxn int64, e redoEntry, maxTS *uin
 			r.end = e.end
 			r.endTxn = applyTxn
 			t.liveRows.Add(-1)
+			t.deadVersions.Add(1)
 			if pk := t.Schema.PrimaryKeyIndex(); pk >= 0 {
 				if key := r.vals[pk].GroupKey(); t.pkIndex[key] == r {
 					delete(t.pkIndex, key)

@@ -34,6 +34,19 @@ type snapshot struct {
 	ts     uint64             // logical time of the cut
 	active map[int64]struct{} // transactions uncommitted at the cut
 	self   int64              // reading transaction's own id (0 = none)
+
+	// asOf marks a historical (AS OF) cut. The only rule change: rows whose
+	// transaction tag was stripped by recovery or bulk load (txnID 0) are
+	// bounded by their write stamp like everyone else, instead of being
+	// unconditionally begin-visible — a historical cut pins strictly by time.
+	asOf bool
+
+	// selfBound, when non-zero, narrows the reader's own writes to those made
+	// before the given tick. Reenactment replays statement k of a committed
+	// transaction with self = the original id and selfBound = statement k's
+	// original start tick, so the replay sees exactly the prefix of the
+	// transaction's own writes that statement k saw.
+	selfBound uint64
 }
 
 // visible reports whether a tuple version is part of the snapshot:
@@ -46,15 +59,21 @@ func (s snapshot) visible(r *storedRow) bool {
 		}
 		// Preloaded/bulk rows (txnID 0) are committed by definition and may
 		// carry versions from a previous database life (LoadDir, RestoreRow)
-		// that post-date this clock — they are always begin-visible.
-		if r.txnID != 0 && r.version > s.ts {
+		// that post-date this clock — they are always begin-visible, except
+		// under a historical cut, which trusts write stamps only.
+		if (r.txnID != 0 || s.asOf) && r.version > s.ts {
 			return false
 		}
+	} else if s.selfBound != 0 && r.version >= s.selfBound {
+		return false // reenactment: the original statement had not written this yet
 	}
 	if r.end == 0 {
 		return true
 	}
 	if s.self != 0 && r.endTxn == s.self {
+		if s.selfBound != 0 && r.end >= s.selfBound {
+			return true // reenactment: superseded only by a later statement
+		}
 		return false // the reader itself superseded/deleted it
 	}
 	if _, uncommitted := s.active[r.endTxn]; uncommitted {
@@ -72,6 +91,29 @@ type Txn struct {
 	snap snapshot
 	undo []undoEntry
 	redo []redoEntry
+
+	// hist records the transaction's statement stream (SQL, bound params,
+	// start/end ticks, row counts) for reenactment. It is committed into the
+	// DB's transaction history — and, when the transaction wrote anything,
+	// appended to its WAL record as walStmt entries — at commit.
+	hist []StmtRecord
+}
+
+// recordStmt appends one executed statement to the transaction's reenactment
+// history.
+func (x *Txn) recordStmt(stmt sqlparse.Statement, res *Result, params []sqlval.Value) {
+	rows := res.RowsAffected
+	if len(res.Rows) > 0 {
+		rows = len(res.Rows)
+	}
+	x.hist = append(x.hist, StmtRecord{
+		SQL:    stmt.String(),
+		Kind:   stmtKindName(stmt),
+		Start:  res.Start,
+		End:    x.db.ClockNow(),
+		Rows:   rows,
+		Params: append([]sqlval.Value(nil), params...),
+	})
 }
 
 // logRedo records one redo action for the WAL record this transaction
@@ -137,10 +179,19 @@ func (db *DB) beginTxn() *Txn {
 	db.txnMu.Lock()
 	db.nextTxn++
 	id := db.nextTxn
-	db.activeTxns[id] = struct{}{}
+	db.activeTxns[id] = 0 // snapshot ts recorded below, once captured
 	db.txnMu.Unlock()
 	gTxnsActive.Add(1)
-	return &Txn{id: id, db: db, snap: db.takeSnapshot(id)}
+	x := &Txn{id: id, db: db, snap: db.takeSnapshot(id)}
+	// Publish the snapshot timestamp: vacuum must not prune versions this
+	// transaction can still see, and treats the interim zero as "unknown,
+	// defer" so there is no window where the bound is unprotected.
+	db.txnMu.Lock()
+	if _, ok := db.activeTxns[id]; ok {
+		db.activeTxns[id] = x.snap.ts
+	}
+	db.txnMu.Unlock()
+	return x
 }
 
 // endTxn removes a transaction from the active set: the commit (or
@@ -151,6 +202,23 @@ func (db *DB) endTxn(id int64) {
 	delete(db.activeTxns, id)
 	db.txnMu.Unlock()
 	gTxnsActive.Add(-1)
+}
+
+// endTxnCommitted is endTxn for the commit path: in the same critical
+// section that flips the transaction visible, its commit timestamp is
+// recorded so historical (AS OF) snapshots can classify it. Returns the
+// commit tick.
+func (db *DB) endTxnCommitted(id int64) uint64 {
+	cts := db.clock.Tick()
+	db.txnMu.Lock()
+	delete(db.activeTxns, id)
+	db.committedTs[id] = cts
+	if len(db.committedTs) > committedTsCap {
+		db.pruneCommittedTsLocked()
+	}
+	db.txnMu.Unlock()
+	gTxnsActive.Add(-1)
+	return cts
 }
 
 // txnActive reports whether a transaction is currently uncommitted (the
@@ -179,6 +247,28 @@ func (db *DB) takeSnapshot(self int64) snapshot {
 	}
 	db.txnMu.RUnlock()
 	return snapshot{ts: ts, active: active, self: self}
+}
+
+// takeSnapshotAsOf captures a historical cut at tick t: the regular
+// visibility rules, with every transaction that committed after t classified
+// as still in flight (its writes and end marks land beyond the cut on both
+// bounds). Commit timestamps come from the in-memory registry kept since
+// startup; rows recovered from a previous database life lost their
+// transaction tags, so for them the asOf flag falls back to pure write-stamp
+// bounds.
+func (db *DB) takeSnapshotAsOf(t uint64) snapshot {
+	db.txnMu.RLock()
+	active := make(map[int64]struct{}, len(db.activeTxns))
+	for id := range db.activeTxns {
+		active[id] = struct{}{}
+	}
+	for id, cts := range db.committedTs {
+		if cts > t {
+			active[id] = struct{}{}
+		}
+	}
+	db.txnMu.RUnlock()
+	return snapshot{ts: t, active: active, asOf: true}
 }
 
 // Session is one client's statement stream: it owns the open transaction (if
@@ -354,8 +444,14 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.Select:
 		err = s.execSelectStmt(st, opts, res)
+		if err == nil && s.txn != nil {
+			s.txn.recordStmt(stmt, res, opts.Params)
+		}
 	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
 		err = s.execDMLStmt(stmt, opts, res)
+		if err == nil && s.txn != nil {
+			s.txn.recordStmt(stmt, res, opts.Params)
+		}
 	case *sqlparse.Explain:
 		err = s.execExplainStmt(st, opts, res)
 	case *sqlparse.CreateTable:
@@ -384,6 +480,18 @@ func (s *Session) ExecParsed(p Parsed, opts ExecOptions) (*Result, error) {
 		}
 	case *sqlparse.Copy:
 		err = fmt.Errorf("COPY runs on the server, which owns the file access; execute it through a connection")
+	case *sqlparse.Vacuum:
+		if s.txn != nil {
+			err = fmt.Errorf("VACUUM is not allowed inside a transaction")
+		} else {
+			err = db.execVacuum(st, opts, res)
+		}
+	case *sqlparse.Reenact:
+		if s.txn != nil {
+			err = fmt.Errorf("REENACT is not allowed inside a transaction")
+		} else {
+			err = s.execReenact(st, opts, res)
+		}
 	default:
 		err = fmt.Errorf("unsupported statement type %T", stmt)
 	}
@@ -400,9 +508,20 @@ func (s *Session) execSelectStmt(sel *sqlparse.Select, opts ExecOptions, res *Re
 // attached (EXPLAIN ANALYZE).
 func (s *Session) execSelectOps(sel *sqlparse.Select, opts ExecOptions, res *Result, oc *opCollector) error {
 	ec := &stmtCtx{db: s.db, txn: s.txn, ws: s.ws, ops: oc, params: opts.Params, prep: opts.prep}
-	if s.txn != nil {
+	switch {
+	case sel.AsOf != nil || opts.AsOf > 0:
+		// Time travel: the statement runs against the historical snapshot at
+		// the requested tick — a statement-level override inside explicit
+		// transactions too. The statement's own clause wins over the
+		// session-level execution option.
+		t, err := s.db.resolveAsOf(sel.AsOf, opts)
+		if err != nil {
+			return err
+		}
+		ec.snap = s.db.takeSnapshotAsOf(t)
+	case s.txn != nil:
 		ec.snap = s.txn.snap
-	} else {
+	default:
 		ec.snap = s.db.takeSnapshot(0)
 	}
 	unlock := ec.plan(sel, opts.Span)
@@ -438,7 +557,9 @@ func (s *Session) execDMLOps(stmt sqlparse.Statement, opts ExecOptions, res *Res
 			db.endTxn(txn.id) // abort; undo already ran, nothing to log
 			return err
 		}
-		// Durability point of auto-commit DML.
+		// Durability point of auto-commit DML. Record the statement first so
+		// the implicit transaction is reenactable like an explicit one.
+		txn.recordStmt(stmt, res, opts.Params)
 		res.CommitSeq, err = db.commitTxn(txn, opts.Span, s.ws)
 		return err
 	}

@@ -73,6 +73,15 @@ type Table struct {
 	versions   atomic.Int64 // total stored tuple versions
 	lockWaits  atomic.Int64 // statements that locked this table
 	lockWaitNS atomic.Int64 // cumulative time spent acquiring its lock
+
+	// deadVersions counts committed end-marked versions — the retention
+	// pressure vacuum relieves. Incremented when an end mark commits is too
+	// late to observe cheaply, so it is maintained at the end-mark site and
+	// decremented again on rollback, at physical removal, and by vacuum.
+	deadVersions atomic.Int64
+
+	// vacuumPruned counts versions this table lost to vacuum passes.
+	vacuumPruned atomic.Int64
 }
 
 func newTable(name string, schema Schema) *Table {
@@ -144,6 +153,8 @@ func (t *Table) removeRow(r *storedRow) error {
 		t.versions.Add(-1)
 		if r.end == 0 {
 			t.liveRows.Add(-1)
+		} else {
+			t.deadVersions.Add(-1)
 		}
 		return nil
 	}

@@ -25,6 +25,7 @@ func undoUpdate(t *Table, old, successor *storedRow) func() error {
 		old.end = 0
 		old.endTxn = 0
 		t.liveRows.Add(1)
+		t.deadVersions.Add(-1)
 		return t.restorePK(old)
 	}
 }
@@ -35,6 +36,7 @@ func undoDelete(t *Table, r *storedRow) func() error {
 		r.end = 0
 		r.endTxn = 0
 		t.liveRows.Add(1)
+		t.deadVersions.Add(-1)
 		return t.restorePK(r)
 	}
 }

@@ -127,6 +127,7 @@ func (db *DB) registerBuiltinVirtualTables() {
 		Name: "ldv_stat_tables",
 		Schema: viewSchema(
 			textCol("name"), intCol("live_rows"), intCol("versions"),
+			intCol("dead_versions"),
 			intCol("lock_waits"), intCol("lock_wait_ns"),
 		),
 		Rows: func() [][]sqlval.Value {
@@ -143,11 +144,59 @@ func (db *DB) registerBuiltinVirtualTables() {
 					sqlval.NewString(t.Name),
 					sqlval.NewInt(t.liveRows.Load()),
 					sqlval.NewInt(t.versions.Load()),
+					sqlval.NewInt(t.deadVersions.Load()),
 					sqlval.NewInt(t.lockWaits.Load()),
 					sqlval.NewInt(t.lockWaitNS.Load()),
 				})
 			}
 			return rows
+		},
+	})
+
+	// Time travel: per-table version demographics plus the reenactment
+	// history, and the cumulative vacuum counters.
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_versions",
+		Schema: viewSchema(
+			intCol("txn"), intCol("snapshot_tick"), intCol("commit_tick"),
+			intCol("commit_seq"), intCol("statements"), intCol("rows"),
+		),
+		Rows: func() [][]sqlval.Value {
+			recs := db.txnHistSnapshot()
+			rows := make([][]sqlval.Value, 0, len(recs))
+			for _, r := range recs {
+				total := 0
+				for _, h := range r.Stmts {
+					total += h.Rows
+				}
+				rows = append(rows, []sqlval.Value{
+					sqlval.NewInt(r.TxnID),
+					sqlval.NewInt(int64(r.SnapTS)),
+					sqlval.NewInt(int64(r.CommitTS)),
+					sqlval.NewInt(int64(r.CommitSeq)),
+					sqlval.NewInt(int64(len(r.Stmts))),
+					sqlval.NewInt(int64(total)),
+				})
+			}
+			return rows
+		},
+	})
+	db.RegisterVirtualTable(&VirtualTable{
+		Name: "ldv_stat_vacuum",
+		Schema: viewSchema(
+			intCol("horizon_tick"), intCol("retain_ticks"), intCol("passes"),
+			intCol("pruned"), intCol("deferred"), intCol("last_pass_ns"),
+		),
+		Rows: func() [][]sqlval.Value {
+			vs := db.VacuumStatsSnapshot()
+			return [][]sqlval.Value{{
+				sqlval.NewInt(int64(vs.Horizon)),
+				sqlval.NewInt(int64(vs.RetainTicks)),
+				sqlval.NewInt(vs.Passes),
+				sqlval.NewInt(vs.Pruned),
+				sqlval.NewInt(vs.Deferred),
+				sqlval.NewInt(vs.LastPassNS),
+			}}
 		},
 	})
 

@@ -52,20 +52,26 @@ const (
 	walDrop        byte = 4 // DROP TABLE
 	walCreateIndex byte = 5 // CREATE INDEX
 	walDropIndex   byte = 6 // DROP INDEX
+	walVacuum      byte = 7 // a vacuum pass's retention horizon
+	walStmt        byte = 8 // one statement of a transaction's reenactment history
 )
 
 // redoEntry is one logical redo action. Insert entries capture the stored
 // row's immutable fields at log time; end entries capture the end timestamp
-// that was placed.
+// that was placed. walVacuum carries the pass's horizon in version. walStmt
+// reuses the insert fields for a history statement: proc is the SQL text,
+// table the statement kind, id the transaction's snapshot tick, version/end
+// the statement's start/end ticks, stmt its row count, vals its bound
+// parameters.
 type redoEntry struct {
 	kind    byte
 	table   string
-	id      RowID          // walInsert, walEnd
-	version uint64         // walInsert, walEnd: the version acted on
-	end     uint64         // walEnd: the end timestamp placed
-	proc    string         // walInsert
-	stmt    int64          // walInsert
-	vals    []sqlval.Value // walInsert
+	id      RowID          // walInsert, walEnd, walStmt
+	version uint64         // walInsert, walEnd, walStmt; walVacuum: the horizon
+	end     uint64         // walEnd, walStmt: the end timestamp placed
+	proc    string         // walInsert, walStmt
+	stmt    int64          // walInsert, walStmt
+	vals    []sqlval.Value // walInsert, walStmt
 	schema  Schema         // walCreate
 	idxName string         // walCreateIndex, walDropIndex
 	idxCol  string         // walCreateIndex
@@ -328,6 +334,15 @@ func encodeWALTxn(txnID int64, redo []redoEntry) []byte {
 			buf = appendString(buf, e.idxKind)
 		case walDropIndex:
 			buf = appendString(buf, e.idxName)
+		case walVacuum:
+			buf = binary.AppendUvarint(buf, e.version)
+		case walStmt:
+			buf = binary.AppendUvarint(buf, uint64(e.id))
+			buf = binary.AppendUvarint(buf, e.version)
+			buf = binary.AppendUvarint(buf, e.end)
+			buf = appendString(buf, e.proc)
+			buf = binary.AppendVarint(buf, e.stmt)
+			buf = sqlval.EncodeRow(buf, e.vals)
 		}
 	}
 	return buf
@@ -442,6 +457,44 @@ func decodeWALTxn(payload []byte) (int64, []redoEntry, error) {
 			if err != nil {
 				return 0, nil, err
 			}
+		case walVacuum:
+			e.version, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad vacuum horizon")
+			}
+			b = b[n:]
+		case walStmt:
+			id, n := binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad snapshot tick")
+			}
+			b = b[n:]
+			e.id = RowID(id)
+			e.version, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad stmt start")
+			}
+			b = b[n:]
+			e.end, n = binary.Uvarint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad stmt end")
+			}
+			b = b[n:]
+			e.proc, b, err = readString(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.stmt, n = binary.Varint(b)
+			if n <= 0 {
+				return 0, nil, fmt.Errorf("wal record: bad stmt rows")
+			}
+			b = b[n:]
+			vals, used, err := sqlval.DecodeRow(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			e.vals = vals
+			b = b[used:]
 		default:
 			return 0, nil, fmt.Errorf("wal record: unknown entry kind %d", e.kind)
 		}

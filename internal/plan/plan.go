@@ -69,6 +69,12 @@ type Tree struct {
 	// syntactic FROM order; the executor then restores the syntactic
 	// column order before projection.
 	Reordered bool
+	// AsOf is the rendered AS OF bound of a time-travel query ("" for
+	// head reads). The scan operators need no change — secondary indexes
+	// retain dead versions and the executor applies snapshot visibility
+	// per candidate row — so the bound is plan-wide metadata, rendered by
+	// EXPLAIN as its own row.
+	AsOf string
 }
 
 // Nodes returns the tree's operators in post order (children first), the

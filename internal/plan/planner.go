@@ -128,6 +128,9 @@ func PlanSelect(cat Catalog, s *sqlparse.Select) *Tree {
 	}
 	root = planProjection(s, root)
 	tree.Root = root
+	if s.AsOf != nil {
+		tree.AsOf = s.AsOf.String()
+	}
 	return tree
 }
 

@@ -64,12 +64,26 @@ func TestReplicaCrashMatrix(t *testing.T) {
 		step("UPDATE kv SET v = 'moved' WHERE v = 'pre1'")
 		step("CREATE INDEX ix_k2 ON kv (k) USING ordered")
 		step("DROP INDEX ix_k2")
+		// A vacuum pass streams a walVacuum horizon record; the trailing
+		// insert advances the commit sequence past it so WaitApplied covers
+		// the record too. VACUUM itself reports no CommitSeq, so it does not
+		// go through step.
+		if _, err := pdb.Exec("VACUUM", engine.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		step(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'post')", writes))
 		if err := r.WaitApplied(last); err != nil {
 			t.Fatalf("crash at op %d: replica did not converge: %v", i, err)
 		}
-		if n := len(rows(t, rdb, "SELECT k FROM kv")); n != writes {
-			t.Fatalf("crash at op %d: %d rows on replica, want %d", i, n, writes)
+		if n := len(rows(t, rdb, "SELECT k FROM kv")); n != writes+1 {
+			t.Fatalf("crash at op %d: %d rows on replica, want %d", i, n, writes+1)
 		}
+		// The replica applied the same retention horizon and reclaimed the
+		// same dead versions (the superseded 'pre1' row) as the primary.
+		if ph, rh := pdb.VacuumHorizon(), rdb.VacuumHorizon(); ph == 0 || ph != rh {
+			t.Fatalf("crash at op %d: vacuum horizon primary=%d replica=%d", i, ph, rh)
+		}
+		assertSameRows(t, pdb, rdb, "SELECT name, dead_versions FROM ldv_stat_tables ORDER BY name")
 		assertSameRows(t, pdb, rdb, "SELECT k, v FROM kv ORDER BY k")
 		// The replicated index answers queries and matches the primary.
 		assertSameRows(t, pdb, rdb, "SELECT k FROM kv WHERE v = 'moved' ORDER BY k")

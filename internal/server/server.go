@@ -414,7 +414,7 @@ func (s *Server) runQuery(conn io.Writer, sess *engine.Session, act *sessionActi
 		}
 	}
 	t0 := time.Now()
-	res, err := s.exec(sess, act, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp})
+	res, err := s.exec(sess, act, q.SQL, engine.ExecOptions{Proc: proc, WithLineage: q.WithLineage, Span: sp, AsOf: q.AsOf})
 	elapsed := time.Since(t0)
 	if thr := s.slowQueryNS.Load(); thr > 0 && elapsed >= time.Duration(thr) {
 		// The fingerprint makes a slow-query entry joinable against

@@ -227,6 +227,11 @@ type Select struct {
 	Having     Expr
 	OrderBy    []OrderItem
 	Limit      int // -1 when absent
+	// AsOf, when non-nil, pins the query to the historical snapshot at the
+	// given logical tick (time travel). Accepted after the FROM clause or
+	// trailing the statement; always rendered trailing, so the normalized
+	// form (and with it the fingerprint) is position-independent.
+	AsOf Expr
 }
 
 func (*Select) stmtNode() {}
@@ -305,6 +310,9 @@ func (s *Select) String() string {
 	if s.Limit >= 0 {
 		sb.WriteString(" LIMIT ")
 		sb.WriteString(itoa(s.Limit))
+	}
+	if s.AsOf != nil {
+		sb.WriteString(" AS OF " + s.AsOf.String())
 	}
 	return sb.String()
 }
@@ -550,6 +558,59 @@ func (s *DropIndex) String() string {
 		return "DROP INDEX IF EXISTS " + s.Name
 	}
 	return "DROP INDEX " + s.Name
+}
+
+// Vacuum is VACUUM [RETAIN n]: remove dead tuple versions older than the
+// retention horizon. With RETAIN the horizon is "now minus n ticks" for this
+// pass only; without it the database's configured retention applies (or, if
+// none is configured, every committed dead version is reclaimable).
+type Vacuum struct {
+	Retain Expr // nil when absent
+}
+
+func (*Vacuum) stmtNode() {}
+
+// String renders the statement.
+func (s *Vacuum) String() string {
+	if s.Retain != nil {
+		return "VACUUM RETAIN " + s.Retain.String()
+	}
+	return "VACUUM"
+}
+
+// ReenactSub is one statement substitution of a what-if reenactment: the
+// 1-based ordinal of the original statement to replace and the replacement
+// SQL text.
+type ReenactSub struct {
+	Ordinal int
+	SQL     string
+}
+
+// Reenact is REENACT TRANSACTION <txid> [SUBSTITUTE n WITH 'sql' [, ...]]:
+// replay a committed transaction's recorded statements against its
+// historical snapshot (GProM-style reenactment), optionally substituting
+// statements for what-if analysis.
+type Reenact struct {
+	Txn  Expr
+	Subs []ReenactSub
+}
+
+func (*Reenact) stmtNode() {}
+
+// String renders the statement.
+func (s *Reenact) String() string {
+	var sb strings.Builder
+	sb.WriteString("REENACT TRANSACTION " + s.Txn.String())
+	for i, sub := range s.Subs {
+		if i == 0 {
+			sb.WriteString(" SUBSTITUTE ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(itoa(sub.Ordinal))
+		sb.WriteString(" WITH '" + strings.ReplaceAll(sub.SQL, "'", "''") + "'")
+	}
+	return sb.String()
 }
 
 func itoa(n int) string {

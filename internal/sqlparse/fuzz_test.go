@@ -37,3 +37,41 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAsOf exercises the time-travel grammar: the AS OF clause in both its
+// accepted positions (after FROM, trailing), VACUUM, and REENACT. Same
+// contract as FuzzParse — no panics, and accepted input round-trips through
+// its normalized rendering.
+func FuzzAsOf(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t AS OF 5",
+		"SELECT a FROM t AS OF ?",
+		"SELECT * FROM t WHERE a > 1 ORDER BY a LIMIT 3 AS OF 100",
+		"SELECT * FROM t x AS OF 1 + 2",
+		"SELECT * FROM t AS x AS OF 7",
+		"SELECT * FROM t JOIN u ON t.a = u.b AS OF 9 WHERE t.a > 0",
+		"SELECT * FROM t AS OF 1 AS OF 2",
+		"EXPLAIN SELECT * FROM t AS OF 4",
+		"VACUUM",
+		"VACUUM RETAIN 100",
+		"REENACT TRANSACTION 3",
+		"REENACT TRANSACTION ? SUBSTITUTE 1 WITH 'UPDATE t SET a = 1', 2 WITH 'SELECT ''x'''",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if stmt2.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, stmt2.String())
+		}
+	})
+}

@@ -50,6 +50,8 @@ var keywords = map[string]bool{
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
 	"COPY": true, "TO": true,
 	"EXPLAIN": true, "ANALYZE": true,
+	"OF": true, "VACUUM": true, "RETAIN": true,
+	"REENACT": true, "SUBSTITUTE": true, "WITH": true,
 }
 
 // Lexer tokenizes a SQL string.

@@ -146,6 +146,10 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseCopy()
 	case "EXPLAIN":
 		return p.parseExplain()
+	case "VACUUM":
+		return p.parseVacuum()
+	case "REENACT":
+		return p.parseReenact()
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")
@@ -214,6 +218,13 @@ func (p *Parser) parseSelect() (*Select, error) {
 			}
 			sel.Joins = append(sel.Joins, JoinClause{Table: ref, On: on})
 		}
+		// AS OF directly after the FROM/JOIN section (the natural reading
+		// position); the trailing position after LIMIT is also accepted.
+		asof, err := p.tryAsOf()
+		if err != nil {
+			return nil, err
+		}
+		sel.AsOf = asof
 	}
 
 	if p.acceptKeyword("WHERE") {
@@ -280,7 +291,36 @@ func (p *Parser) parseSelect() (*Select, error) {
 		}
 		sel.Limit = n
 	}
+	asof, err := p.tryAsOf()
+	if err != nil {
+		return nil, err
+	}
+	if asof != nil {
+		if sel.AsOf != nil {
+			return nil, p.errorf("duplicate AS OF clause")
+		}
+		sel.AsOf = asof
+	}
 	return sel, nil
+}
+
+// peekAsOf reports whether the next two tokens are the keywords AS OF — the
+// lookahead that keeps `FROM t AS OF 5` from consuming OF as a table alias.
+func (p *Parser) peekAsOf() bool {
+	return p.peek().Type == TokKeyword && p.peek().Text == "AS" &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].Type == TokKeyword &&
+		p.toks[p.pos+1].Text == "OF"
+}
+
+// tryAsOf parses an optional AS OF <expr> clause, returning nil when the
+// next tokens are not AS OF. The bound is an additive expression so ticks
+// can be written as literals, parameters, or simple arithmetic.
+func (p *Parser) tryAsOf() (Expr, error) {
+	if !p.peekAsOf() {
+		return nil, nil
+	}
+	p.pos += 2
+	return p.parseAdditive()
 }
 
 func (p *Parser) parseSelectItem() (SelectItem, error) {
@@ -319,6 +359,9 @@ func (p *Parser) parseTableRef() (TableRef, error) {
 		return TableRef{}, err
 	}
 	ref := TableRef{Name: name}
+	if p.peekAsOf() {
+		return ref, nil // AS OF belongs to the SELECT, not an alias
+	}
 	if p.acceptKeyword("AS") {
 		alias, err := p.expectIdent()
 		if err != nil {
@@ -667,6 +710,62 @@ func (p *Parser) parseExplain() (*Explain, error) {
 	default:
 		return nil, p.errorf("EXPLAIN supports SELECT, INSERT, UPDATE and DELETE, not %T", inner)
 	}
+}
+
+// parseVacuum parses VACUUM [RETAIN <expr>].
+func (p *Parser) parseVacuum() (*Vacuum, error) {
+	if err := p.expectKeyword("VACUUM"); err != nil {
+		return nil, err
+	}
+	v := &Vacuum{}
+	if p.acceptKeyword("RETAIN") {
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		v.Retain = e
+	}
+	return v, nil
+}
+
+// parseReenact parses
+// REENACT TRANSACTION <expr> [SUBSTITUTE n WITH 'sql' [, n WITH 'sql']...].
+func (p *Parser) parseReenact() (*Reenact, error) {
+	if err := p.expectKeyword("REENACT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TRANSACTION"); err != nil {
+		return nil, err
+	}
+	txn, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reenact{Txn: txn}
+	if p.acceptKeyword("SUBSTITUTE") {
+		for {
+			t := p.next()
+			if t.Type != TokNumber {
+				return nil, p.errorf("expected statement ordinal after SUBSTITUTE, got %q", t.Text)
+			}
+			ord, err := strconv.Atoi(t.Text)
+			if err != nil || ord < 1 {
+				return nil, p.errorf("invalid statement ordinal %q", t.Text)
+			}
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			s := p.next()
+			if s.Type != TokString {
+				return nil, p.errorf("expected substituted SQL string, got %q", s.Text)
+			}
+			r.Subs = append(r.Subs, ReenactSub{Ordinal: ord, SQL: s.Text})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	return r, nil
 }
 
 func (p *Parser) parseCopy() (*Copy, error) {

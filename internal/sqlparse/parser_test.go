@@ -351,3 +351,82 @@ func TestParseHaving(t *testing.T) {
 		t.Fatalf("having round trip: %s vs %s", s2, s)
 	}
 }
+
+func TestParseAsOf(t *testing.T) {
+	// Trailing position.
+	s := mustParse(t, "SELECT a FROM t WHERE a > 1 LIMIT 3 AS OF 42").(*Select)
+	if s.AsOf == nil {
+		t.Fatal("AS OF not parsed (trailing)")
+	}
+	if got := s.String(); got != "SELECT a FROM t WHERE (a > 1) LIMIT 3 AS OF 42" {
+		t.Fatalf("rendering = %q", got)
+	}
+	// After the FROM clause; normalizes to trailing.
+	s = mustParse(t, "SELECT a FROM t AS OF 7 WHERE a > 1").(*Select)
+	if s.AsOf == nil {
+		t.Fatal("AS OF not parsed (after FROM)")
+	}
+	if got := s.String(); got != "SELECT a FROM t WHERE (a > 1) AS OF 7" {
+		t.Fatalf("normalized rendering = %q", got)
+	}
+	// Parameterized bound.
+	s = mustParse(t, "SELECT a FROM t AS OF ?").(*Select)
+	if _, ok := s.AsOf.(*Param); !ok {
+		t.Fatalf("AS OF ? = %T", s.AsOf)
+	}
+	// Alias named like the keyword still works: AS OF binds to the SELECT.
+	s = mustParse(t, "SELECT a FROM t x AS OF 5").(*Select)
+	if s.From[0].Alias != "x" || s.AsOf == nil {
+		t.Fatalf("alias/AS OF split wrong: %+v asof=%v", s.From[0], s.AsOf)
+	}
+	// Duplicate clause rejected.
+	if _, err := Parse("SELECT a FROM t AS OF 1 AS OF 2"); err == nil {
+		t.Fatal("duplicate AS OF must fail")
+	}
+}
+
+func TestParseVacuum(t *testing.T) {
+	v := mustParse(t, "VACUUM").(*Vacuum)
+	if v.Retain != nil {
+		t.Fatalf("bare VACUUM has retain %v", v.Retain)
+	}
+	if v.String() != "VACUUM" {
+		t.Fatalf("rendering = %q", v.String())
+	}
+	v = mustParse(t, "VACUUM RETAIN 100").(*Vacuum)
+	if v.Retain == nil {
+		t.Fatal("RETAIN bound not parsed")
+	}
+	if v.String() != "VACUUM RETAIN 100" {
+		t.Fatalf("rendering = %q", v.String())
+	}
+}
+
+func TestParseReenact(t *testing.T) {
+	r := mustParse(t, "REENACT TRANSACTION 3").(*Reenact)
+	if r.Txn == nil || len(r.Subs) != 0 {
+		t.Fatalf("structure: %+v", r)
+	}
+	if r.String() != "REENACT TRANSACTION 3" {
+		t.Fatalf("rendering = %q", r.String())
+	}
+	r = mustParse(t, "REENACT TRANSACTION 9 SUBSTITUTE 1 WITH 'UPDATE t SET a = 1', 2 WITH 'SELECT ''x'''").(*Reenact)
+	if len(r.Subs) != 2 {
+		t.Fatalf("subs = %+v", r.Subs)
+	}
+	if r.Subs[0].Ordinal != 1 || r.Subs[0].SQL != "UPDATE t SET a = 1" {
+		t.Fatalf("sub[0] = %+v", r.Subs[0])
+	}
+	if r.Subs[1].SQL != "SELECT 'x'" {
+		t.Fatalf("sub[1] = %+v", r.Subs[1])
+	}
+	// Round trip with embedded quotes.
+	r2 := mustParse(t, r.String()).(*Reenact)
+	if r2.String() != r.String() {
+		t.Fatalf("round trip: %q vs %q", r2.String(), r.String())
+	}
+	// Bad ordinal rejected.
+	if _, err := Parse("REENACT TRANSACTION 1 SUBSTITUTE 0 WITH 'SELECT 1'"); err == nil {
+		t.Fatal("ordinal 0 must fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Package timetravel drives version retention for the engine. It turns a
+// configured retention window — expressed in logical ticks or wall-clock
+// time — into tick horizons on the engine's logical timeline and runs the
+// background vacuumer that periodically reclaims versions dead for longer
+// than the window. Wall time is bridged to the logical clock by sampling
+// (wall time, tick) pairs at each vacuum interval: the horizon for "keep
+// the last 10 minutes" is the tick recorded at the newest sample at least
+// that old. The conversion is conservative — between samples the horizon
+// lags, never overshoots — so a wall-time window never reclaims a version
+// younger than requested.
+package timetravel
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"ldv/internal/engine"
+)
+
+// Policy is a retention window. Zero values disable the respective bound;
+// with both set the wider window (the smaller horizon) wins, so nothing
+// either bound would keep is reclaimed.
+type Policy struct {
+	Ticks uint64        // retain versions dead fewer than this many ticks
+	Wall  time.Duration // retain versions dead less than this long
+}
+
+// ParsePolicy parses a -retain flag value: a bare non-negative integer is a
+// tick count, anything else must parse as a Go duration ("10m", "1h30m").
+func ParsePolicy(s string) (Policy, error) {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return Policy{Ticks: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return Policy{}, err
+	}
+	return Policy{Wall: d}, nil
+}
+
+// Zero reports whether the policy retains everything (no vacuuming).
+func (p Policy) Zero() bool { return p.Ticks == 0 && p.Wall == 0 }
+
+// sample is one bridge point between the wall clock and the logical clock.
+type sample struct {
+	at   time.Time
+	tick uint64
+}
+
+// Vacuumer runs periodic vacuum passes against one database under a
+// retention policy. Start it once; Stop blocks until the loop exits.
+type Vacuumer struct {
+	db       *engine.DB
+	policy   Policy
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu      sync.Mutex
+	samples []sample // wall→tick bridge, oldest first, bounded
+}
+
+// maxSamples bounds the wall→tick bridge ring. At the default interval the
+// window covers days of history — far beyond any sane wall retention.
+const maxSamples = 4096
+
+// NewVacuumer returns a stopped vacuumer. interval ≤ 0 defaults to 1s.
+func NewVacuumer(db *engine.DB, policy Policy, interval time.Duration) *Vacuumer {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	// Bare VACUUM statements apply the same tick window the vacuumer does.
+	db.SetRetainTicks(policy.Ticks)
+	return &Vacuumer{db: db, policy: policy, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the background loop. No-op policy still samples the
+// wall→tick bridge so a later policy change has history to convert against.
+func (v *Vacuumer) Start() {
+	go func() {
+		defer close(v.done)
+		t := time.NewTicker(v.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-v.stop:
+				return
+			case now := <-t.C:
+				v.RunOnce(now)
+			}
+		}
+	}()
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (v *Vacuumer) Stop() {
+	close(v.stop)
+	<-v.done
+}
+
+// RunOnce records one wall→tick sample and, when the policy yields a
+// horizon, runs one vacuum pass. Exposed for tests and for foreground use.
+func (v *Vacuumer) RunOnce(now time.Time) (engine.VacuumResult, error) {
+	tick := v.db.ClockNow()
+	v.mu.Lock()
+	v.samples = append(v.samples, sample{at: now, tick: tick})
+	if len(v.samples) > maxSamples {
+		v.samples = v.samples[len(v.samples)-maxSamples:]
+	}
+	v.mu.Unlock()
+
+	h, ok := v.horizonAt(now, tick)
+	if !ok {
+		return engine.VacuumResult{Horizon: v.db.VacuumHorizon()}, nil
+	}
+	return v.db.VacuumTo(h)
+}
+
+// horizonAt converts the policy into a tick horizon given the current wall
+// time and tick. Returns false when the policy keeps everything (or a
+// wall-time window has no old-enough sample yet).
+func (v *Vacuumer) horizonAt(now time.Time, tick uint64) (uint64, bool) {
+	if v.policy.Zero() {
+		return 0, false
+	}
+	h := tick // start wide; each bound can only lower it
+	bounded := false
+	if v.policy.Ticks > 0 {
+		if v.policy.Ticks >= tick {
+			return 0, false
+		}
+		h = tick - v.policy.Ticks
+		bounded = true
+	}
+	if v.policy.Wall > 0 {
+		cutoff := now.Add(-v.policy.Wall)
+		wh, ok := v.tickAt(cutoff)
+		if !ok {
+			return 0, false // no bridge sample that old yet: keep everything
+		}
+		if !bounded || wh < h {
+			h = wh
+		}
+	}
+	return h, true
+}
+
+// tickAt returns the logical tick of the newest bridge sample at or before
+// the wall cutoff.
+func (v *Vacuumer) tickAt(cutoff time.Time) (uint64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := len(v.samples) - 1; i >= 0; i-- {
+		if !v.samples[i].at.After(cutoff) {
+			return v.samples[i].tick, true
+		}
+	}
+	return 0, false
+}

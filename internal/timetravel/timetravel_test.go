@@ -1,0 +1,136 @@
+package timetravel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ldv/internal/engine"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{in: "1000", want: Policy{Ticks: 1000}},
+		{in: "0", want: Policy{}},
+		{in: "10m", want: Policy{Wall: 10 * time.Minute}},
+		{in: "1h30m", want: Policy{Wall: 90 * time.Minute}},
+		{in: "bogus", err: true},
+		{in: "-5", err: true}, // negative is neither a tick count nor a duration
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): expected error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if !(Policy{}).Zero() || (Policy{Ticks: 1}).Zero() || (Policy{Wall: time.Second}).Zero() {
+		t.Error("Policy.Zero misclassifies")
+	}
+}
+
+func TestHorizonAtTickBound(t *testing.T) {
+	v := &Vacuumer{policy: Policy{Ticks: 100}}
+	if _, ok := v.horizonAt(time.Time{}, 50); ok {
+		t.Error("window wider than history must keep everything")
+	}
+	if _, ok := v.horizonAt(time.Time{}, 100); ok {
+		t.Error("window equal to history must keep everything")
+	}
+	if h, ok := v.horizonAt(time.Time{}, 500); !ok || h != 400 {
+		t.Errorf("horizonAt(tick=500) = %d,%v, want 400,true", h, ok)
+	}
+}
+
+func TestHorizonAtWallBound(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	v := &Vacuumer{policy: Policy{Wall: 10 * time.Second}}
+	for i := 0; i <= 20; i++ {
+		v.samples = append(v.samples, sample{at: base.Add(time.Duration(i) * time.Second), tick: uint64(100 * i)})
+	}
+	now := base.Add(20 * time.Second)
+	// Cutoff now-10s matches the sample at t=10s exactly → tick 1000.
+	if h, ok := v.horizonAt(now, 2000); !ok || h != 1000 {
+		t.Errorf("wall horizon = %d,%v, want 1000,true", h, ok)
+	}
+	// Between samples the conversion rounds down to the older sample.
+	if h, ok := v.horizonAt(now.Add(500*time.Millisecond), 2000); !ok || h != 1000 {
+		t.Errorf("between-sample horizon = %d,%v, want 1000,true", h, ok)
+	}
+	// No sample old enough: keep everything.
+	v2 := &Vacuumer{policy: Policy{Wall: time.Hour}}
+	v2.samples = v.samples
+	if _, ok := v2.horizonAt(now, 2000); ok {
+		t.Error("wall window with no old-enough sample must keep everything")
+	}
+}
+
+func TestHorizonAtBothBoundsWiderWins(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	v := &Vacuumer{policy: Policy{Ticks: 100, Wall: 10 * time.Second}}
+	v.samples = []sample{{at: base, tick: 300}}
+	now := base.Add(time.Minute)
+	// Tick bound alone would allow 2000-100=1900; the wall bound pins the
+	// horizon to the sample's tick 300. The smaller horizon (wider window)
+	// must win.
+	if h, ok := v.horizonAt(now, 2000); !ok || h != 300 {
+		t.Errorf("combined horizon = %d,%v, want 300,true", h, ok)
+	}
+}
+
+func TestVacuumerRunOncePrunesChurn(t *testing.T) {
+	db := engine.NewDB(nil)
+	for _, sql := range []string{
+		"CREATE TABLE t (k INT, v INT)",
+		"INSERT INTO t VALUES (1, 0)",
+	} {
+		if _, err := db.Exec(sql, engine.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := db.Exec(fmt.Sprintf("UPDATE t SET v = %d WHERE k = 1", i), engine.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := NewVacuumer(db, Policy{Ticks: 2}, time.Hour)
+	if got := db.RetainTicks(); got != 2 {
+		t.Fatalf("NewVacuumer did not install the tick window: RetainTicks = %d", got)
+	}
+	vr, err := v.RunOnce(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Pruned == 0 {
+		t.Fatal("RunOnce pruned nothing over a churned table")
+	}
+	if vr.Horizon == 0 || db.VacuumHorizon() != vr.Horizon {
+		t.Fatalf("horizon not installed: result %d, db %d", vr.Horizon, db.VacuumHorizon())
+	}
+	// The head row survives every pass.
+	res, err := db.Exec("SELECT v FROM t WHERE k = 1", engine.ExecOptions{})
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != 20 {
+		t.Fatalf("head read after vacuum: %v rows=%v", err, res.Rows)
+	}
+}
+
+func TestVacuumerStartStop(t *testing.T) {
+	db := engine.NewDB(nil)
+	v := NewVacuumer(db, Policy{Ticks: 1}, time.Millisecond)
+	v.Start()
+	time.Sleep(20 * time.Millisecond)
+	v.Stop() // must not hang or panic; double-checked by -race runs
+}

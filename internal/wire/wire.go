@@ -136,11 +136,17 @@ type Startup struct {
 // applied at least that WAL record sequence. Encoded after the trace
 // context as a trailing uvarint (the trace context is then always present,
 // zero or not, to keep the frame self-describing); absent means no bound.
+// AsOf, when non-zero, pins the statement to the historical snapshot at
+// that logical tick (time travel) unless the SQL carries its own AS OF
+// clause. Third trailing field after MinApplied (which is then
+// force-encoded, zero or not); absent means a head read, so pre-time-travel
+// frames are byte-identical.
 type Query struct {
 	SQL         string
 	WithLineage bool
 	Trace       obs.SpanContext
 	MinApplied  uint64
+	AsOf        uint64
 }
 
 // RowDescription announces result columns.
@@ -401,9 +407,14 @@ func encodePayload(m Message) []byte {
 		b = appendString(b, v.SQL)
 		// Trace context trails the frame: exactly 24 bytes when present,
 		// absent when zero, so pre-tracing peers parse the frame unchanged.
-		// A MinApplied bound trails the trace context, which is then encoded
-		// even when zero so the decoder can tell the two extensions apart.
+		// A MinApplied bound trails the trace context, and an AS OF tick
+		// trails MinApplied; each later field forces the earlier ones (zero
+		// or not) so the decoder tells the extensions apart by position.
 		switch {
+		case v.AsOf > 0:
+			b = appendSpanContext(b, v.Trace)
+			b = binary.AppendUvarint(b, v.MinApplied)
+			b = binary.AppendUvarint(b, v.AsOf)
 		case v.MinApplied > 0:
 			b = appendSpanContext(b, v.Trace)
 			b = binary.AppendUvarint(b, v.MinApplied)
@@ -538,11 +549,14 @@ func decodePayload(tag byte, b []byte) (Message, error) {
 		withLineage := d.byte() == 1
 		q := Query{WithLineage: withLineage, SQL: d.string()}
 		// Trailing trace context (absent in pre-tracing frames), then the
-		// optional MinApplied bound after it.
+		// optional MinApplied bound, then the optional AS OF tick.
 		if d.err == nil && len(d.buf) > 0 {
 			q.Trace = d.spanContext()
 			if d.err == nil && len(d.buf) > 0 {
 				q.MinApplied = d.uvarint()
+			}
+			if d.err == nil && len(d.buf) > 0 {
+				q.AsOf = d.uvarint()
 			}
 		}
 		m = q

@@ -80,6 +80,13 @@ func TestMetricLintCatchesViolations(t *testing.T) {
 		{"wait.lock_table_ns", false, 0},     // wait family with a time unit
 		{"wait.lock_table_count", false, 0},  // wait family with a count unit
 		{"wait.linttest_unitless", false, 1}, // wait family without a unit
+		// The time-travel families registered by the engine: the vacuum pass
+		// histogram and horizon gauge carry unit suffixes (ns, ticks); plain
+		// occurrence counters need none.
+		{"vacuum.pass_ns", true, 0},
+		{"vacuum.horizon_ticks", false, 0},
+		{"asof.queries", false, 0},
+		{"vacuum.linttest_pass", true, 2}, // undescribed histogram without a unit
 	}
 	for _, tc := range cases {
 		got := lintMetricName(tc.name, tc.isHistogram)
